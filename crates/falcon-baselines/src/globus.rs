@@ -1,0 +1,113 @@
+//! The Globus transfer-settings heuristic.
+//!
+//! Globus tunes (concurrency, parallelism, pipelining) once from coarse
+//! dataset statistics and keeps them fixed for the whole transfer (paper §2,
+//! §4.3: "uses fixed and mostly suboptimal transfer settings"). The rule set
+//! below follows the published heuristic buckets: many small files get deep
+//! pipelining, few large files get socket parallelism, and concurrency
+//! stays at 2 across the board — the conservatism the paper observes
+//! ("Globus is too conservative when selecting the number of concurrent
+//! transfers to avoid congestion", cc = 2 and 4.9 Gbps in §4.5).
+
+use falcon_core::{ProbeMetrics, TransferSettings};
+use falcon_transfer::dataset::{Dataset, MIB};
+use falcon_transfer::runner::Tuner;
+
+/// Globus baseline: fixed settings chosen from dataset statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobusTuner {
+    settings: TransferSettings,
+}
+
+impl GlobusTuner {
+    /// Apply the Globus heuristic to a dataset.
+    pub fn for_dataset(dataset: &Dataset) -> Self {
+        let mean = dataset.mean_file_bytes();
+        let settings = if mean < 50 * MIB {
+            // Lots of small files: pipelining hides per-file gaps.
+            TransferSettings {
+                concurrency: 2,
+                parallelism: 2,
+                pipelining: 20,
+            }
+        } else if mean < 250 * MIB {
+            TransferSettings {
+                concurrency: 2,
+                parallelism: 4,
+                pipelining: 5,
+            }
+        } else {
+            // Few large files: socket parallelism for per-flow TCP limits.
+            TransferSettings {
+                concurrency: 2,
+                parallelism: 8,
+                pipelining: 1,
+            }
+        };
+        GlobusTuner { settings }
+    }
+
+    /// The fixed settings this instance will use.
+    pub fn settings(&self) -> TransferSettings {
+        self.settings
+    }
+}
+
+impl Tuner for GlobusTuner {
+    fn label(&self) -> String {
+        "globus".to_string()
+    }
+
+    fn initial(&mut self) -> TransferSettings {
+        self.settings
+    }
+
+    fn on_sample(&mut self, _metrics: &ProbeMetrics) -> TransferSettings {
+        // Globus never adapts.
+        self.settings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_transfer::dataset::Dataset;
+
+    #[test]
+    fn large_files_get_parallelism_not_pipelining() {
+        let g = GlobusTuner::for_dataset(&Dataset::uniform_1gb(100));
+        let s = g.settings();
+        assert_eq!(s.concurrency, 2);
+        assert_eq!(s.parallelism, 8);
+        assert_eq!(s.pipelining, 1);
+    }
+
+    #[test]
+    fn small_files_get_pipelining() {
+        let g = GlobusTuner::for_dataset(&Dataset::small(1));
+        let s = g.settings();
+        assert_eq!(s.concurrency, 2);
+        assert_eq!(s.pipelining, 20);
+    }
+
+    #[test]
+    fn never_adapts() {
+        let mut g = GlobusTuner::for_dataset(&Dataset::uniform_1gb(10));
+        let init = g.initial();
+        let m = ProbeMetrics::from_aggregate(init, 1.0, 0.5, 5.0);
+        assert_eq!(g.on_sample(&m), init);
+        assert_eq!(g.label(), "globus");
+    }
+
+    #[test]
+    fn concurrency_always_two() {
+        for d in [
+            Dataset::uniform_1gb(5),
+            Dataset::small(2),
+            Dataset::large(2),
+            Dataset::mixed(2),
+        ] {
+            assert_eq!(GlobusTuner::for_dataset(&d).settings().concurrency, 2);
+        }
+    }
+}

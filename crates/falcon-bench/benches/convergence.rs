@@ -1,0 +1,55 @@
+//! Probes-to-converge per search algorithm — the Figure 7 quantity as a
+//! benchmark: how many sample transfers each algorithm burns before it
+//! first proposes a setting in the optimal region (44–52 when the optimum
+//! is 48). Reported as time per full converge-from-scratch run on a
+//! noise-free synthetic landscape, plus the probe counts printed once.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use falcon_core::{
+    FalconAgent, ProbeMetrics, TransferSettings,
+};
+
+/// Emulab-48 synthetic aggregate throughput.
+fn landscape(cc: u32) -> f64 {
+    f64::from(cc) * 21.0f64.min(1008.0 / f64::from(cc))
+}
+
+/// Drive an agent until its proposal enters [44, 52]; returns probe count.
+fn probes_to_converge(mut agent: FalconAgent, limit: usize) -> usize {
+    let mut cc = agent.initial_settings().concurrency;
+    for i in 0..limit {
+        if (44..=52).contains(&cc) {
+            return i;
+        }
+        let m = ProbeMetrics::from_aggregate(
+            TransferSettings::with_concurrency(cc),
+            landscape(cc),
+            0.0,
+            5.0,
+        );
+        cc = agent.observe(m).concurrency;
+    }
+    limit
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    // Print the headline probe counts once so bench logs double as the
+    // Figure 7 summary.
+    let hc = probes_to_converge(FalconAgent::hill_climbing(100), 400);
+    let gd = probes_to_converge(FalconAgent::gradient_descent(100), 400);
+    let bo = probes_to_converge(FalconAgent::bayesian(100, 7), 400);
+    println!("probes to reach optimal region (optimum 48): HC={hc} GD={gd} BO={bo}");
+
+    c.bench_function("converge_hill_climbing", |b| {
+        b.iter(|| black_box(probes_to_converge(FalconAgent::hill_climbing(100), 400)))
+    });
+    c.bench_function("converge_gradient_descent", |b| {
+        b.iter(|| black_box(probes_to_converge(FalconAgent::gradient_descent(100), 400)))
+    });
+    c.bench_function("converge_bayesian", |b| {
+        b.iter(|| black_box(probes_to_converge(FalconAgent::bayesian(100, 7), 400)))
+    });
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Wall-clock cost of regenerating paper figures end-to-end (simulation +
+//! agents + trace bookkeeping). The heavyweight multi-minute scenarios
+//! (fig13, fig16) are exercised at reduced duration by sampling the cheap
+//! representatives here; `cargo run -p falcon-experiments -- all`
+//! regenerates everything at full length.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(falcon_experiments::table1())));
+    g.bench_function("fig4", |b| {
+        b.iter(|| black_box(falcon_experiments::figs1_4::fig4()))
+    });
+    g.bench_function("fig6a_analytic", |b| {
+        b.iter(|| black_box(falcon_experiments::figs6_8::fig6a()))
+    });
+    g.bench_function("fig7_convergence_comparison", |b| {
+        b.iter(|| black_box(falcon_experiments::figs6_8::fig7()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Gaussian-process inference cost.
+//!
+//! §3.2 of the paper: "Using a fixed number of past observations guarantees
+//! that GP processing delay stays in the order of milliseconds." These
+//! benches measure fit and posterior-prediction cost at the paper's
+//! 20-observation window (and above, to show the cubic growth the window
+//! caps).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_gp::{Acquisition, AcquisitionKind, GpRegressor, Matern52};
+
+fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 64) as f64]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let n = x[0];
+            n * 21.0f64.min(1008.0 / n.max(1.0)) / 1.02f64.powf(n)
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_fit");
+    for n in [5usize, 10, 20, 40, 80] {
+        let (xs, ys) = training_set(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("gp_fit_auto_window20", |b| {
+        let (xs, ys) = training_set(20);
+        b.iter(|| black_box(GpRegressor::fit_auto(&xs, &ys, 0.02).unwrap()))
+    });
+
+    c.bench_function("gp_predict_window20", |b| {
+        let (xs, ys) = training_set(20);
+        let gp = GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3).unwrap();
+        b.iter(|| black_box(gp.predict(black_box(&[31.0]))))
+    });
+
+    c.bench_function("acquisition_argmax_100_candidates", |b| {
+        let (xs, ys) = training_set(20);
+        let gp = GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3).unwrap();
+        let candidates: Vec<Vec<f64>> = (1..=100).map(|i| vec![f64::from(i)]).collect();
+        let acq = Acquisition::with_defaults(AcquisitionKind::ExpectedImprovement);
+        b.iter(|| black_box(acq.argmax(&gp, &candidates, 300.0)))
+    });
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Per-decision cost of each online optimizer. The decision runs on a
+//! separate thread (§3.2 "Falcon uses a separate thread to gather and
+//! process performance metrics"), but it must still finish well within one
+//! probe interval; BO's GP inference is the only non-trivial cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use falcon_core::{
+    BayesianMpOptimizer, BayesianOptimizer, BoMpParams, BoParams, CgdParams,
+    ConjugateGradientOptimizer, GdParams, GoldenSectionOptimizer, GradientDescentOptimizer,
+    GssParams, HcParams, HillClimbingOptimizer, Observation, OnlineOptimizer, ProbeMetrics,
+    SearchBounds, SpsaOptimizer, SpsaParams, TransferSettings, UtilityFunction,
+};
+
+fn observation(cc: u32) -> Observation {
+    let m = ProbeMetrics::from_aggregate(
+        TransferSettings::with_concurrency(cc),
+        f64::from(cc.min(48)) * 21.0,
+        0.001,
+        5.0,
+    );
+    Observation {
+        settings: m.settings,
+        utility: UtilityFunction::falcon_default().evaluate(&m),
+        metrics: m,
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    c.bench_function("decision_hill_climbing", |b| {
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(100));
+        let mut cc = opt.initial().concurrency;
+        b.iter(|| {
+            let s = opt.next(black_box(&observation(cc)));
+            cc = s.concurrency;
+            black_box(s)
+        })
+    });
+
+    c.bench_function("decision_gradient_descent", |b| {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        let mut cc = opt.initial().concurrency;
+        b.iter(|| {
+            let s = opt.next(black_box(&observation(cc)));
+            cc = s.concurrency;
+            black_box(s)
+        })
+    });
+
+    c.bench_function("decision_bayesian_window20", |b| {
+        let mut opt = BayesianOptimizer::new(BoParams::new(100));
+        let mut cc = opt.initial().concurrency;
+        // Fill the window so every measured decision pays full GP cost.
+        for _ in 0..25 {
+            cc = opt.next(&observation(cc)).concurrency;
+        }
+        b.iter(|| {
+            let s = opt.next(black_box(&observation(cc)));
+            cc = s.concurrency;
+            black_box(s)
+        })
+    });
+
+    c.bench_function("decision_golden_section", |b| {
+        let mut opt = GoldenSectionOptimizer::new(GssParams::new(100));
+        let mut cc = opt.initial().concurrency;
+        b.iter(|| {
+            let s = opt.next(black_box(&observation(cc)));
+            cc = s.concurrency;
+            black_box(s)
+        })
+    });
+
+    c.bench_function("decision_spsa", |b| {
+        let mut opt = SpsaOptimizer::new(SpsaParams::new(100));
+        let mut cc = opt.initial().concurrency;
+        b.iter(|| {
+            let s = opt.next(black_box(&observation(cc)));
+            cc = s.concurrency;
+            black_box(s)
+        })
+    });
+
+    c.bench_function("decision_bayesian_mp_32x8", |b| {
+        let mut opt = BayesianMpOptimizer::new(BoMpParams::new(32, 8));
+        let mut s = opt.initial();
+        for _ in 0..25 {
+            s = opt.next(&observation(s.concurrency));
+        }
+        b.iter(|| {
+            let next = opt.next(black_box(&observation(s.concurrency)));
+            s = next;
+            black_box(next)
+        })
+    });
+
+    c.bench_function("decision_conjugate_gradient", |b| {
+        let mut opt =
+            ConjugateGradientOptimizer::new(CgdParams::new(SearchBounds::multi_parameter(64, 8, 32)));
+        let mut s = opt.initial();
+        b.iter(|| {
+            let next = opt.next(black_box(&observation(s.concurrency)));
+            s = next;
+            black_box(next)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fluid-simulation step cost vs active connection count, plus the loss
+//! model and max-min allocator in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_sim::alloc::{max_min_allocate, StreamDemand};
+use falcon_sim::{AgentSettings, Environment, Simulation};
+use falcon_tcp::BottleneckLossModel;
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_step");
+    for conns in [1u32, 10, 48, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(conns), &conns, |b, &conns| {
+            let mut sim = Simulation::new(Environment::emulab(21.0), 1);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(conns));
+            b.iter(|| {
+                sim.step(black_box(0.1));
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("sim_step_three_agents", |b| {
+        let mut sim = Simulation::new(Environment::hpclab(), 1);
+        for _ in 0..3 {
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(16));
+        }
+        b.iter(|| sim.step(black_box(0.1)))
+    });
+
+    c.bench_function("loss_model_eval", |b| {
+        let m = BottleneckLossModel::default();
+        b.iter(|| {
+            black_box(m.loss_rate(
+                black_box(320.0),
+                black_box(100.0),
+                black_box(32),
+                black_box(0.03),
+                black_box(1460.0),
+            ))
+        })
+    });
+
+    let mut g = c.benchmark_group("max_min_allocate");
+    for n in [10usize, 100, 1000] {
+        let streams: Vec<StreamDemand> = (0..n)
+            .map(|i| StreamDemand {
+                cap_mbps: 10.0 + (i % 7) as f64,
+                resource_mask: 0b11111,
+            })
+            .collect();
+        let caps = [4000.0, 10_000.0, 1000.0, 10_000.0, 4000.0];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(max_min_allocate(&streams, &caps)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_step);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Cost of one utility evaluation — this sits on the monitor thread's hot
+//! path, once per probe interval, so it must be trivially cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use falcon_core::{ProbeMetrics, TransferSettings, UtilityFunction};
+
+fn metrics(n: u32) -> ProbeMetrics {
+    ProbeMetrics::from_aggregate(
+        TransferSettings {
+            concurrency: n,
+            parallelism: 4,
+            pipelining: 8,
+        },
+        9_600.0,
+        0.004,
+        5.0,
+    )
+}
+
+fn bench_utilities(c: &mut Criterion) {
+    let m = metrics(24);
+    let cases = [
+        ("eq1_throughput", UtilityFunction::Throughput),
+        ("eq2_loss_regret", UtilityFunction::LossRegret { b: 10.0 }),
+        (
+            "eq3_linear_regret",
+            UtilityFunction::LinearRegret { b: 10.0, c: 0.01 },
+        ),
+        ("eq4_nonlinear_regret", UtilityFunction::falcon_default()),
+        ("eq7_multi_param", UtilityFunction::falcon_multi_param()),
+    ];
+    let mut g = c.benchmark_group("utility_eval");
+    for (name, u) in cases {
+        g.bench_function(name, |b| b.iter(|| black_box(u.evaluate(black_box(&m)))));
+    }
+    g.finish();
+
+    c.bench_function("utility_estimated_curve_64", |b| {
+        let u = UtilityFunction::falcon_default();
+        b.iter(|| black_box(u.estimated_curve(64, |n| f64::from(n.min(48)) * 21.0)))
+    });
+
+    c.bench_function("utility_second_derivative", |b| {
+        b.iter(|| {
+            black_box(UtilityFunction::second_derivative_eq5(
+                black_box(48.0),
+                black_box(21.0),
+                black_box(1.02),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_utilities);
+criterion_main!(benches);

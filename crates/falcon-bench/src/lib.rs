@@ -1,0 +1,12 @@
+//! Criterion benchmark crate for the Falcon reproduction.
+//!
+//! All content lives in `benches/`:
+//!
+//! - `utility` — cost of evaluating Eq 1–4/7 per probe.
+//! - `gp` — Gaussian-process fit/predict at the paper's 20-observation
+//!   window (validates the "milliseconds" claim of §3.2).
+//! - `simulator` — fluid-simulation step cost vs connection count.
+//! - `optimizers` — per-decision cost of HC/GD/BO/CGD.
+//! - `convergence` — end-to-end probes-to-converge per search algorithm
+//!   (the Figure 7 quantity, benchmarked).
+//! - `figures` — wall-clock cost of regenerating key paper figures.

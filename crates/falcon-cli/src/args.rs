@@ -1,0 +1,319 @@
+//! Hand-rolled `--key value` argument parsing.
+
+use std::fmt;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimizer {
+    /// Online gradient descent (the paper's recommendation for shared nets).
+    Gd,
+    /// Bayesian optimization.
+    Bo,
+    /// Hill climbing.
+    Hc,
+    /// Multi-parameter conjugate gradient descent (Falcon_MP).
+    Mp,
+}
+
+impl Optimizer {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "gd" | "gradient-descent" => Ok(Optimizer::Gd),
+            "bo" | "bayesian" => Ok(Optimizer::Bo),
+            "hc" | "hill-climbing" => Ok(Optimizer::Hc),
+            "mp" | "multi-parameter" => Ok(Optimizer::Mp),
+            other => Err(ParseError(format!(
+                "unknown optimizer {other:?} (expected gd|bo|hc|mp)"
+            ))),
+        }
+    }
+
+    /// Name for output headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Optimizer::Gd => "gradient-descent",
+            Optimizer::Bo => "bayesian-optimization",
+            Optimizer::Hc => "hill-climbing",
+            Optimizer::Mp => "conjugate-gradient (multi-parameter)",
+        }
+    }
+}
+
+/// Arguments of `falcon simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Environment preset name (see `falcon envs`).
+    pub env: String,
+    /// Search algorithm.
+    pub optimizer: Optimizer,
+    /// Simulated duration (seconds).
+    pub duration_s: f64,
+    /// Gigabytes to transfer (1 GB files).
+    pub gigabytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            env: "xsede".to_string(),
+            optimizer: Optimizer::Gd,
+            duration_s: 300.0,
+            gigabytes: 1000,
+            seed: 42,
+        }
+    }
+}
+
+/// Arguments of `falcon loopback`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopbackArgs {
+    /// Search algorithm (`Mp` is rejected: pipelining has no wire effect
+    /// on loopback).
+    pub optimizer: Optimizer,
+    /// Per-worker token-bucket rate (Mbps) — the emulated per-process cap.
+    pub per_worker_mbps: f64,
+    /// Probe interval (seconds).
+    pub interval_s: f64,
+    /// Number of probes to run.
+    pub probes: u32,
+    /// Worker-pool ceiling.
+    pub max_workers: u32,
+}
+
+impl Default for LoopbackArgs {
+    fn default() -> Self {
+        LoopbackArgs {
+            optimizer: Optimizer::Gd,
+            per_worker_mbps: 60.0,
+            interval_s: 1.0,
+            probes: 20,
+            max_workers: 24,
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run against a simulated preset.
+    Simulate(SimulateArgs),
+    /// Run against live loopback sockets.
+    Loopback(LoopbackArgs),
+    /// Run a declarative scenario file.
+    Scenario(String),
+    /// List environment presets.
+    Envs,
+    /// Print usage.
+    Help,
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn take_pairs(args: &[String]) -> Result<Vec<(&str, &str)>, ParseError> {
+    if !args.len().is_multiple_of(2) {
+        return Err(ParseError(format!(
+            "expected --key value pairs, got a dangling {:?}",
+            args.last().unwrap()
+        )));
+    }
+    let mut pairs = Vec::new();
+    for chunk in args.chunks(2) {
+        let key = chunk[0]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("expected a --flag, got {:?}", chunk[0])))?;
+        pairs.push((key, chunk[1].as_str()));
+    }
+    Ok(pairs)
+}
+
+fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("--{key}: cannot parse {v:?}")))
+}
+
+/// Parse a full argument vector (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "simulate" => {
+            let mut a = SimulateArgs::default();
+            for (k, v) in take_pairs(rest)? {
+                match k {
+                    "env" => a.env = v.to_string(),
+                    "optimizer" => a.optimizer = Optimizer::parse(v)?,
+                    "duration" => a.duration_s = num(k, v)?,
+                    "gigabytes" => a.gigabytes = num(k, v)?,
+                    "seed" => a.seed = num(k, v)?,
+                    other => return Err(ParseError(format!("unknown flag --{other}"))),
+                }
+            }
+            if a.duration_s <= 0.0 {
+                return Err(ParseError("--duration must be positive".into()));
+            }
+            Ok(Command::Simulate(a))
+        }
+        "loopback" => {
+            let mut a = LoopbackArgs::default();
+            for (k, v) in take_pairs(rest)? {
+                match k {
+                    "optimizer" => a.optimizer = Optimizer::parse(v)?,
+                    "per-worker-mbps" => a.per_worker_mbps = num(k, v)?,
+                    "interval" => a.interval_s = num(k, v)?,
+                    "probes" => a.probes = num(k, v)?,
+                    "max-workers" => a.max_workers = num(k, v)?,
+                    other => return Err(ParseError(format!("unknown flag --{other}"))),
+                }
+            }
+            if a.optimizer == Optimizer::Mp {
+                return Err(ParseError(
+                    "multi-parameter tuning has no effect on loopback (no control channel); use gd|bo|hc".into(),
+                ));
+            }
+            if a.per_worker_mbps <= 0.0 || a.interval_s <= 0.0 || a.max_workers == 0 {
+                return Err(ParseError("loopback parameters must be positive".into()));
+            }
+            Ok(Command::Loopback(a))
+        }
+        "scenario" => {
+            let [path] = rest else {
+                return Err(ParseError("scenario takes exactly one file path".into()));
+            };
+            Ok(Command::Scenario(path.clone()))
+        }
+        "envs" => Ok(Command::Envs),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+falcon — online file-transfer optimization (SC'21 reproduction)
+
+USAGE:
+  falcon simulate [--env NAME] [--optimizer gd|bo|hc|mp] [--duration SECS]
+                  [--gigabytes N] [--seed N]
+  falcon loopback [--optimizer gd|bo|hc] [--per-worker-mbps RATE]
+                  [--interval SECS] [--probes N] [--max-workers N]
+  falcon scenario FILE
+  falcon envs
+  falcon help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let Command::Simulate(a) = parse(&argv("simulate")).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(a, SimulateArgs::default());
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let cmd = parse(&argv(
+            "simulate --env hpclab --optimizer bo --duration 120 --gigabytes 50 --seed 7",
+        ))
+        .unwrap();
+        let Command::Simulate(a) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(a.env, "hpclab");
+        assert_eq!(a.optimizer, Optimizer::Bo);
+        assert_eq!(a.duration_s, 120.0);
+        assert_eq!(a.gigabytes, 50);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn loopback_rejects_mp() {
+        let err = parse(&argv("loopback --optimizer mp")).unwrap_err();
+        assert!(err.0.contains("loopback"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&argv("simulate --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn dangling_value_rejected() {
+        assert!(parse(&argv("simulate --env")).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = parse(&argv("simulate --duration banana")).unwrap_err();
+        assert!(err.0.contains("duration"), "{err}");
+    }
+
+    #[test]
+    fn nonpositive_duration_rejected() {
+        assert!(parse(&argv("simulate --duration 0")).is_err());
+    }
+
+    #[test]
+    fn optimizer_aliases() {
+        for (alias, expect) in [
+            ("gd", Optimizer::Gd),
+            ("gradient-descent", Optimizer::Gd),
+            ("bayesian", Optimizer::Bo),
+            ("hc", Optimizer::Hc),
+            ("multi-parameter", Optimizer::Mp),
+        ] {
+            let Command::Simulate(a) =
+                parse(&argv(&format!("simulate --optimizer {alias}"))).unwrap()
+            else {
+                panic!("wrong command");
+            };
+            assert_eq!(a.optimizer, expect);
+        }
+    }
+
+    #[test]
+    fn scenario_takes_one_path() {
+        assert_eq!(
+            parse(&argv("scenario demo.ini")).unwrap(),
+            Command::Scenario("demo.ini".into())
+        );
+        assert!(parse(&argv("scenario")).is_err());
+        assert!(parse(&argv("scenario a b")).is_err());
+    }
+
+    #[test]
+    fn envs_command() {
+        assert_eq!(parse(&argv("envs")).unwrap(), Command::Envs);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&argv("teleport")).is_err());
+    }
+}

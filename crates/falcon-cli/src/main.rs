@@ -1,0 +1,40 @@
+//! `falcon` binary entry point.
+
+use falcon_cli::args::{self, Command};
+use falcon_cli::run;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            print!("{}", args::USAGE);
+            return;
+        }
+        Command::Envs => {
+            print!("{}", run::list_envs());
+            return;
+        }
+        Command::Simulate(a) => run::simulate(&a),
+        Command::Loopback(a) => run::loopback(&a),
+        Command::Scenario(path) => std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| {
+                let sc = falcon_cli::scenario::parse(&text).map_err(|e| e.to_string())?;
+                falcon_cli::scenario::run(&sc).map_err(|e| e.to_string())
+            }),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Command implementations.
+
+use falcon_core::{FalconAgent, SearchBounds};
+use falcon_sim::{Environment, EnvironmentKind, Simulation};
+use falcon_transfer::dataset::Dataset;
+use falcon_transfer::harness::{SimHarness, TransferHarness};
+
+use crate::args::{LoopbackArgs, Optimizer, SimulateArgs};
+
+/// Resolve a preset name (accepts the CLI-friendly short names).
+pub fn resolve_env(name: &str) -> Option<Environment> {
+    let env = match name {
+        "emulab" | "emulab10" => Environment::emulab(100.0),
+        "emulab48" => Environment::emulab(21.0),
+        "emulab-fig4" | "fig4" => Environment::emulab_fig4(),
+        "xsede" => Environment::xsede(),
+        "hpclab" => Environment::hpclab(),
+        "campus" | "campus-cluster" => Environment::campus_cluster(),
+        "stampede2" | "stampede2-comet" => Environment::stampede2_comet(),
+        _ => return None,
+    };
+    Some(env)
+}
+
+fn make_agent(optimizer: Optimizer, max_cc: u32, seed: u64) -> FalconAgent {
+    match optimizer {
+        Optimizer::Gd => FalconAgent::gradient_descent(max_cc),
+        Optimizer::Bo => FalconAgent::bayesian(max_cc, seed),
+        Optimizer::Hc => FalconAgent::hill_climbing(max_cc),
+        Optimizer::Mp => {
+            FalconAgent::multi_parameter(SearchBounds::multi_parameter(max_cc, 8, 32))
+        }
+    }
+}
+
+/// `falcon envs`: one line per preset.
+pub fn list_envs() -> String {
+    let mut out = String::from("preset            bandwidth  rtt      bottleneck-capacity  saturating-cc\n");
+    for kind in EnvironmentKind::all() {
+        let env = kind.build();
+        out.push_str(&format!(
+            "{:<17} {:>6.1} G  {:>5.1} ms {:>12.1} Gbps {:>10}\n",
+            env.name,
+            env.resources[env.bottleneck_link].capacity_mbps / 1000.0,
+            env.rtt_s * 1000.0,
+            env.path_capacity_mbps() / 1000.0,
+            env.saturating_concurrency(),
+        ));
+    }
+    out
+}
+
+/// `falcon simulate`: returns the rendered report.
+pub fn simulate(args: &SimulateArgs) -> Result<String, String> {
+    let env =
+        resolve_env(&args.env).ok_or_else(|| format!("unknown environment {:?}", args.env))?;
+    let max_cc = env.max_concurrency;
+    let interval = env.sample_interval_s;
+    let capacity = env.path_capacity_mbps();
+
+    let mut harness = SimHarness::new(Simulation::new(env, args.seed));
+    let slot = harness.join(Dataset::uniform_1gb(args.gigabytes as usize));
+    let mut agent = make_agent(args.optimizer, max_cc, args.seed);
+    harness.apply(slot, agent.initial_settings());
+
+    let mut out = format!(
+        "# simulate env={} optimizer={} capacity={:.1}Gbps\n{:>8} {:>22} {:>10}\n",
+        args.env,
+        args.optimizer.name(),
+        capacity / 1000.0,
+        "time_s",
+        "setting",
+        "gbps",
+    );
+    let mut next_probe = interval;
+    while harness.time_s() < args.duration_s && !harness.is_complete(slot) {
+        harness.advance(0.1);
+        if harness.time_s() >= next_probe {
+            let metrics = harness.sample(slot);
+            let settings = agent.observe(metrics);
+            harness.apply(slot, settings);
+            out.push_str(&format!(
+                "{:>8.1} {:>22} {:>10.2}\n",
+                harness.time_s(),
+                metrics.settings.to_string(),
+                metrics.aggregate_mbps / 1000.0,
+            ));
+            next_probe += interval;
+        }
+    }
+    if harness.is_complete(slot) {
+        out.push_str(&format!("transfer complete at t={:.1}s\n", harness.time_s()));
+    } else {
+        out.push_str(&format!(
+            "duration reached at t={:.1}s (transfer incomplete)\n",
+            harness.time_s()
+        ));
+    }
+    Ok(out)
+}
+
+/// `falcon loopback`: returns the rendered report. Runs in real time.
+pub fn loopback(args: &LoopbackArgs) -> Result<String, String> {
+    use falcon_net::{LoopbackConfig, LoopbackTransfer, Receiver};
+
+    let receiver = Receiver::start().map_err(|e| format!("receiver: {e}"))?;
+    let transfer = LoopbackTransfer::start(LoopbackConfig {
+        port: receiver.port(),
+        per_worker_mbps: args.per_worker_mbps,
+        total_bytes: u64::MAX,
+        max_workers: args.max_workers,
+    })
+    .map_err(|e| format!("sender: {e}"))?;
+
+    let mut agent = make_agent(args.optimizer, args.max_workers, 0xF41C0);
+    transfer
+        .apply_settings(agent.initial_settings())
+        .map_err(|e| format!("apply: {e}"))?;
+
+    let mut out = format!(
+        "# loopback port={} optimizer={} per_worker={}Mbps\n{:>6} {:>6} {:>12} {:>10}\n",
+        receiver.port(),
+        args.optimizer.name(),
+        args.per_worker_mbps,
+        "probe",
+        "cc",
+        "mbps",
+        "utility"
+    );
+    transfer.sample();
+    for probe in 0..args.probes {
+        std::thread::sleep(std::time::Duration::from_secs_f64(args.interval_s));
+        let metrics = transfer.sample();
+        let utility = agent.utility().evaluate(&metrics);
+        let settings = agent.observe(metrics);
+        transfer
+            .apply_settings(settings)
+            .map_err(|e| format!("apply: {e}"))?;
+        out.push_str(&format!(
+            "{probe:>6} {:>6} {:>12.1} {:>10.1}\n",
+            metrics.settings.concurrency, metrics.aggregate_mbps, utility
+        ));
+    }
+    out.push_str(&format!(
+        "final settings: {} ({} MB moved)\n",
+        transfer.settings(),
+        transfer.sent_bytes() / 1_000_000
+    ));
+    transfer.shutdown();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::SimulateArgs;
+
+    #[test]
+    fn resolve_env_accepts_all_documented_names() {
+        for name in [
+            "emulab", "emulab10", "emulab48", "fig4", "emulab-fig4", "xsede", "hpclab", "campus",
+            "campus-cluster", "stampede2", "stampede2-comet",
+        ] {
+            assert!(resolve_env(name).is_some(), "{name} not resolved");
+        }
+        assert!(resolve_env("mars").is_none());
+    }
+
+    #[test]
+    fn list_envs_mentions_every_preset() {
+        let out = list_envs();
+        for name in ["emulab", "xsede", "hpclab", "campus-cluster", "stampede2-comet"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_produces_probe_lines_and_converges() {
+        let args = SimulateArgs {
+            env: "emulab10".into(),
+            duration_s: 150.0,
+            gigabytes: 10_000,
+            ..SimulateArgs::default()
+        };
+        let out = simulate(&args).unwrap();
+        // One line per 5 s probe over 150 s, plus header/footer.
+        let probe_lines = out.lines().filter(|l| l.contains("cc=")).count();
+        assert!((25..=31).contains(&probe_lines), "{probe_lines} probe lines");
+        // Converged near 1 Gbps by the end.
+        let last = out.lines().rfind(|l| l.contains("cc=")).unwrap();
+        let gbps: f64 = last.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(gbps > 0.8, "final {gbps} Gbps:\n{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_env() {
+        let args = SimulateArgs {
+            env: "jupiter".into(),
+            ..SimulateArgs::default()
+        };
+        assert!(simulate(&args).is_err());
+    }
+
+    #[test]
+    fn loopback_smoke() {
+        // Short real-socket run: 5 probes of 200 ms.
+        let args = crate::args::LoopbackArgs {
+            probes: 5,
+            interval_s: 0.2,
+            per_worker_mbps: 40.0,
+            ..crate::args::LoopbackArgs::default()
+        };
+        let out = loopback(&args).unwrap();
+        assert!(out.contains("final settings"), "{out}");
+    }
+}

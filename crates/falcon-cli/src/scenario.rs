@@ -1,0 +1,408 @@
+//! Declarative experiment scenarios.
+//!
+//! `falcon scenario <file>` runs a custom competing-transfers experiment
+//! described in a small INI-style file — the mechanism for reproducing any
+//! of the paper's multi-agent setups (or your own) without writing Rust:
+//!
+//! ```text
+//! # two Falcon agents against HARP on a 40G WAN
+//! env = stampede2-comet
+//! duration = 500
+//! seed = 7
+//!
+//! [agent]
+//! tuner = harp
+//! start = 0
+//!
+//! [agent]
+//! tuner = falcon-gd
+//! start = 120
+//!
+//! [background]
+//! start = 200
+//! end = 400
+//! mbps = 5000
+//! connections = 10
+//! ```
+//!
+//! Comments start with `#`; keys are `key = value`; `[agent]` and
+//! `[background]` open repeated sections.
+
+use falcon_baselines::{GlobusTuner, HarpHistory, HarpTuner};
+use falcon_core::{FalconAgent, SearchBounds, TransferSettings};
+use falcon_sim::{BackgroundFlow, Simulation};
+use falcon_transfer::dataset::Dataset;
+use falcon_transfer::harness::SimHarness;
+use falcon_transfer::runner::{AgentPlan, FixedTuner, Runner, Tuner};
+
+use crate::args::ParseError;
+use crate::run::resolve_env;
+
+/// One agent line of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentSpec {
+    /// Tuner name (`falcon-gd`, `falcon-bo`, `falcon-hc`, `falcon-mp`,
+    /// `globus`, `harp`, `harp-rt`, or `fixed:<cc>`).
+    pub tuner: String,
+    /// Join time (seconds).
+    pub start_s: f64,
+    /// Optional scripted departure.
+    pub leave_s: Option<f64>,
+    /// Dataset name (`1gb:<count>`, `small`, `large`, `mixed`).
+    pub dataset: String,
+}
+
+impl Default for AgentSpec {
+    fn default() -> Self {
+        AgentSpec {
+            tuner: "falcon-gd".into(),
+            start_s: 0.0,
+            leave_s: None,
+            dataset: "1gb:1000000".into(),
+        }
+    }
+}
+
+/// A parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Environment preset name.
+    pub env: String,
+    /// Experiment duration (seconds).
+    pub duration_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional path for the full trace CSV.
+    pub trace_path: Option<String>,
+    /// Transfer tasks.
+    pub agents: Vec<AgentSpec>,
+    /// Scripted cross traffic.
+    pub background: Vec<BackgroundFlow>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            env: "xsede".into(),
+            duration_s: 300.0,
+            seed: 42,
+            trace_path: None,
+            agents: Vec::new(),
+            background: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Section {
+    Top,
+    Agent,
+    Background,
+}
+
+/// Parse a scenario file's contents.
+pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+    let mut sc = Scenario::default();
+    let mut section = Section::Top;
+    let mut bg = BackgroundFlow {
+        start_s: 0.0,
+        end_s: f64::INFINITY,
+        demand_mbps: 0.0,
+        connections: 1,
+    };
+
+    let err = |line_no: usize, msg: String| ParseError(format!("line {}: {msg}", line_no + 1));
+    let flush_bg = |sc: &mut Scenario, bg: &BackgroundFlow| {
+        if bg.demand_mbps > 0.0 {
+            sc.background.push(*bg);
+        }
+    };
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            if section == Section::Background {
+                flush_bg(&mut sc, &bg);
+                bg.demand_mbps = 0.0;
+            }
+            section = match name.trim() {
+                "agent" => {
+                    sc.agents.push(AgentSpec::default());
+                    Section::Agent
+                }
+                "background" => {
+                    bg = BackgroundFlow {
+                        start_s: 0.0,
+                        end_s: f64::INFINITY,
+                        demand_mbps: 0.0,
+                        connections: 1,
+                    };
+                    Section::Background
+                }
+                other => return Err(err(line_no, format!("unknown section [{other}]"))),
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(line_no, format!("expected key = value, got {line:?}")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let num = |v: &str| -> Result<f64, ParseError> {
+            v.parse()
+                .map_err(|_| err(line_no, format!("{key}: cannot parse {v:?}")))
+        };
+        match section {
+            Section::Top => match key {
+                "env" => sc.env = value.to_string(),
+                "duration" => sc.duration_s = num(value)?,
+                "seed" => sc.seed = num(value)? as u64,
+                "trace" => sc.trace_path = Some(value.to_string()),
+                other => return Err(err(line_no, format!("unknown key {other:?}"))),
+            },
+            Section::Agent => {
+                let a = sc.agents.last_mut().expect("section pushed an agent");
+                match key {
+                    "tuner" => a.tuner = value.to_string(),
+                    "start" => a.start_s = num(value)?,
+                    "leave" => a.leave_s = Some(num(value)?),
+                    "dataset" => a.dataset = value.to_string(),
+                    other => return Err(err(line_no, format!("unknown agent key {other:?}"))),
+                }
+            }
+            Section::Background => match key {
+                "start" => bg.start_s = num(value)?,
+                "end" => bg.end_s = num(value)?,
+                "mbps" => bg.demand_mbps = num(value)?,
+                "connections" => bg.connections = num(value)? as u32,
+                other => return Err(err(line_no, format!("unknown background key {other:?}"))),
+            },
+        }
+    }
+    if section == Section::Background {
+        flush_bg(&mut sc, &bg);
+    }
+    if sc.agents.is_empty() {
+        return Err(ParseError("scenario defines no [agent] sections".into()));
+    }
+    Ok(sc)
+}
+
+fn make_dataset(spec: &str) -> Result<Dataset, ParseError> {
+    if let Some(count) = spec.strip_prefix("1gb:") {
+        let n: usize = count
+            .parse()
+            .map_err(|_| ParseError(format!("dataset 1gb:{count}: bad count")))?;
+        return Ok(Dataset::uniform_1gb(n));
+    }
+    match spec {
+        "small" => Ok(Dataset::small(1)),
+        "large" => Ok(Dataset::large(1)),
+        "mixed" => Ok(Dataset::mixed(1)),
+        other => Err(ParseError(format!(
+            "unknown dataset {other:?} (expected 1gb:<count>|small|large|mixed)"
+        ))),
+    }
+}
+
+fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, ParseError> {
+    if let Some(cc) = spec.strip_prefix("fixed:") {
+        let cc: u32 = cc
+            .parse()
+            .map_err(|_| ParseError(format!("fixed:{cc}: bad concurrency")))?;
+        return Ok(Box::new(FixedTuner {
+            settings: TransferSettings::with_concurrency(cc.max(1)),
+            name: format!("fixed-{cc}"),
+        }));
+    }
+    if let Some(gbps) = spec.strip_prefix("harp:") {
+        let g: f64 = gbps
+            .parse()
+            .map_err(|_| ParseError(format!("harp:{gbps}: bad capacity")))?;
+        return Ok(Box::new(HarpTuner::new(HarpHistory::for_capacity_gbps(g))));
+    }
+    Ok(match spec {
+        "falcon-gd" => Box::new(FalconAgent::gradient_descent(max_cc)),
+        "falcon-bo" => Box::new(FalconAgent::bayesian(max_cc, seed)),
+        "falcon-hc" => Box::new(FalconAgent::hill_climbing(max_cc)),
+        "falcon-mp" => Box::new(FalconAgent::multi_parameter(SearchBounds::multi_parameter(
+            max_cc, 8, 32,
+        ))),
+        "globus" => Box::new(GlobusTuner::for_dataset(&Dataset::uniform_1gb(1000))),
+        "harp" => Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
+        "harp-rt" => {
+            Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus()).with_runtime_retuning(4))
+        }
+        other => {
+            return Err(ParseError(format!(
+                "unknown tuner {other:?} (expected falcon-gd|falcon-bo|falcon-hc|falcon-mp|globus|harp|harp:<gbps>|harp-rt|fixed:<cc>)"
+            )))
+        }
+    })
+}
+
+/// Run a parsed scenario; returns the rendered report (and writes the trace
+/// CSV if requested).
+pub fn run(sc: &Scenario) -> Result<String, ParseError> {
+    let env = resolve_env(&sc.env)
+        .ok_or_else(|| ParseError(format!("unknown environment {:?}", sc.env)))?;
+    let max_cc = env.max_concurrency;
+    let mut harness = SimHarness::new(Simulation::new(env, sc.seed));
+    for bg in &sc.background {
+        harness.sim_mut().add_background_flow(*bg);
+    }
+    let mut plans = Vec::new();
+    for (i, a) in sc.agents.iter().enumerate() {
+        let tuner = make_tuner(&a.tuner, max_cc, sc.seed.wrapping_add(i as u64))?;
+        let dataset = make_dataset(&a.dataset)?;
+        let mut plan = AgentPlan::joining_at(tuner, dataset, a.start_s);
+        if let Some(leave) = a.leave_s {
+            plan = plan.leaving_at(leave);
+        }
+        plans.push(plan);
+    }
+    let trace = Runner::default().run(&mut harness, plans, sc.duration_s);
+
+    let mut out = format!(
+        "# scenario env={} duration={:.0}s agents={}\n{:<4} {:<26} {:>12} {:>10} {:>10}\n",
+        sc.env,
+        sc.duration_s,
+        sc.agents.len(),
+        "id",
+        "tuner",
+        "avg_gbps",
+        "tail_gbps",
+        "done_at_s"
+    );
+    for (i, a) in sc.agents.iter().enumerate() {
+        let tail_from = a.start_s + (sc.duration_s - a.start_s) * 2.0 / 3.0;
+        let avg = trace.avg_mbps(i, a.start_s, sc.duration_s) / 1000.0;
+        let tail = trace.avg_mbps(i, tail_from, sc.duration_s) / 1000.0;
+        let done = trace.completed_at[i].map_or("-".to_string(), |t| format!("{t:.0}"));
+        out.push_str(&format!(
+            "{i:<4} {:<26} {avg:>12.2} {tail:>10.2} {done:>10}\n",
+            a.tuner
+        ));
+    }
+    if sc.agents.len() > 1 {
+        let agents: Vec<usize> = (0..sc.agents.len()).collect();
+        let fair = trace.fairness(&agents, sc.duration_s * 2.0 / 3.0, sc.duration_s);
+        out.push_str(&format!("jain_index (final third): {fair:.3}\n"));
+    }
+    if let Some(path) = &sc.trace_path {
+        std::fs::write(path, trace.to_csv())
+            .map_err(|e| ParseError(format!("writing trace {path}: {e}")))?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment
+env = emulab10
+duration = 200
+seed = 9
+
+[agent]
+tuner = falcon-gd
+start = 0
+
+[agent]
+tuner = fixed:4
+start = 50
+leave = 150
+
+[background]
+start = 100
+end = 160
+mbps = 300
+connections = 3
+";
+
+    #[test]
+    fn parses_full_scenario() {
+        let sc = parse(SAMPLE).unwrap();
+        assert_eq!(sc.env, "emulab10");
+        assert_eq!(sc.duration_s, 200.0);
+        assert_eq!(sc.seed, 9);
+        assert_eq!(sc.agents.len(), 2);
+        assert_eq!(sc.agents[0].tuner, "falcon-gd");
+        assert_eq!(sc.agents[1].tuner, "fixed:4");
+        assert_eq!(sc.agents[1].leave_s, Some(150.0));
+        assert_eq!(sc.background.len(), 1);
+        assert_eq!(sc.background[0].demand_mbps, 300.0);
+    }
+
+    #[test]
+    fn rejects_no_agents() {
+        assert!(parse("env = xsede\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(parse("bogus = 1\n[agent]\ntuner = falcon-gd\n").is_err());
+        assert!(parse("[warp]\n").is_err());
+        assert!(parse("[agent]\nwarp = 9\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let sc = parse("# hi\n\nenv = hpclab # inline\n[agent]\ntuner = harp\n").unwrap();
+        assert_eq!(sc.env, "hpclab");
+        assert_eq!(sc.agents[0].tuner, "harp");
+    }
+
+    #[test]
+    fn end_to_end_scenario_run() {
+        let sc = parse(SAMPLE).unwrap();
+        let out = run(&sc).unwrap();
+        assert!(out.contains("falcon-gd"), "{out}");
+        assert!(out.contains("fixed:4"), "{out}");
+        assert!(out.contains("jain_index"), "{out}");
+        // The GD agent should end up with real throughput.
+        let gd_line = out.lines().find(|l| l.contains("falcon-gd")).unwrap();
+        let tail: f64 = gd_line.split_whitespace().nth(3).unwrap().parse().unwrap();
+        assert!(tail > 0.5, "GD tail {tail} Gbps\n{out}");
+    }
+
+    #[test]
+    fn every_tuner_name_constructs() {
+        for t in [
+            "falcon-gd", "falcon-bo", "falcon-hc", "falcon-mp", "globus", "harp", "harp:20",
+            "harp-rt", "fixed:8",
+        ] {
+            assert!(make_tuner(t, 32, 1).is_ok(), "{t}");
+        }
+        assert!(make_tuner("skynet", 32, 1).is_err());
+    }
+
+    #[test]
+    fn every_dataset_name_constructs() {
+        for d in ["1gb:100", "small", "large", "mixed"] {
+            assert!(make_dataset(d).is_ok(), "{d}");
+        }
+        assert!(make_dataset("petabytes").is_err());
+    }
+
+    #[test]
+    fn trace_file_written() {
+        let path = std::env::temp_dir().join("falcon_scenario_trace_test.csv");
+        let text = format!(
+            "env = emulab10\nduration = 60\ntrace = {}\n[agent]\ntuner = falcon-gd\n",
+            path.display()
+        );
+        let sc = parse(&text).unwrap();
+        let out = run(&sc).unwrap();
+        assert!(out.contains("trace written"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("t_s,agent,label"));
+        assert!(csv.lines().count() > 30);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! The Falcon agent: utility function + online optimizer + probe loop glue.
+
+use crate::bayesian::{BayesianOptimizer, BoParams};
+use crate::conjugate::{CgdParams, ConjugateGradientOptimizer};
+use crate::gradient::{GdParams, GradientDescentOptimizer};
+use crate::hill_climbing::{HcParams, HillClimbingOptimizer};
+use crate::metrics::ProbeMetrics;
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+use crate::utility::UtilityFunction;
+
+/// One Falcon transfer agent. Owns the utility function and the online
+/// search algorithm; the transfer harness calls [`FalconAgent::observe`]
+/// once per probe interval and applies the returned settings.
+///
+/// # Examples
+///
+/// Drive an agent against any black box that yields throughput/loss
+/// observations:
+///
+/// ```
+/// use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
+///
+/// let mut agent = FalconAgent::gradient_descent(32);
+/// let mut settings = agent.initial_settings();
+/// for _ in 0..40 {
+///     // A synthetic system: 100 Mbps per transfer, saturating at 10.
+///     let cc = settings.concurrency;
+///     let throughput = f64::from(cc) * 100.0f64.min(1000.0 / f64::from(cc));
+///     let metrics = ProbeMetrics::from_aggregate(settings, throughput, 0.0, 5.0);
+///     settings = agent.observe(metrics);
+/// }
+/// assert!((8..=13).contains(&settings.concurrency));
+/// ```
+pub struct FalconAgent {
+    utility: UtilityFunction,
+    optimizer: Box<dyn OnlineOptimizer>,
+    history: Vec<Observation>,
+    keep_history: bool,
+}
+
+impl FalconAgent {
+    /// Agent with an explicit utility and optimizer.
+    pub fn new(utility: UtilityFunction, optimizer: Box<dyn OnlineOptimizer>) -> Self {
+        FalconAgent {
+            utility,
+            optimizer,
+            history: Vec::new(),
+            keep_history: false,
+        }
+    }
+
+    /// Falcon with Gradient Descent and the default Eq 4 utility — the
+    /// configuration the paper recommends for shared networks (§4.5).
+    pub fn gradient_descent(max_concurrency: u32) -> Self {
+        FalconAgent::new(
+            UtilityFunction::falcon_default(),
+            Box::new(GradientDescentOptimizer::new(GdParams::new(
+                max_concurrency,
+            ))),
+        )
+    }
+
+    /// Falcon with Bayesian Optimization (seeded for reproducibility).
+    pub fn bayesian(max_concurrency: u32, seed: u64) -> Self {
+        FalconAgent::new(
+            UtilityFunction::falcon_default(),
+            Box::new(BayesianOptimizer::new(
+                BoParams::new(max_concurrency).with_seed(seed),
+            )),
+        )
+    }
+
+    /// Falcon with Hill Climbing (the paper's slow baseline search).
+    pub fn hill_climbing(max_concurrency: u32) -> Self {
+        FalconAgent::new(
+            UtilityFunction::falcon_default(),
+            Box::new(HillClimbingOptimizer::new(HcParams::new(max_concurrency))),
+        )
+    }
+
+    /// Falcon_MP: multi-parameter tuning with conjugate gradient descent and
+    /// the Eq 7 utility (§4.4).
+    pub fn multi_parameter(bounds: SearchBounds) -> Self {
+        FalconAgent::new(
+            UtilityFunction::falcon_multi_param(),
+            Box::new(ConjugateGradientOptimizer::new(CgdParams::new(bounds))),
+        )
+    }
+
+    /// Record all observations (for experiment traces).
+    pub fn with_history(mut self) -> Self {
+        self.keep_history = true;
+        self
+    }
+
+    /// First setting to probe.
+    pub fn initial_settings(&self) -> TransferSettings {
+        self.optimizer.initial()
+    }
+
+    /// Consume one probe's metrics, return the next settings to apply.
+    pub fn observe(&mut self, metrics: ProbeMetrics) -> TransferSettings {
+        let utility = self.utility.evaluate(&metrics);
+        let obs = Observation {
+            settings: metrics.settings,
+            utility,
+            metrics,
+        };
+        if self.keep_history {
+            self.history.push(obs);
+        }
+        self.optimizer.next(&obs)
+    }
+
+    /// The utility function in use.
+    pub fn utility(&self) -> UtilityFunction {
+        self.utility
+    }
+
+    /// The optimizer's name, for logs.
+    pub fn optimizer_name(&self) -> &'static str {
+        self.optimizer.name()
+    }
+
+    /// Recorded observations (empty unless [`FalconAgent::with_history`]).
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Cold-restart the search.
+    pub fn reset(&mut self) {
+        self.optimizer.reset();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(agent: &mut FalconAgent, cc: u32, thr: f64) -> TransferSettings {
+        let m = ProbeMetrics::from_aggregate(
+            TransferSettings::with_concurrency(cc),
+            thr,
+            0.0,
+            5.0,
+        );
+        agent.observe(m)
+    }
+
+    #[test]
+    fn gd_agent_converges_on_synthetic_landscape() {
+        let mut agent = FalconAgent::gradient_descent(100);
+        let mut cc = agent.initial_settings().concurrency;
+        for _ in 0..60 {
+            let thr = f64::from(cc) * 21.0f64.min(1008.0 / f64::from(cc));
+            cc = probe(&mut agent, cc, thr).concurrency;
+        }
+        assert!((42..=56).contains(&cc), "ended at {cc}");
+    }
+
+    #[test]
+    fn history_recorded_when_enabled() {
+        let mut agent = FalconAgent::gradient_descent(32).with_history();
+        probe(&mut agent, 2, 42.0);
+        probe(&mut agent, 3, 63.0);
+        assert_eq!(agent.history().len(), 2);
+        assert!(agent.history()[0].utility > 0.0);
+    }
+
+    #[test]
+    fn history_not_recorded_by_default() {
+        let mut agent = FalconAgent::gradient_descent(32);
+        probe(&mut agent, 2, 42.0);
+        assert!(agent.history().is_empty());
+    }
+
+    #[test]
+    fn constructors_set_expected_optimizers() {
+        assert_eq!(
+            FalconAgent::gradient_descent(8).optimizer_name(),
+            "gradient-descent"
+        );
+        assert_eq!(
+            FalconAgent::bayesian(8, 1).optimizer_name(),
+            "bayesian-optimization"
+        );
+        assert_eq!(
+            FalconAgent::hill_climbing(8).optimizer_name(),
+            "hill-climbing"
+        );
+        assert_eq!(
+            FalconAgent::multi_parameter(SearchBounds::multi_parameter(8, 4, 8))
+                .optimizer_name(),
+            "conjugate-gradient"
+        );
+    }
+
+    #[test]
+    fn multi_parameter_agent_uses_eq7() {
+        let agent = FalconAgent::multi_parameter(SearchBounds::multi_parameter(8, 4, 8));
+        assert_eq!(agent.utility(), UtilityFunction::falcon_multi_param());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut agent = FalconAgent::gradient_descent(32).with_history();
+        probe(&mut agent, 2, 42.0);
+        agent.reset();
+        assert!(agent.history().is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Bayesian Optimization search (§3.2).
+//!
+//! Non-parametric sequential model-based optimization: a Gaussian-process
+//! surrogate captures the utility-vs-concurrency relationship, and an
+//! acquisition function chooses the next probe. Per the paper:
+//!
+//! - the random-sampling warm-up is limited to **3 probes**;
+//! - the surrogate uses only the most recent **20 observations**, so stale
+//!   measurements age out (fast adaptation) and GP cost stays in the
+//!   milliseconds;
+//! - acquisition functions and their exploration ratios are managed in real
+//!   time by **GP-Hedge** ([`falcon_gp::GpHedge`]).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use falcon_gp::{GpHedge, GpRegressor};
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Bayesian Optimization parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BoParams {
+    /// Search bounds.
+    pub bounds: SearchBounds,
+    /// Random probes before the surrogate takes over (paper: 3).
+    pub random_init: usize,
+    /// Sliding window of observations kept in the surrogate (paper: 20).
+    pub window: usize,
+    /// Observation-noise variance on unit-variance-normalized utilities.
+    pub noise_variance: f64,
+    /// RNG seed (BO is stochastic; seeding keeps experiments reproducible).
+    pub seed: u64,
+    /// §4.6's proposed fix for BO's aggressive random phase: start the
+    /// search space at this ceiling and double it only when the discovered
+    /// optimum sits near the current maximum. `None` = full space from the
+    /// start (the paper's default behaviour).
+    pub initial_space: Option<u32>,
+}
+
+impl BoParams {
+    /// Paper defaults for a concurrency-only search.
+    pub fn new(max_concurrency: u32) -> Self {
+        BoParams {
+            bounds: SearchBounds::concurrency_only(max_concurrency),
+            random_init: 3,
+            window: 20,
+            noise_variance: 0.02,
+            seed: 0x0fa1c0,
+            initial_space: None,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable dynamic search-space growth from an initial ceiling (§4.6).
+    pub fn with_dynamic_space(mut self, initial_max: u32) -> Self {
+        self.initial_space = Some(initial_max.max(2));
+        self
+    }
+}
+
+/// Bayesian Optimization optimizer state.
+pub struct BayesianOptimizer {
+    params: BoParams,
+    rng: StdRng,
+    /// Sliding window of (concurrency, utility) observations.
+    history: VecDeque<(u32, f64)>,
+    hedge: GpHedge,
+    first_probe: u32,
+    probes_issued: usize,
+    /// Current ceiling of the (possibly growing) search space.
+    current_hi: u32,
+    /// Consecutive surrogate decisions that landed near the ceiling.
+    near_max_streak: u32,
+}
+
+impl BayesianOptimizer {
+    /// New search with the given parameters.
+    pub fn new(params: BoParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let (lo, hi) = params.bounds.concurrency;
+        let current_hi = params.initial_space.map_or(hi, |s| s.clamp(lo, hi));
+        let first_probe = rng.gen_range(lo..=current_hi);
+        BayesianOptimizer {
+            params,
+            rng,
+            history: VecDeque::with_capacity(params.window + 1),
+            hedge: GpHedge::new(),
+            first_probe,
+            probes_issued: 1,
+            current_hi,
+            near_max_streak: 0,
+        }
+    }
+
+    /// Observations currently inside the sliding window.
+    pub fn window_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The acquisition function GP-Hedge followed most recently.
+    pub fn last_acquisition(&self) -> Option<falcon_gp::AcquisitionKind> {
+        self.hedge.last_choice()
+    }
+
+    /// Current ceiling of the search space (grows under
+    /// [`BoParams::with_dynamic_space`]).
+    pub fn current_max(&self) -> u32 {
+        self.current_hi
+    }
+
+    fn random_probe(&mut self) -> u32 {
+        let (lo, _) = self.params.bounds.concurrency;
+        self.rng.gen_range(lo..=self.current_hi)
+    }
+
+    /// §4.6: grow the ceiling only after the surrogate repeatedly prefers
+    /// settings close to it — the optimum may lie beyond.
+    fn maybe_grow_space(&mut self, chosen: u32) {
+        let (_, hard_hi) = self.params.bounds.concurrency;
+        if self.params.initial_space.is_none() || self.current_hi >= hard_hi {
+            return;
+        }
+        if chosen * 4 >= self.current_hi * 3 {
+            self.near_max_streak += 1;
+            if self.near_max_streak >= 3 {
+                self.current_hi = (self.current_hi * 2).min(hard_hi);
+                self.near_max_streak = 0;
+            }
+        } else {
+            self.near_max_streak = 0;
+        }
+    }
+
+    fn surrogate_probe(&mut self) -> u32 {
+        let (lo, _) = self.params.bounds.concurrency;
+        let hi = self.current_hi;
+        // Normalize utilities to zero mean / unit variance so kernel
+        // hyper-grids and the noise variance are scale-free.
+        let ys_raw: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
+        let mean = ys_raw.iter().sum::<f64>() / ys_raw.len() as f64;
+        let var = ys_raw.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys_raw.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        let xs: Vec<Vec<f64>> = self
+            .history
+            .iter()
+            .map(|&(n, _)| vec![f64::from(n)])
+            .collect();
+        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
+
+        let Ok(gp) = GpRegressor::fit_auto(&xs, &ys, self.params.noise_variance) else {
+            return self.random_probe();
+        };
+        let candidates: Vec<Vec<f64>> = (lo..=hi).map(|n| vec![f64::from(n)]).collect();
+        let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let idx = self.hedge.choose(&gp, &candidates, best_y, &mut self.rng);
+        // Reward each portfolio member with the posterior mean of the point
+        // it nominated (GP-Hedge update rule).
+        self.hedge.update(|i| gp.predict(&candidates[i]).0);
+        let chosen = lo + idx as u32;
+        self.maybe_grow_space(chosen);
+        chosen
+    }
+}
+
+impl OnlineOptimizer for BayesianOptimizer {
+    fn name(&self) -> &'static str {
+        "bayesian-optimization"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        TransferSettings::with_concurrency(self.first_probe)
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        self.history
+            .push_back((obs.settings.concurrency, obs.utility));
+        while self.history.len() > self.params.window {
+            self.history.pop_front();
+        }
+        let next_cc = if self.probes_issued < self.params.random_init {
+            self.random_probe()
+        } else {
+            self.surrogate_probe()
+        };
+        self.probes_issued += 1;
+        TransferSettings::with_concurrency(next_cc)
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.hedge = GpHedge::new();
+        self.probes_issued = 1;
+        let (lo, hi) = self.params.bounds.concurrency;
+        self.current_hi = self.params.initial_space.map_or(hi, |s| s.clamp(lo, hi));
+        self.near_max_streak = 0;
+        self.first_probe = self.random_probe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    fn drive<F: Fn(u32) -> f64>(opt: &mut BayesianOptimizer, f: F, probes: usize) -> Vec<u32> {
+        let mut trace = Vec::new();
+        let mut cc = opt.initial().concurrency;
+        for _ in 0..probes {
+            let m = ProbeMetrics::from_aggregate(
+                TransferSettings::with_concurrency(cc),
+                f(cc),
+                0.0,
+                5.0,
+            );
+            let u = UtilityFunction::falcon_default().evaluate(&m);
+            let s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            cc = s.concurrency;
+            trace.push(cc);
+        }
+        trace
+    }
+
+    /// Emulab-10-like curve: 100 Mbps per process, 1 Gbps link.
+    fn emulab10(n: u32) -> f64 {
+        f64::from(n) * 100.0f64.min(1000.0 / f64::from(n))
+    }
+
+    #[test]
+    fn concentrates_probes_near_optimum() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(32));
+        let trace = drive(&mut opt, emulab10, 40);
+        // After warm-up, most probes should sit in the optimal region
+        // (the paper's Figure 10(a): BO "focuses around concurrency 10").
+        let later = &trace[10..];
+        let near = later.iter().filter(|&&c| (8..=14).contains(&c)).count();
+        assert!(
+            near * 2 > later.len(),
+            "only {near}/{} probes near optimum: {trace:?}",
+            later.len()
+        );
+    }
+
+    #[test]
+    fn keeps_exploring_after_convergence() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(32));
+        let trace = drive(&mut opt, emulab10, 60);
+        let tail = &trace[30..];
+        // Limited window forces periodic exploration: the tail is not
+        // a single repeated value.
+        let distinct: std::collections::HashSet<_> = tail.iter().collect();
+        assert!(distinct.len() >= 2, "tail froze: {tail:?}");
+    }
+
+    #[test]
+    fn window_is_bounded_at_20() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(32));
+        drive(&mut opt, emulab10, 50);
+        assert!(opt.window_len() <= 20);
+    }
+
+    #[test]
+    fn probes_stay_in_bounds() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(16));
+        let trace = drive(&mut opt, emulab10, 50);
+        assert!(trace.iter().all(|&c| (1..=16).contains(&c)));
+    }
+
+    #[test]
+    fn can_probe_aggressively_during_random_phase() {
+        // §4.5: BO "can probe very high concurrency values during the
+        // initial search phase". With a wide space and several seeds, the
+        // warm-up must sometimes land in the top quarter.
+        let mut saw_high = false;
+        for seed in 0..10 {
+            let mut opt = BayesianOptimizer::new(BoParams::new(64).with_seed(seed));
+            let mut first3 = vec![opt.initial().concurrency];
+            let trace = drive(&mut opt, emulab10, 2);
+            first3.extend(trace);
+            if first3.iter().any(|&c| c > 48) {
+                saw_high = true;
+                break;
+            }
+        }
+        assert!(saw_high, "random phase never probed the top quarter");
+    }
+
+    #[test]
+    fn adapts_when_optimum_moves() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(64));
+        drive(&mut opt, |n| f64::from(n) * 21.0f64.min(1008.0 / f64::from(n)), 40);
+        // Optimum collapses to 10; within ~1.5 windows BO must follow.
+        let trace = drive(&mut opt, emulab10, 40);
+        let tail = &trace[25..];
+        let near = tail.iter().filter(|&&c| c <= 20).count();
+        assert!(
+            near * 2 > tail.len(),
+            "did not adapt to the new optimum: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let mut opt = BayesianOptimizer::new(BoParams::new(32).with_seed(seed));
+            drive(&mut opt, emulab10, 20)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn hedge_engages_after_warmup() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(32));
+        assert!(opt.last_acquisition().is_none());
+        drive(&mut opt, emulab10, 6);
+        assert!(opt.last_acquisition().is_some());
+    }
+
+    #[test]
+    fn dynamic_space_limits_early_probes() {
+        // §4.6: with a 16-ceiling start, the aggressive random phase cannot
+        // create more than 16 streams.
+        let mut opt = BayesianOptimizer::new(BoParams::new(64).with_seed(3).with_dynamic_space(16));
+        let mut first = vec![opt.initial().concurrency];
+        first.extend(drive(&mut opt, emulab10, 4));
+        assert!(
+            first.iter().all(|&c| c <= 16),
+            "early probes escaped the initial space: {first:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_space_grows_to_reach_high_optimum() {
+        // Optimum 48 with a 16-ceiling start: the ceiling must double its
+        // way up and the search must eventually probe beyond 32.
+        let mut opt = BayesianOptimizer::new(BoParams::new(64).with_seed(5).with_dynamic_space(16));
+        let landscape = |n: u32| f64::from(n) * 21.0f64.min(1008.0 / f64::from(n));
+        let trace = drive(&mut opt, landscape, 60);
+        assert!(opt.current_max() > 32, "ceiling stuck at {}", opt.current_max());
+        assert!(
+            trace.iter().any(|&c| c > 32),
+            "never probed past 32: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn dynamic_space_stays_small_when_optimum_is_low() {
+        // Optimum 10 with a 16-ceiling start: no reason to grow much.
+        let mut opt = BayesianOptimizer::new(BoParams::new(64).with_seed(7).with_dynamic_space(16));
+        drive(&mut opt, emulab10, 60);
+        assert!(
+            opt.current_max() <= 32,
+            "ceiling grew needlessly to {}",
+            opt.current_max()
+        );
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut opt = BayesianOptimizer::new(BoParams::new(32));
+        drive(&mut opt, emulab10, 10);
+        assert!(opt.window_len() > 0);
+        opt.reset();
+        assert_eq!(opt.window_len(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Multi-parameter Bayesian Optimization over (concurrency, parallelism).
+//!
+//! §4.6 of the paper singles out multi-parameter BO as the dangerous case:
+//! "if maximum values of concurrency and parallelism are defined as 32 for
+//! both parameters, then BO may probe a transfer setting [with] 1,024
+//! network connections". This module implements that search — a Gaussian
+//! process over the 2-D integer grid with the Eq 7 utility — together with
+//! the paper's proposed mitigation: a cap on the *total connections*
+//! (`cc × p`) any candidate may create, which trims the aggressive corner
+//! out of the candidate set without shrinking either axis.
+//!
+//! Pipelining is left to the harness default here: its utility surface is
+//! monotone (commands are nearly free), so grid-searching it wastes probes;
+//! the conjugate-gradient optimizer (`crate::conjugate`) covers full 3-D
+//! tuning.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use falcon_gp::{GpHedge, GpRegressor};
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Parameters of the 2-D Bayesian search.
+#[derive(Debug, Clone, Copy)]
+pub struct BoMpParams {
+    /// Search bounds; the concurrency and parallelism ranges define the
+    /// grid (pipelining is pinned to its lower bound).
+    pub bounds: SearchBounds,
+    /// Random probes before the surrogate takes over.
+    pub random_init: usize,
+    /// Sliding observation window.
+    pub window: usize,
+    /// Observation-noise variance on normalized utilities.
+    pub noise_variance: f64,
+    /// Maximum `cc × p` a candidate may create (`None` = unrestricted, the
+    /// paper's 1,024-connection hazard).
+    pub max_total_connections: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BoMpParams {
+    /// Defaults mirroring the 1-D search (3 random probes, 20-obs window).
+    pub fn new(max_cc: u32, max_p: u32) -> Self {
+        BoMpParams {
+            bounds: SearchBounds::multi_parameter(max_cc, max_p, 1),
+            random_init: 3,
+            window: 20,
+            noise_variance: 0.02,
+            max_total_connections: None,
+            seed: 0x0fa1c02,
+        }
+    }
+
+    /// Cap candidates at `max` total connections (builder style).
+    pub fn with_connection_cap(mut self, max: u32) -> Self {
+        self.max_total_connections = Some(max.max(1));
+        self
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// 2-D Bayesian optimizer over (concurrency, parallelism).
+pub struct BayesianMpOptimizer {
+    params: BoMpParams,
+    rng: StdRng,
+    candidates: Vec<TransferSettings>,
+    history: VecDeque<(TransferSettings, f64)>,
+    hedge: GpHedge,
+    first_probe: TransferSettings,
+    probes_issued: usize,
+}
+
+impl BayesianMpOptimizer {
+    /// New search over the candidate grid.
+    pub fn new(params: BoMpParams) -> Self {
+        let candidates = Self::build_grid(&params);
+        assert!(
+            !candidates.is_empty(),
+            "connection cap excludes every candidate"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let first_probe = candidates[rng.gen_range(0..candidates.len())];
+        BayesianMpOptimizer {
+            params,
+            rng,
+            candidates,
+            history: VecDeque::new(),
+            hedge: GpHedge::new(),
+            first_probe,
+            probes_issued: 1,
+        }
+    }
+
+    fn build_grid(params: &BoMpParams) -> Vec<TransferSettings> {
+        let (cc_lo, cc_hi) = params.bounds.concurrency;
+        let (p_lo, p_hi) = params.bounds.parallelism;
+        let pp = params.bounds.pipelining.0;
+        let mut grid = Vec::new();
+        for cc in cc_lo..=cc_hi {
+            for p in p_lo..=p_hi {
+                let s = TransferSettings {
+                    concurrency: cc,
+                    parallelism: p,
+                    pipelining: pp,
+                };
+                if params
+                    .max_total_connections
+                    .is_none_or(|cap| s.total_connections() <= cap)
+                {
+                    grid.push(s);
+                }
+            }
+        }
+        grid
+    }
+
+    /// Number of candidate settings in the (possibly capped) grid.
+    pub fn grid_size(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Largest total connection count any candidate can create.
+    pub fn max_candidate_connections(&self) -> u32 {
+        self.candidates
+            .iter()
+            .map(TransferSettings::total_connections)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn random_probe(&mut self) -> TransferSettings {
+        self.candidates[self.rng.gen_range(0..self.candidates.len())]
+    }
+
+    fn surrogate_probe(&mut self) -> TransferSettings {
+        let ys_raw: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
+        let mean = ys_raw.iter().sum::<f64>() / ys_raw.len() as f64;
+        let var = ys_raw.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys_raw.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        let xs: Vec<Vec<f64>> = self
+            .history
+            .iter()
+            .map(|&(s, _)| {
+                vec![
+                    f64::from(s.concurrency),
+                    f64::from(s.parallelism),
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
+        let Ok(gp) = GpRegressor::fit_auto(&xs, &ys, self.params.noise_variance) else {
+            return self.random_probe();
+        };
+        let points: Vec<Vec<f64>> = self
+            .candidates
+            .iter()
+            .map(|s| vec![f64::from(s.concurrency), f64::from(s.parallelism)])
+            .collect();
+        let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let idx = self.hedge.choose(&gp, &points, best_y, &mut self.rng);
+        self.hedge.update(|i| gp.predict(&points[i]).0);
+        self.candidates[idx]
+    }
+}
+
+impl OnlineOptimizer for BayesianMpOptimizer {
+    fn name(&self) -> &'static str {
+        "bayesian-optimization-mp"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        self.first_probe
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        self.history.push_back((obs.settings, obs.utility));
+        while self.history.len() > self.params.window {
+            self.history.pop_front();
+        }
+        let next = if self.probes_issued < self.params.random_init {
+            self.random_probe()
+        } else {
+            self.surrogate_probe()
+        };
+        self.probes_issued += 1;
+        next
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.hedge = GpHedge::new();
+        self.probes_issued = 1;
+        self.first_probe = self.random_probe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    /// Drive against a synthetic 2-D landscape.
+    fn drive<F: Fn(TransferSettings) -> f64>(
+        opt: &mut BayesianMpOptimizer,
+        f: F,
+        probes: usize,
+    ) -> Vec<TransferSettings> {
+        let mut trace = Vec::new();
+        let mut s = opt.initial();
+        for _ in 0..probes {
+            let m = ProbeMetrics::from_aggregate(s, f(s), 0.0, 5.0);
+            let u = UtilityFunction::falcon_multi_param().evaluate(&m);
+            s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            trace.push(s);
+        }
+        trace
+    }
+
+    /// Disk-limited landscape: parallelism splits the per-process budget
+    /// (no gain), ~10 processes saturate.
+    fn disk_limited(s: TransferSettings) -> f64 {
+        f64::from(s.concurrency) * 100.0f64.min(1000.0 / f64::from(s.concurrency))
+    }
+
+    /// Per-flow-limited WAN: each socket carries ≤ 50 Mbps, the path caps
+    /// at 1.6 Gbps — parallelism genuinely helps here.
+    fn flow_limited(s: TransferSettings) -> f64 {
+        (f64::from(s.total_connections()) * 50.0).min(1600.0)
+    }
+
+    #[test]
+    fn grid_respects_connection_cap() {
+        let free = BayesianMpOptimizer::new(BoMpParams::new(32, 32));
+        assert_eq!(free.grid_size(), 32 * 32);
+        assert_eq!(free.max_candidate_connections(), 1024);
+
+        let capped = BayesianMpOptimizer::new(BoMpParams::new(32, 32).with_connection_cap(64));
+        assert!(capped.grid_size() < 32 * 32);
+        assert!(capped.max_candidate_connections() <= 64);
+    }
+
+    #[test]
+    fn probes_stay_inside_cap() {
+        let mut opt = BayesianMpOptimizer::new(
+            BoMpParams::new(16, 8).with_connection_cap(24).with_seed(3),
+        );
+        let trace = drive(&mut opt, flow_limited, 30);
+        assert!(trace.iter().all(|s| s.total_connections() <= 24), "{trace:?}");
+    }
+
+    #[test]
+    fn finds_low_parallelism_when_disk_limited() {
+        let mut opt = BayesianMpOptimizer::new(BoMpParams::new(24, 8).with_seed(5));
+        let trace = drive(&mut opt, disk_limited, 50);
+        // Eq 7 penalizes total connections: with no benefit from
+        // parallelism, the tail should mostly sit at p ≤ 2.
+        let tail = &trace[30..];
+        let low_p = tail.iter().filter(|s| s.parallelism <= 2).count();
+        assert!(low_p * 3 > tail.len() * 2, "tail: {tail:?}");
+    }
+
+    #[test]
+    fn uses_parallelism_when_flows_are_capped() {
+        let mut opt = BayesianMpOptimizer::new(BoMpParams::new(16, 8).with_seed(7));
+        let trace = drive(&mut opt, flow_limited, 50);
+        // Saturating 1.6 Gbps needs 32 connections; a concurrency of 16
+        // alone cannot do it, so good candidates multiply the axes.
+        let tail = &trace[30..];
+        let productive = tail
+            .iter()
+            .filter(|s| s.total_connections() >= 24)
+            .count();
+        assert!(productive * 2 > tail.len(), "tail: {tail:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut opt = BayesianMpOptimizer::new(BoMpParams::new(16, 4).with_seed(seed));
+            drive(&mut opt, flow_limited, 20)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn tightest_cap_still_leaves_single_connection_candidate() {
+        // `with_connection_cap` floors at 1, and (cc=1, p=1) always
+        // qualifies, so the grid can never be empty through the public API.
+        let opt = BayesianMpOptimizer::new(BoMpParams::new(8, 8).with_connection_cap(0));
+        assert_eq!(opt.grid_size(), 1);
+        assert_eq!(opt.max_candidate_connections(), 1);
+    }
+
+    #[test]
+    fn window_bounded() {
+        let mut opt = BayesianMpOptimizer::new(BoMpParams::new(16, 4));
+        drive(&mut opt, flow_limited, 40);
+        assert!(opt.history.len() <= 20);
+    }
+}

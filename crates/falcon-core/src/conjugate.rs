@@ -1,0 +1,370 @@
+//! Conjugate Gradient Descent for multi-parameter optimization (§4.4).
+//!
+//! When Falcon tunes *concurrency*, *parallelism* and *pipelining* together
+//! (Falcon_MP), the search space is a 3-D integer box and the utility (Eq 7)
+//! is no longer strictly concave. The paper adopts conjugate gradient
+//! descent (Dai–Yuan β) for an efficient multi-parameter search. Gradients
+//! are estimated by coordinate probes (±1 around the center in each
+//! dimension — six sample transfers per round, which is why Falcon_MP takes
+//! up to 3× longer to converge than the single-parameter search).
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Conjugate-gradient parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CgdParams {
+    /// Search bounds (3-D box).
+    pub bounds: SearchBounds,
+    /// Starting point.
+    pub start: TransferSettings,
+    /// Initial confidence factor θ₀.
+    pub theta0: f64,
+    /// Multiplicative growth of θ on consistent descent direction.
+    pub theta_growth: f64,
+    /// Cap on θ.
+    pub theta_max: f64,
+    /// Scale applied to relative slopes when stepping.
+    pub step_gain: f64,
+    /// Relative slope magnitude treated as noise.
+    pub min_rel_slope: f64,
+}
+
+impl CgdParams {
+    /// Defaults for the paper's multi-parameter search box.
+    pub fn new(bounds: SearchBounds) -> Self {
+        CgdParams {
+            bounds,
+            start: TransferSettings {
+                concurrency: 2,
+                parallelism: 1,
+                pipelining: 1,
+            },
+            theta0: 1.0,
+            theta_growth: 2.0,
+            theta_max: 8.0,
+            step_gain: 2.0,
+            min_rel_slope: 0.004,
+        }
+    }
+}
+
+/// Which probe of the round we are waiting for.
+#[derive(Debug, Clone, Copy)]
+struct ProbePlan {
+    dim: usize,
+    high: bool,
+}
+
+/// Conjugate Gradient Descent optimizer state.
+#[derive(Debug, Clone)]
+pub struct ConjugateGradientOptimizer {
+    params: CgdParams,
+    center: TransferSettings,
+    plan_idx: usize,
+    /// Utilities of the low/high probes per dimension for this round.
+    lows: [f64; 3],
+    highs: [f64; 3],
+    prev_gradient: Option<[f64; 3]>,
+    prev_direction: [f64; 3],
+    theta: f64,
+}
+
+const PLANS: [ProbePlan; 6] = [
+    ProbePlan { dim: 0, high: false },
+    ProbePlan { dim: 0, high: true },
+    ProbePlan { dim: 1, high: false },
+    ProbePlan { dim: 1, high: true },
+    ProbePlan { dim: 2, high: false },
+    ProbePlan { dim: 2, high: true },
+];
+
+impl ConjugateGradientOptimizer {
+    /// New search with the given parameters.
+    pub fn new(params: CgdParams) -> Self {
+        ConjugateGradientOptimizer {
+            center: params.bounds.clamp(params.start),
+            plan_idx: 0,
+            lows: [0.0; 3],
+            highs: [0.0; 3],
+            prev_gradient: None,
+            prev_direction: [0.0; 3],
+            theta: params.theta0,
+            params,
+        }
+    }
+
+    /// Current center of the search.
+    pub fn center(&self) -> TransferSettings {
+        self.center
+    }
+
+    fn dim_bounds(&self, dim: usize) -> (u32, u32) {
+        match dim {
+            0 => self.params.bounds.concurrency,
+            1 => self.params.bounds.parallelism,
+            _ => self.params.bounds.pipelining,
+        }
+    }
+
+    fn dim_value(s: TransferSettings, dim: usize) -> u32 {
+        match dim {
+            0 => s.concurrency,
+            1 => s.parallelism,
+            _ => s.pipelining,
+        }
+    }
+
+    fn with_dim(mut s: TransferSettings, dim: usize, v: u32) -> TransferSettings {
+        match dim {
+            0 => s.concurrency = v,
+            1 => s.parallelism = v,
+            _ => s.pipelining = v,
+        }
+        s
+    }
+
+    fn probe_for(&self, plan: ProbePlan) -> TransferSettings {
+        let (lo, hi) = self.dim_bounds(plan.dim);
+        let v = Self::dim_value(self.center, plan.dim);
+        let v = if plan.high {
+            (v + 1).min(hi)
+        } else {
+            v.saturating_sub(1).max(lo)
+        };
+        Self::with_dim(self.center, plan.dim, v)
+    }
+
+    /// Finish the round: compute the conjugate direction and move the center.
+    #[allow(clippy::needless_range_loop)] // three fixed dims, indexed in lockstep
+    fn advance_center(&mut self) {
+        let mut gradient = [0.0f64; 3];
+        for d in 0..3 {
+            let denom = self.lows[d].abs().max(1e-9);
+            let slope = (self.highs[d] - self.lows[d]) / (2.0 * denom);
+            gradient[d] = if slope.abs() >= self.params.min_rel_slope {
+                slope
+            } else {
+                0.0
+            };
+            // Pinned dimensions cannot move.
+            let (lo, hi) = self.dim_bounds(d);
+            if lo == hi {
+                gradient[d] = 0.0;
+            }
+        }
+
+        // Dai–Yuan conjugate direction: d = g + β·d_prev,
+        // β = |g|² / (d_prevᵀ·(g − g_prev)).
+        let mut direction = gradient;
+        if let Some(g_prev) = self.prev_gradient {
+            let g_norm2: f64 = gradient.iter().map(|g| g * g).sum();
+            let denom: f64 = self
+                .prev_direction
+                .iter()
+                .zip(gradient.iter().zip(g_prev.iter()))
+                .map(|(d, (g, gp))| d * (g - gp))
+                .sum();
+            if denom.abs() > 1e-12 && g_norm2 > 0.0 {
+                let beta = (g_norm2 / denom).clamp(0.0, 4.0);
+                for d in 0..3 {
+                    direction[d] = gradient[d] + beta * self.prev_direction[d];
+                }
+            }
+        }
+
+        // Confidence: grow θ while the new gradient still points along the
+        // previous direction.
+        let along: f64 = gradient
+            .iter()
+            .zip(self.prev_direction.iter())
+            .map(|(g, d)| g * d)
+            .sum();
+        if self.prev_gradient.is_some() && along > 0.0 {
+            self.theta = (self.theta * self.params.theta_growth).min(self.params.theta_max);
+        } else {
+            self.theta = self.params.theta0;
+        }
+
+        let mut next = self.center;
+        for d in 0..3 {
+            if direction[d] == 0.0 {
+                continue;
+            }
+            let v = f64::from(Self::dim_value(self.center, d).max(1));
+            let step = (self.theta * self.params.step_gain * direction[d] * v).round() as i64;
+            let step = if step == 0 {
+                direction[d].signum() as i64
+            } else {
+                step
+            };
+            let (lo, hi) = self.dim_bounds(d);
+            let nv = (i64::from(Self::dim_value(self.center, d)) + step)
+                .clamp(i64::from(lo), i64::from(hi)) as u32;
+            next = Self::with_dim(next, d, nv);
+        }
+        self.center = next;
+        self.prev_gradient = Some(gradient);
+        self.prev_direction = direction;
+    }
+}
+
+impl OnlineOptimizer for ConjugateGradientOptimizer {
+    fn name(&self) -> &'static str {
+        "conjugate-gradient"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        self.probe_for(PLANS[0])
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        let plan = PLANS[self.plan_idx];
+        if plan.high {
+            self.highs[plan.dim] = obs.utility;
+        } else {
+            self.lows[plan.dim] = obs.utility;
+        }
+        self.plan_idx += 1;
+        if self.plan_idx == PLANS.len() {
+            self.plan_idx = 0;
+            self.advance_center();
+        }
+        self.probe_for(PLANS[self.plan_idx])
+    }
+
+    fn reset(&mut self) {
+        self.center = self.params.bounds.clamp(self.params.start);
+        self.plan_idx = 0;
+        self.prev_gradient = None;
+        self.prev_direction = [0.0; 3];
+        self.theta = self.params.theta0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    /// Drive against a synthetic landscape `f(cc, p, pp) -> aggregate Mbps`.
+    fn drive<F: Fn(TransferSettings) -> f64>(
+        opt: &mut ConjugateGradientOptimizer,
+        f: F,
+        probes: usize,
+    ) -> Vec<TransferSettings> {
+        let mut centers = Vec::new();
+        let mut s = opt.initial();
+        for _ in 0..probes {
+            let m = ProbeMetrics::from_aggregate(s, f(s), 0.0, 5.0);
+            let u = UtilityFunction::falcon_multi_param().evaluate(&m);
+            s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            centers.push(opt.center());
+        }
+        centers
+    }
+
+    /// A landscape where pipelining saves per-file gaps (small files) and
+    /// ~10 concurrent streams saturate; parallelism mildly harmful.
+    fn small_files(s: TransferSettings) -> f64 {
+        let eff = 1.0 - 0.6 / f64::from(s.pipelining.min(8));
+        let base = f64::from(s.concurrency.min(10)) * 100.0;
+        let p_tax = 1.0 / (1.0 + 0.05 * f64::from(s.parallelism - 1));
+        base * eff.max(0.1) * p_tax
+    }
+
+    #[test]
+    fn raises_pipelining_for_small_files() {
+        let bounds = SearchBounds::multi_parameter(32, 8, 16);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        let centers = drive(&mut opt, small_files, 120);
+        let last = centers.last().unwrap();
+        assert!(last.pipelining >= 6, "pp stayed at {last}");
+        assert!(
+            (7..=14).contains(&last.concurrency),
+            "cc ended at {last}"
+        );
+    }
+
+    #[test]
+    fn keeps_parallelism_low_when_it_hurts() {
+        let bounds = SearchBounds::multi_parameter(32, 8, 16);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        let centers = drive(&mut opt, small_files, 120);
+        assert!(
+            centers.last().unwrap().parallelism <= 2,
+            "p ended at {}",
+            centers.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn six_probes_per_round() {
+        let bounds = SearchBounds::multi_parameter(32, 8, 16);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        let c0 = opt.center();
+        // Five observations do not move the center; the sixth does.
+        let mut s = opt.initial();
+        for i in 0..6 {
+            let m = ProbeMetrics::from_aggregate(s, small_files(s), 0.0, 5.0);
+            let u = UtilityFunction::falcon_multi_param().evaluate(&m);
+            s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            if i < 5 {
+                assert_eq!(opt.center(), c0, "center moved after {} probes", i + 1);
+            }
+        }
+        assert_ne!(opt.center(), c0, "center should move after a full round");
+    }
+
+    #[test]
+    fn stays_inside_bounds() {
+        let bounds = SearchBounds::multi_parameter(16, 4, 8);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        let centers = drive(&mut opt, small_files, 150);
+        for c in centers {
+            assert!(bounds.contains(c), "{c} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn pinned_dimension_never_moves() {
+        // Concurrency-only bounds: parallelism and pipelining pinned at 1.
+        let bounds = SearchBounds::concurrency_only(32);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        let centers = drive(&mut opt, |s| f64::from(s.concurrency.min(10)) * 50.0, 90);
+        for c in &centers {
+            assert_eq!(c.parallelism, 1);
+            assert_eq!(c.pipelining, 1);
+        }
+        assert!(
+            (8..=14).contains(&centers.last().unwrap().concurrency),
+            "cc ended at {}",
+            centers.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let bounds = SearchBounds::multi_parameter(32, 8, 16);
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(bounds));
+        drive(&mut opt, small_files, 60);
+        opt.reset();
+        assert_eq!(
+            opt.center(),
+            TransferSettings {
+                concurrency: 2,
+                parallelism: 1,
+                pipelining: 1
+            }
+        );
+    }
+}

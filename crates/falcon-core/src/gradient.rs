@@ -1,0 +1,318 @@
+//! Online Gradient Descent search (§3.2).
+//!
+//! For a current concurrency `n`, the optimizer runs two sample transfers at
+//! `n−ε` and `n+ε` (ε = 1, since concurrency is integral), estimates the
+//! gradient from their utilities, converts it to a *relative* rate of change
+//! `Δ = γ / u(n−ε)`, and predicts the next value `n ← n + θ·Δ·scale`. The
+//! confidence factor θ starts small and grows while consecutive rounds agree
+//! on the search direction, resetting when the direction flips — the paper's
+//! dynamic step-size policy. After convergence the search keeps probing
+//! `n±1` forever, which is the 9 ↔ 11 bounce visible in Figure 9(a).
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Gradient Descent parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GdParams {
+    /// Search bounds.
+    pub bounds: SearchBounds,
+    /// Starting concurrency (paper's traces start at 2).
+    pub start: u32,
+    /// Initial confidence factor θ₀.
+    pub theta0: f64,
+    /// Multiplicative growth of θ while the direction is stable.
+    pub theta_growth: f64,
+    /// Upper cap on θ.
+    pub theta_max: f64,
+    /// Scale applied to the relative slope when predicting the step.
+    pub step_gain: f64,
+    /// Relative slope magnitude below which the search holds position
+    /// (measurement noise floor).
+    pub min_rel_slope: f64,
+    /// Largest step per round, as a fraction of the current center (with an
+    /// absolute floor of 4): prevents confidence-driven overshoot past the
+    /// optimum while still allowing fast geometric growth.
+    pub max_step_frac: f64,
+    /// EMA weight of the newest slope estimate (1.0 = no smoothing, the
+    /// default). Smoothing filters the zero-mean noise that competing
+    /// transfers' ±1 probes inject into each other's samples, at the cost
+    /// of slower adaptation; experiments found the default more robust.
+    pub slope_ema_alpha: f64,
+}
+
+impl GdParams {
+    /// Paper-calibrated defaults for a concurrency-only search.
+    pub fn new(max_concurrency: u32) -> Self {
+        GdParams {
+            bounds: SearchBounds::concurrency_only(max_concurrency),
+            start: 2,
+            theta0: 1.0,
+            theta_growth: 2.0,
+            theta_max: 8.0,
+            step_gain: 2.0,
+            min_rel_slope: 0.001,
+            max_step_frac: 0.35,
+            slope_ema_alpha: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Waiting for the probe of `center − 1`.
+    Low,
+    /// Waiting for the probe of `center + 1`; carries `u(center − 1)`.
+    High { u_low: f64 },
+}
+
+/// Online Gradient Descent optimizer state.
+#[derive(Debug, Clone)]
+pub struct GradientDescentOptimizer {
+    params: GdParams,
+    center: u32,
+    phase: Phase,
+    theta: f64,
+    last_direction: i64,
+    slope_ema: Option<f64>,
+}
+
+impl GradientDescentOptimizer {
+    /// New search with the given parameters.
+    pub fn new(params: GdParams) -> Self {
+        GradientDescentOptimizer {
+            center: params.start,
+            phase: Phase::Low,
+            theta: params.theta0,
+            last_direction: 0,
+            slope_ema: None,
+            params,
+        }
+    }
+
+    /// Current center of the search.
+    pub fn center(&self) -> u32 {
+        self.center
+    }
+
+    /// Current confidence factor θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn low_probe(&self) -> u32 {
+        let (lo, _) = self.params.bounds.concurrency;
+        self.center.saturating_sub(1).max(lo)
+    }
+
+    fn high_probe(&self) -> u32 {
+        let (_, hi) = self.params.bounds.concurrency;
+        (self.center + 1).min(hi)
+    }
+}
+
+impl OnlineOptimizer for GradientDescentOptimizer {
+    fn name(&self) -> &'static str {
+        "gradient-descent"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        TransferSettings::with_concurrency(self.low_probe())
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        match self.phase {
+            Phase::Low => {
+                self.phase = Phase::High { u_low: obs.utility };
+                TransferSettings::with_concurrency(self.high_probe())
+            }
+            Phase::High { u_low } => {
+                let u_high = obs.utility;
+                // γ estimated over the 2ε span; relative form Δ = γ / u(n−ε).
+                let denom = u_low.abs().max(1e-9);
+                let raw_slope = (u_high - u_low) / (2.0 * denom);
+                let alpha = self.params.slope_ema_alpha;
+                let rel_slope = match self.slope_ema {
+                    Some(prev) => prev + alpha * (raw_slope - prev),
+                    None => raw_slope,
+                };
+                self.slope_ema = Some(rel_slope);
+
+                if rel_slope.abs() >= self.params.min_rel_slope {
+                    let direction = if rel_slope > 0.0 { 1 } else { -1 };
+                    if direction == self.last_direction {
+                        self.theta = (self.theta * self.params.theta_growth)
+                            .min(self.params.theta_max);
+                    } else {
+                        self.theta = self.params.theta0;
+                    }
+                    self.last_direction = direction;
+
+                    let step = self.theta
+                        * self.params.step_gain
+                        * rel_slope
+                        * f64::from(self.center.max(1));
+                    let cap = (self.params.max_step_frac * f64::from(self.center)).max(4.0);
+                    let step = step.clamp(-cap, cap).round() as i64;
+                    let step = if step == 0 { i64::from(direction as i32) } else { step };
+                    let (lo, hi) = self.params.bounds.concurrency;
+                    let next =
+                        (i64::from(self.center) + step).clamp(i64::from(lo), i64::from(hi));
+                    self.center = next as u32;
+                } else {
+                    // Flat within noise: hold position, lose confidence.
+                    self.theta = self.params.theta0;
+                    self.last_direction = 0;
+                }
+                self.phase = Phase::Low;
+                TransferSettings::with_concurrency(self.low_probe())
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.center = self.params.start;
+        self.phase = Phase::Low;
+        self.theta = self.params.theta0;
+        self.last_direction = 0;
+        self.slope_ema = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    /// Drive against a noise-free landscape; returns (probe trace, centers).
+    fn drive<F: Fn(u32) -> f64>(
+        opt: &mut GradientDescentOptimizer,
+        f: F,
+        probes: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut trace = Vec::new();
+        let mut centers = Vec::new();
+        let mut cc = opt.initial().concurrency;
+        for _ in 0..probes {
+            let m = ProbeMetrics::from_aggregate(
+                TransferSettings::with_concurrency(cc),
+                f(cc),
+                0.0,
+                5.0,
+            );
+            let u = UtilityFunction::falcon_default().evaluate(&m);
+            let s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            cc = s.concurrency;
+            trace.push(cc);
+            centers.push(opt.center());
+        }
+        (trace, centers)
+    }
+
+    /// Emulab-48-like aggregate throughput: 21 Mbps per process up to 48.
+    fn emulab48(n: u32) -> f64 {
+        f64::from(n) * 21.0f64.min(1008.0 / f64::from(n))
+    }
+
+    #[test]
+    fn converges_to_48_much_faster_than_hill_climbing() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        let (_, centers) = drive(&mut opt, emulab48, 40);
+        let first_hit = centers.iter().position(|&c| (44..=52).contains(&c));
+        let hit = first_hit.expect("never reached the optimum region");
+        // Hill climbing needs ~47 probes; GD must need far fewer.
+        assert!(hit <= 18, "took {hit} probes: {centers:?}");
+    }
+
+    #[test]
+    fn stays_near_optimum_after_convergence() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        let (trace, centers) = drive(&mut opt, emulab48, 80);
+        let tail = &centers[40..];
+        assert!(
+            tail.iter().all(|&c| (42..=56).contains(&c)),
+            "tail: {tail:?}"
+        );
+        // Probes keep bouncing around the center (continuous optimization).
+        let probe_tail = &trace[40..];
+        assert!(probe_tail.iter().any(|&c| c != probe_tail[0]));
+    }
+
+    #[test]
+    fn theta_grows_on_consistent_direction() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        let t0 = opt.theta();
+        drive(&mut opt, emulab48, 8);
+        assert!(opt.theta() > t0, "theta did not grow: {}", opt.theta());
+    }
+
+    #[test]
+    fn theta_resets_when_direction_flips() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        drive(&mut opt, emulab48, 8);
+        let grown = opt.theta();
+        assert!(grown > 1.0);
+        // Landscape flips: high concurrency now bad.
+        drive(&mut opt, |n| 500.0 / f64::from(n.max(1)), 4);
+        assert!(opt.theta() <= grown, "theta should have reset/shrunk");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(12));
+        let (trace, centers) = drive(&mut opt, |n| f64::from(n) * 50.0, 40);
+        assert!(trace.iter().all(|&c| (1..=12).contains(&c)));
+        assert!(centers.iter().any(|&c| c >= 11));
+    }
+
+    #[test]
+    fn flat_throughput_drives_concurrency_to_one() {
+        // Flat *aggregate* throughput means extra concurrency buys nothing,
+        // so the Kⁿ regret makes utility strictly decreasing in n: the
+        // optimizer must settle at the minimum.
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(64));
+        let (_, centers) = drive(&mut opt, |_| 500.0, 30);
+        let tail = &centers[10..];
+        assert!(tail.iter().all(|&c| c <= 2), "centers: {centers:?}");
+    }
+
+    #[test]
+    fn adapts_downward_when_optimum_shrinks() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        drive(&mut opt, emulab48, 40);
+        assert!(opt.center() >= 42);
+        // Background traffic arrives: only ~10 streams now useful.
+        let (_, centers) = drive(&mut opt, |n| f64::from(n.min(10)) * 21.0, 60);
+        let tail = centers.last().copied().unwrap();
+        assert!(tail <= 20, "failed to adapt down: {centers:?}");
+    }
+
+    #[test]
+    fn probes_alternate_below_and_above_center() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(64));
+        // First probe is center−1 = 1, then center+1 = 3.
+        assert_eq!(opt.initial().concurrency, 1);
+        let m = ProbeMetrics::from_aggregate(TransferSettings::with_concurrency(1), 21.0, 0.0, 5.0);
+        let s = opt.next(&Observation {
+            settings: m.settings,
+            utility: 20.0,
+            metrics: m,
+        });
+        assert_eq!(s.concurrency, 3);
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+        drive(&mut opt, emulab48, 30);
+        assert!(opt.center() > 10);
+        opt.reset();
+        assert_eq!(opt.center(), 2);
+        assert_eq!(opt.theta(), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Hill Climbing search (§3.2).
+//!
+//! Starts at the minimum concurrency and moves in unit steps as long as the
+//! utility keeps improving; when the utility falls more than a threshold
+//! (3% by default) below the best value seen in the current run, the
+//! direction reverses. Tolerating small draw-downs (rather than requiring
+//! every step to improve by the threshold) is what lets the search cross the
+//! nearly-flat utility plateau around the optimum of Eq 4, where marginal
+//! gains are well under 1% per step; the reversal threshold then provides
+//! the noise robustness the paper attributes to the 3% default. Even at the
+//! optimum the search keeps moving, so it periodically re-evaluates higher
+//! and lower values and can track a changing environment.
+//!
+//! The fixed ±1 step is exactly why the paper measures Hill Climbing ~7×
+//! slower to converge than Gradient Descent or Bayesian Optimization
+//! (Figure 7) and too slow to reach fairness under competition (Figure 8).
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Hill Climbing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HcParams {
+    /// Relative draw-down from the best utility of the current run that
+    /// triggers a direction reversal (paper default 3%).
+    pub threshold: f64,
+    /// Search bounds.
+    pub bounds: SearchBounds,
+    /// Starting concurrency.
+    pub start: u32,
+}
+
+impl HcParams {
+    /// Paper defaults for a concurrency-only search in `[1, max]`.
+    pub fn new(max_concurrency: u32) -> Self {
+        HcParams {
+            threshold: 0.03,
+            bounds: SearchBounds::concurrency_only(max_concurrency),
+            start: 1,
+        }
+    }
+}
+
+/// Hill Climbing optimizer state.
+#[derive(Debug, Clone)]
+pub struct HillClimbingOptimizer {
+    params: HcParams,
+    direction: i64,
+    /// Best utility observed since the last reversal.
+    best_in_run: Option<f64>,
+    current: u32,
+}
+
+impl HillClimbingOptimizer {
+    /// New search with the given parameters.
+    pub fn new(params: HcParams) -> Self {
+        HillClimbingOptimizer {
+            direction: 1,
+            best_in_run: None,
+            current: params.start,
+            params,
+        }
+    }
+
+    /// Current concurrency position of the search.
+    pub fn position(&self) -> u32 {
+        self.current
+    }
+
+    fn step(&self, from: u32, dir: i64) -> u32 {
+        let (lo, hi) = self.params.bounds.concurrency;
+        let next = from as i64 + dir;
+        next.clamp(i64::from(lo), i64::from(hi)) as u32
+    }
+}
+
+impl OnlineOptimizer for HillClimbingOptimizer {
+    fn name(&self) -> &'static str {
+        "hill-climbing"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        TransferSettings::with_concurrency(self.params.start)
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        let u = obs.utility;
+        match self.best_in_run {
+            None => {
+                self.best_in_run = Some(u);
+            }
+            Some(best) => {
+                if u > best {
+                    self.best_in_run = Some(u);
+                } else {
+                    // γ: relative draw-down from the best of this run.
+                    let gamma = (best - u) / best.abs().max(1e-9);
+                    if gamma > self.params.threshold {
+                        self.direction = -self.direction;
+                        // The reversal starts a fresh run from here.
+                        self.best_in_run = Some(u);
+                    }
+                }
+            }
+        }
+        let next = self.step(self.current, self.direction);
+        if next == self.current {
+            // Pinned at a bound: bounce back and restart the run.
+            self.direction = -self.direction;
+            self.best_in_run = Some(u);
+            self.current = self.step(self.current, self.direction);
+        } else {
+            self.current = next;
+        }
+        TransferSettings::with_concurrency(self.current)
+    }
+
+    fn reset(&mut self) {
+        self.direction = 1;
+        self.best_in_run = None;
+        self.current = self.params.start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    /// Drive the optimizer against a synthetic noise-free throughput
+    /// landscape and return the visited concurrency trace.
+    fn drive<F: Fn(u32) -> f64>(opt: &mut HillClimbingOptimizer, f: F, steps: usize) -> Vec<u32> {
+        let mut trace = Vec::new();
+        let mut cc = opt.initial().concurrency;
+        for _ in 0..steps {
+            let m = ProbeMetrics::from_aggregate(
+                TransferSettings::with_concurrency(cc),
+                f(cc),
+                0.0,
+                5.0,
+            );
+            let u = UtilityFunction::falcon_default().evaluate(&m);
+            let s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            cc = s.concurrency;
+            trace.push(cc);
+        }
+        trace
+    }
+
+    /// Emulab-48-like aggregate throughput: 21 Mbps per process up to 48.
+    fn emulab48(n: u32) -> f64 {
+        f64::from(n) * 21.0f64.min(1008.0 / f64::from(n))
+    }
+
+    #[test]
+    fn climbs_monotonically_from_start() {
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        let trace = drive(&mut opt, emulab48, 10);
+        assert_eq!(trace, vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn takes_about_optimal_many_steps_to_converge() {
+        // The Figure 7 mechanism: unit steps mean ~48 probes to reach 48.
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        let trace = drive(&mut opt, emulab48, 60);
+        let first_hit = trace
+            .iter()
+            .position(|&c| c >= 48)
+            .expect("never reached 48");
+        assert!(
+            (44..=50).contains(&first_hit),
+            "reached 48 after {first_hit} probes"
+        );
+    }
+
+    #[test]
+    fn oscillates_around_optimum_after_convergence() {
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        let trace = drive(&mut opt, emulab48, 160);
+        let tail = &trace[60..];
+        assert!(
+            tail.iter().all(|&c| (30..=56).contains(&c)),
+            "tail strayed: {tail:?}"
+        );
+        // It keeps exploring: the tail is not constant.
+        assert!(tail.iter().any(|&c| c != tail[0]));
+        // And it repeatedly revisits the optimal region.
+        let hits = tail.iter().filter(|&&c| (44..=52).contains(&c)).count();
+        assert!(hits >= 10, "only {hits} hits near the optimum");
+    }
+
+    #[test]
+    fn respects_upper_bound() {
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(8));
+        let trace = drive(&mut opt, |n| f64::from(n) * 10.0, 30);
+        assert!(trace.iter().all(|&c| (1..=8).contains(&c)));
+        assert!(trace.contains(&8));
+    }
+
+    #[test]
+    fn respects_lower_bound_on_descending_landscape() {
+        // Utility strictly decreasing in n: the search must hug the minimum.
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(32));
+        let trace = drive(&mut opt, |n| 100.0 / f64::from(n), 40);
+        assert!(trace.iter().all(|&c| c >= 1));
+        assert!(
+            trace.iter().filter(|&&c| c <= 4).count() > 25,
+            "trace: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        drive(&mut opt, emulab48, 20);
+        assert!(opt.position() > 10);
+        opt.reset();
+        assert_eq!(opt.position(), 1);
+        assert_eq!(opt.initial().concurrency, 1);
+    }
+
+    #[test]
+    fn adapts_when_optimum_moves() {
+        // Converge toward 48, then shift the optimum down to 10 — the
+        // utility at 48 collapses, so the search must walk back down.
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        drive(&mut opt, emulab48, 55);
+        let trace = drive(&mut opt, |n| f64::from(n.min(10)) * 100.0, 80);
+        let tail = &trace[60..];
+        assert!(
+            tail.iter().all(|&c| c <= 20),
+            "did not adapt downward: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn tolerates_small_drawdowns_without_reversing() {
+        // A 1% dip must not reverse a 3%-threshold climb.
+        let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+        // Utility via throughput where aggregate dips 1% at n=5.
+        let f = |n: u32| {
+            let base = f64::from(n) * 50.0;
+            if n == 5 {
+                base * 0.99
+            } else {
+                base
+            }
+        };
+        let trace = drive(&mut opt, f, 12);
+        // Climb continues past the dip.
+        assert!(trace.iter().any(|&c| c >= 10), "trace: {trace:?}");
+    }
+}

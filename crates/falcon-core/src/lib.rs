@@ -1,0 +1,52 @@
+//! Falcon's core: game-theory-inspired utility functions and online
+//! optimizers for high-speed file-transfer tuning (SC '21, §3).
+//!
+//! Falcon treats the end-to-end transfer system as a black box. Each probe
+//! interval (3–5 s) it observes aggregate throughput, per-thread throughput
+//! and packet-loss rate for the current setting, converts them to a scalar
+//! **utility**, and feeds the utility to an **online search algorithm** that
+//! proposes the next setting:
+//!
+//! - [`utility`] — Equations 1–4 and 7 of the paper, including the novel
+//!   nonlinear concurrency regret `n·t/Kⁿ − n·t·L·B` (Eq 4) whose strict
+//!   concavity (for `n < 2/ln K`, Eq 5) guarantees convergence to a fair
+//!   Nash equilibrium among competing transfers.
+//! - [`hill_climbing`] — ±1 search with a 3% improvement threshold.
+//! - [`gradient`] — online gradient descent with probe-based gradients
+//!   (`n−1`, `n+1`) and a monotonically growing confidence factor θ.
+//! - [`bayesian`] — Bayesian optimization over a Gaussian-process surrogate
+//!   (20-observation window, 3 random initial samples, GP-Hedge acquisition
+//!   portfolio).
+//! - [`conjugate`] — conjugate gradient descent for multi-parameter tuning
+//!   (concurrency × parallelism × pipelining, §4.4).
+//! - [`golden_section`] and [`stochastic`] — the related-work searches the
+//!   paper compares against in §5 (GridFTP-APT's Golden Section Search and
+//!   ProbData's stochastic approximation), implemented so the experiment
+//!   suite can demonstrate their adaptivity and convergence-speed gaps.
+//! - [`agent`] — the controller loop gluing a utility to an optimizer.
+
+pub mod agent;
+pub mod bayesian;
+pub mod bayesian_mp;
+pub mod conjugate;
+pub mod golden_section;
+pub mod gradient;
+pub mod hill_climbing;
+pub mod metrics;
+pub mod optimizer;
+pub mod settings;
+pub mod stochastic;
+pub mod utility;
+
+pub use agent::FalconAgent;
+pub use bayesian::{BayesianOptimizer, BoParams};
+pub use bayesian_mp::{BayesianMpOptimizer, BoMpParams};
+pub use conjugate::{CgdParams, ConjugateGradientOptimizer};
+pub use golden_section::{GoldenSectionOptimizer, GssParams};
+pub use gradient::{GdParams, GradientDescentOptimizer};
+pub use hill_climbing::{HcParams, HillClimbingOptimizer};
+pub use stochastic::{SpsaOptimizer, SpsaParams};
+pub use metrics::ProbeMetrics;
+pub use optimizer::{Observation, OnlineOptimizer};
+pub use settings::{SearchBounds, TransferSettings};
+pub use utility::UtilityFunction;

@@ -1,0 +1,66 @@
+//! Black-box observations of a probe interval.
+
+use serde::{Deserialize, Serialize};
+
+use crate::settings::TransferSettings;
+
+/// What Falcon's monitor thread measures during one sample transfer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProbeMetrics {
+    /// Settings under test.
+    pub settings: TransferSettings,
+    /// Aggregate goodput of the whole transfer task (Mbps).
+    pub aggregate_mbps: f64,
+    /// Average per-file-thread goodput `t` (Mbps).
+    pub per_thread_mbps: f64,
+    /// Packet-loss rate `L` over the interval.
+    pub loss_rate: f64,
+    /// Interval length (seconds).
+    pub interval_s: f64,
+}
+
+impl ProbeMetrics {
+    /// Build metrics from an aggregate measurement (derives `t = T/n`).
+    pub fn from_aggregate(
+        settings: TransferSettings,
+        aggregate_mbps: f64,
+        loss_rate: f64,
+        interval_s: f64,
+    ) -> Self {
+        ProbeMetrics {
+            settings,
+            aggregate_mbps,
+            per_thread_mbps: aggregate_mbps / f64::from(settings.concurrency.max(1)),
+            loss_rate,
+            interval_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_aggregate_derives_per_thread() {
+        let m = ProbeMetrics::from_aggregate(
+            TransferSettings::with_concurrency(4),
+            1000.0,
+            0.01,
+            5.0,
+        );
+        assert_eq!(m.per_thread_mbps, 250.0);
+        assert_eq!(m.aggregate_mbps, 1000.0);
+    }
+
+    #[test]
+    fn zero_concurrency_does_not_divide_by_zero() {
+        let s = TransferSettings {
+            concurrency: 0,
+            parallelism: 1,
+            pipelining: 1,
+        };
+        let m = ProbeMetrics::from_aggregate(s, 100.0, 0.0, 5.0);
+        assert_eq!(m.per_thread_mbps, 100.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! The online-optimizer interface shared by all search algorithms.
+
+use crate::metrics::ProbeMetrics;
+use crate::settings::TransferSettings;
+
+/// One completed probe: the setting that was tested, the raw metrics, and
+/// the utility the agent's utility function assigned to them.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Setting that was probed.
+    pub settings: TransferSettings,
+    /// Scalar utility of the probe.
+    pub utility: f64,
+    /// Raw metrics behind the utility.
+    pub metrics: ProbeMetrics,
+}
+
+/// An online search algorithm: consumes one observation per probe interval
+/// and proposes the next setting to test. Implementations keep searching
+/// forever (the paper's requirement for adapting to dynamic conditions) —
+/// there is no "done" state.
+pub trait OnlineOptimizer: Send {
+    /// Algorithm name for experiment logs.
+    fn name(&self) -> &'static str;
+
+    /// The setting the optimizer wants probed first.
+    fn initial(&self) -> TransferSettings;
+
+    /// Consume an observation, return the next setting to probe.
+    fn next(&mut self, obs: &Observation) -> TransferSettings;
+
+    /// Reset internal state (used when the environment changes abruptly and
+    /// a caller wants a cold restart; optimizers also adapt on their own).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::TransferSettings;
+
+    /// The trait must be object safe — agents hold `Box<dyn OnlineOptimizer>`.
+    struct Fixed;
+    impl OnlineOptimizer for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn initial(&self) -> TransferSettings {
+            TransferSettings::with_concurrency(2)
+        }
+        fn next(&mut self, _obs: &Observation) -> TransferSettings {
+            TransferSettings::with_concurrency(2)
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn OnlineOptimizer> = Box::new(Fixed);
+        assert_eq!(b.name(), "fixed");
+        assert_eq!(b.initial().concurrency, 2);
+    }
+}

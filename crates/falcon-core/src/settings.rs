@@ -1,0 +1,173 @@
+//! Application-layer transfer settings and search bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// The tunable application-layer parameters of a transfer (GridFTP's
+/// `-cc`, `-p`, `-pp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferSettings {
+    /// Number of files transferred simultaneously.
+    pub concurrency: u32,
+    /// TCP connections per file.
+    pub parallelism: u32,
+    /// Transfer commands queued back-to-back per channel (hides per-file
+    /// startup gaps; negligible resource cost, §4.4).
+    pub pipelining: u32,
+}
+
+impl TransferSettings {
+    /// Concurrency-only settings (the paper's primary mode, §3).
+    pub fn with_concurrency(concurrency: u32) -> Self {
+        TransferSettings {
+            concurrency,
+            parallelism: 1,
+            pipelining: 1,
+        }
+    }
+
+    /// Total TCP connections this setting creates (`n × p`).
+    pub fn total_connections(&self) -> u32 {
+        self.concurrency.saturating_mul(self.parallelism)
+    }
+
+    /// Settings as a feature vector for surrogate models.
+    pub fn as_vec(&self) -> Vec<f64> {
+        vec![
+            f64::from(self.concurrency),
+            f64::from(self.parallelism),
+            f64::from(self.pipelining),
+        ]
+    }
+}
+
+impl Default for TransferSettings {
+    fn default() -> Self {
+        TransferSettings::with_concurrency(1)
+    }
+}
+
+impl std::fmt::Display for TransferSettings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cc={} p={} pp={}",
+            self.concurrency, self.parallelism, self.pipelining
+        )
+    }
+}
+
+/// Box bounds of the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBounds {
+    /// Inclusive concurrency range.
+    pub concurrency: (u32, u32),
+    /// Inclusive parallelism range.
+    pub parallelism: (u32, u32),
+    /// Inclusive pipelining range.
+    pub pipelining: (u32, u32),
+}
+
+impl SearchBounds {
+    /// Concurrency-only search in `[1, max]`, other parameters pinned at 1.
+    pub fn concurrency_only(max: u32) -> Self {
+        assert!(max >= 1);
+        SearchBounds {
+            concurrency: (1, max),
+            parallelism: (1, 1),
+            pipelining: (1, 1),
+        }
+    }
+
+    /// Full multi-parameter box (§4.4).
+    pub fn multi_parameter(max_cc: u32, max_p: u32, max_pp: u32) -> Self {
+        SearchBounds {
+            concurrency: (1, max_cc.max(1)),
+            parallelism: (1, max_p.max(1)),
+            pipelining: (1, max_pp.max(1)),
+        }
+    }
+
+    /// Clamp settings into the box.
+    pub fn clamp(&self, s: TransferSettings) -> TransferSettings {
+        TransferSettings {
+            concurrency: s.concurrency.clamp(self.concurrency.0, self.concurrency.1),
+            parallelism: s.parallelism.clamp(self.parallelism.0, self.parallelism.1),
+            pipelining: s.pipelining.clamp(self.pipelining.0, self.pipelining.1),
+        }
+    }
+
+    /// Whether the settings lie inside the box.
+    pub fn contains(&self, s: TransferSettings) -> bool {
+        self.clamp(s) == s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_connections_multiplies() {
+        let s = TransferSettings {
+            concurrency: 5,
+            parallelism: 4,
+            pipelining: 8,
+        };
+        assert_eq!(s.total_connections(), 20);
+    }
+
+    #[test]
+    fn clamp_respects_box() {
+        let b = SearchBounds::concurrency_only(32);
+        let s = b.clamp(TransferSettings {
+            concurrency: 100,
+            parallelism: 7,
+            pipelining: 3,
+        });
+        assert_eq!(s.concurrency, 32);
+        assert_eq!(s.parallelism, 1);
+        assert_eq!(s.pipelining, 1);
+    }
+
+    #[test]
+    fn clamp_raises_below_minimum() {
+        let b = SearchBounds::multi_parameter(32, 8, 16);
+        let s = b.clamp(TransferSettings {
+            concurrency: 0,
+            parallelism: 0,
+            pipelining: 0,
+        });
+        assert_eq!(s, TransferSettings::with_concurrency(1));
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let b = SearchBounds::multi_parameter(10, 4, 8);
+        assert!(b.contains(TransferSettings {
+            concurrency: 10,
+            parallelism: 4,
+            pipelining: 8,
+        }));
+        assert!(!b.contains(TransferSettings {
+            concurrency: 11,
+            parallelism: 1,
+            pipelining: 1,
+        }));
+    }
+
+    #[test]
+    fn as_vec_roundtrip() {
+        let s = TransferSettings {
+            concurrency: 3,
+            parallelism: 2,
+            pipelining: 9,
+        };
+        assert_eq!(s.as_vec(), vec![3.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = TransferSettings::with_concurrency(7);
+        assert_eq!(s.to_string(), "cc=7 p=1 pp=1");
+    }
+}

@@ -1,0 +1,287 @@
+//! Simultaneous-perturbation stochastic approximation — the ProbData
+//! approach (paper reference [48], Yun et al.).
+//!
+//! ProbData tunes transfer parameters with stochastic approximation: probe
+//! a random perturbation around the current point, move along the
+//! estimated gradient with a *decaying* gain sequence `a_k = a / (k+A)^α`,
+//! and shrink the perturbation as `c_k = c / (k+1)^γ`. The decaying gains
+//! give asymptotic convergence guarantees on a *stationary* objective, but
+//! they are exactly why the paper dismisses the approach for high-speed
+//! transfers: with probe intervals of several seconds, the step sizes
+//! become negligible long before the search has crossed a realistic
+//! space ("it takes several hours to converge … it may even fail to
+//! converge due to large variations in sample transfers", §5).
+//!
+//! Classic SPSA constants (Spall 1998): `α = 0.602`, `γ = 0.101`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::optimizer::{Observation, OnlineOptimizer};
+use crate::settings::{SearchBounds, TransferSettings};
+
+/// Stochastic-approximation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpsaParams {
+    /// Search bounds (concurrency only).
+    pub bounds: SearchBounds,
+    /// Starting concurrency.
+    pub start: u32,
+    /// Gain numerator `a` of `a_k = a/(k+A)^α`.
+    pub a: f64,
+    /// Gain stability offset `A`.
+    pub big_a: f64,
+    /// Gain decay exponent `α`.
+    pub alpha: f64,
+    /// Perturbation numerator `c` of `c_k = c/(k+1)^γ`.
+    pub c: f64,
+    /// Perturbation decay exponent `γ`.
+    pub gamma: f64,
+    /// RNG seed for the perturbation signs.
+    pub seed: u64,
+}
+
+impl SpsaParams {
+    /// Spall's classic constants, scaled for an integer concurrency space.
+    pub fn new(max_concurrency: u32) -> Self {
+        SpsaParams {
+            bounds: SearchBounds::concurrency_only(max_concurrency),
+            start: 2,
+            a: 4.0,
+            big_a: 10.0,
+            alpha: 0.602,
+            c: 2.0,
+            gamma: 0.101,
+            seed: 0x5b5a,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Waiting for the utility at `center - c_k·Δ`.
+    Minus { delta: f64 },
+    /// Waiting for the utility at `center + c_k·Δ`.
+    Plus { delta: f64, u_minus: f64 },
+}
+
+/// SPSA optimizer state.
+#[derive(Debug)]
+pub struct SpsaOptimizer {
+    params: SpsaParams,
+    rng: StdRng,
+    center: f64,
+    k: u32,
+    phase: Phase,
+}
+
+impl SpsaOptimizer {
+    /// New search with the given parameters.
+    pub fn new(params: SpsaParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let delta: f64 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        SpsaOptimizer {
+            center: f64::from(params.start),
+            k: 0,
+            phase: Phase::Minus { delta },
+            rng,
+            params,
+        }
+    }
+
+    /// Current (continuous) center of the search.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Iteration counter `k`.
+    pub fn iteration(&self) -> u32 {
+        self.k
+    }
+
+    fn gain(&self) -> f64 {
+        self.params.a / (f64::from(self.k) + self.params.big_a).powf(self.params.alpha)
+    }
+
+    fn perturbation(&self) -> f64 {
+        (self.params.c / (f64::from(self.k) + 1.0).powf(self.params.gamma)).max(1.0)
+    }
+
+    fn clamp_cc(&self, x: f64) -> u32 {
+        let (lo, hi) = self.params.bounds.concurrency;
+        (x.round() as i64).clamp(i64::from(lo), i64::from(hi)) as u32
+    }
+}
+
+impl OnlineOptimizer for SpsaOptimizer {
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+
+    fn initial(&self) -> TransferSettings {
+        let delta = match self.phase {
+            Phase::Minus { delta } => delta,
+            Phase::Plus { delta, .. } => delta,
+        };
+        TransferSettings::with_concurrency(self.clamp_cc(self.center - self.perturbation() * delta))
+    }
+
+    fn next(&mut self, obs: &Observation) -> TransferSettings {
+        match self.phase {
+            Phase::Minus { delta } => {
+                self.phase = Phase::Plus {
+                    delta,
+                    u_minus: obs.utility,
+                };
+                TransferSettings::with_concurrency(
+                    self.clamp_cc(self.center + self.perturbation() * delta),
+                )
+            }
+            Phase::Plus { delta, u_minus } => {
+                let u_plus = obs.utility;
+                let c_k = self.perturbation();
+                // SPSA gradient estimate (normalized so the gain operates
+                // on relative utility change, keeping `a` unit-free).
+                let scale = u_minus.abs().max(1e-9);
+                let g_hat = (u_plus - u_minus) / (2.0 * c_k * delta) / scale;
+                self.center += self.gain() * g_hat * self.center.max(1.0);
+                let (lo, hi) = self.params.bounds.concurrency;
+                self.center = self.center.clamp(f64::from(lo), f64::from(hi));
+                self.k += 1;
+                let delta: f64 = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
+                self.phase = Phase::Minus { delta };
+                TransferSettings::with_concurrency(
+                    self.clamp_cc(self.center - self.perturbation() * delta),
+                )
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.center = f64::from(self.params.start);
+        self.k = 0;
+        let delta: f64 = if self.rng.gen::<bool>() { 1.0 } else { -1.0 };
+        self.phase = Phase::Minus { delta };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProbeMetrics;
+    use crate::utility::UtilityFunction;
+
+    fn drive<F: Fn(u32) -> f64>(opt: &mut SpsaOptimizer, f: F, probes: usize) -> Vec<u32> {
+        let mut trace = Vec::new();
+        let mut cc = opt.initial().concurrency;
+        for _ in 0..probes {
+            let m = ProbeMetrics::from_aggregate(
+                TransferSettings::with_concurrency(cc),
+                f(cc),
+                0.0,
+                5.0,
+            );
+            let u = UtilityFunction::falcon_default().evaluate(&m);
+            let s = opt.next(&Observation {
+                settings: m.settings,
+                utility: u,
+                metrics: m,
+            });
+            cc = s.concurrency;
+            trace.push(cc);
+        }
+        trace
+    }
+
+    fn emulab48(n: u32) -> f64 {
+        f64::from(n) * 21.0f64.min(1008.0 / f64::from(n))
+    }
+
+    #[test]
+    fn moves_toward_the_optimum() {
+        let mut opt = SpsaOptimizer::new(SpsaParams::new(100));
+        drive(&mut opt, emulab48, 60);
+        // It moves the right way — just slowly (the paper's point).
+        assert!(
+            opt.center() > 10.0,
+            "SPSA barely moved: center {}",
+            opt.center()
+        );
+        assert!(
+            opt.center() < 40.0,
+            "SPSA should still be far from the optimum after 60 probes: {}",
+            opt.center()
+        );
+    }
+
+    #[test]
+    fn converges_slower_than_gradient_descent() {
+        // The paper's point about ProbData: decaying gains make it far
+        // slower than Falcon's searches on the same landscape.
+        let mut spsa = SpsaOptimizer::new(SpsaParams::new(100));
+        drive(&mut spsa, emulab48, 30);
+        let spsa_center = spsa.center();
+
+        let mut gd = crate::gradient::GradientDescentOptimizer::new(
+            crate::gradient::GdParams::new(100),
+        );
+        let mut cc = gd.initial().concurrency;
+        for _ in 0..30 {
+            let m = ProbeMetrics::from_aggregate(
+                TransferSettings::with_concurrency(cc),
+                emulab48(cc),
+                0.0,
+                5.0,
+            );
+            let u = UtilityFunction::falcon_default().evaluate(&m);
+            cc = crate::optimizer::OnlineOptimizer::next(
+                &mut gd,
+                &Observation {
+                    settings: m.settings,
+                    utility: u,
+                    metrics: m,
+                },
+            )
+            .concurrency;
+        }
+        assert!(
+            f64::from(gd.center()) > spsa_center + 5.0,
+            "GD {} should be well ahead of SPSA {spsa_center}",
+            gd.center()
+        );
+    }
+
+    #[test]
+    fn gain_sequence_decays() {
+        let mut opt = SpsaOptimizer::new(SpsaParams::new(100));
+        let g0 = opt.gain();
+        drive(&mut opt, emulab48, 40);
+        assert!(opt.iteration() >= 19);
+        assert!(opt.gain() < g0 * 0.75, "{} vs {g0}", opt.gain());
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut opt = SpsaOptimizer::new(SpsaParams::new(16));
+        let trace = drive(&mut opt, |n| f64::from(n) * 100.0, 60);
+        assert!(trace.iter().all(|&c| (1..=16).contains(&c)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut opt = SpsaOptimizer::new(SpsaParams::new(64));
+            drive(&mut opt, emulab48, 30)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut opt = SpsaOptimizer::new(SpsaParams::new(64));
+        drive(&mut opt, emulab48, 30);
+        opt.reset();
+        assert_eq!(opt.center(), 2.0);
+        assert_eq!(opt.iteration(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments list            # show available experiment names
+//! experiments all             # run everything (writes results/*.csv)
+//! experiments fig7 fig13 ...  # run specific experiments
+//! ```
+//!
+//! Each experiment prints an aligned table to stdout and writes a CSV to
+//! `results/<name>.csv`.
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = falcon_experiments::registry();
+
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for (name, _) in &registry {
+            println!("  {name}");
+        }
+        println!("  all");
+        if args.is_empty() {
+            eprintln!("\nusage: experiments <name>... | all | list");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let selected: Vec<&falcon_experiments::Experiment> = if args.iter().any(|a| a == "all") {
+        registry.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match registry.iter().find(|(n, _)| n == a) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment {a:?}; try `experiments list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+
+    std::fs::create_dir_all("results").ok();
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        let table = f();
+        println!("{}", table.render());
+        let path = format!("results/{name}.csv");
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("[{name}] wrote {path} in {:.1}s\n", t0.elapsed().as_secs_f64());
+        }
+    }
+}

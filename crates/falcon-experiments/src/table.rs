@@ -1,0 +1,138 @@
+//! Tabular experiment output: aligned text and CSV.
+
+/// A named table of results.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title shown above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Formatted rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push_row(&mut self, row: &[String]) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row.to_vec());
+    }
+
+    /// Parse a cell as f64 (for assertions in tests and benches).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .parse()
+            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+    }
+
+    /// Index of a header.
+    pub fn col(&self, header: &str) -> usize {
+        self.headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column {header:?}"))
+    }
+
+    /// Column as f64s.
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let c = self.col(header);
+        (0..self.rows.len()).map(|r| self.cell_f64(r, c)).collect()
+    }
+
+    /// Aligned plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(&["1".into(), "2.5".into()]);
+        t.push_row(&["10".into(), "3.25".into()]);
+        t
+    }
+
+    #[test]
+    fn cell_parsing() {
+        let t = sample();
+        assert_eq!(t.cell_f64(0, 0), 1.0);
+        assert_eq!(t.cell_f64(1, 1), 3.25);
+        assert_eq!(t.column_f64("x"), vec![1.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(&["1".into()]);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let r = sample().render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("3.25"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "x,y");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        sample().col("z");
+    }
+}

@@ -1,0 +1,132 @@
+//! Covariance kernels.
+
+/// A stationary covariance kernel over `R^d`.
+pub trait Kernel {
+    /// Covariance between two points.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Prior variance at a point (`k(x, x)`).
+    fn diag(&self) -> f64;
+}
+
+/// Squared-exponential (RBF) kernel:
+/// `k(a,b) = σ² · exp(-‖a-b‖² / (2ℓ²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rbf {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ.
+    pub length_scale: f64,
+}
+
+impl Rbf {
+    /// New RBF kernel; panics on non-positive hyperparameters.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(variance > 0.0 && length_scale > 0.0);
+        Rbf {
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl Kernel for Rbf {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.variance
+    }
+}
+
+/// Matérn 5/2 kernel, the standard choice for Bayesian optimization
+/// surrogates (less smooth than RBF, more robust to model mismatch):
+/// `k(r) = σ² (1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(-√5 r/ℓ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Matern52 {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ.
+    pub length_scale: f64,
+}
+
+impl Matern52 {
+    /// New Matérn 5/2 kernel; panics on non-positive hyperparameters.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(variance > 0.0 && length_scale > 0.0);
+        Matern52 {
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl Kernel for Matern52 {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let r = d2.sqrt();
+        let s = 5.0_f64.sqrt() * r / self.length_scale;
+        self.variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+
+    fn diag(&self) -> f64 {
+        self.variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_is_variance_at_zero_distance() {
+        let k = Rbf::new(2.5, 1.0);
+        assert!((k.eval(&[1.0], &[1.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(k.diag(), 2.5);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Rbf::new(1.0, 2.0);
+        let near = k.eval(&[0.0], &[1.0]);
+        let far = k.eval(&[0.0], &[5.0]);
+        assert!(near > far && far > 0.0);
+    }
+
+    #[test]
+    fn rbf_symmetric() {
+        let k = Rbf::new(1.0, 3.0);
+        assert_eq!(k.eval(&[1.0, 2.0], &[4.0, -1.0]), k.eval(&[4.0, -1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn matern_is_variance_at_zero_distance() {
+        let k = Matern52::new(1.7, 1.0);
+        assert!((k.eval(&[0.0], &[0.0]) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern_heavier_tail_than_rbf() {
+        // At several length scales out, Matérn retains more covariance.
+        let rbf = Rbf::new(1.0, 1.0);
+        let mat = Matern52::new(1.0, 1.0);
+        let d = [4.0];
+        let o = [0.0];
+        assert!(mat.eval(&o, &d) > rbf.eval(&o, &d));
+    }
+
+    #[test]
+    fn longer_length_scale_means_slower_decay() {
+        let short = Rbf::new(1.0, 0.5);
+        let long = Rbf::new(1.0, 5.0);
+        assert!(long.eval(&[0.0], &[2.0]) > short.eval(&[0.0], &[2.0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rbf_rejects_nonpositive_length() {
+        Rbf::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! From-scratch Gaussian-process regression for Falcon's Bayesian optimizer.
+//!
+//! The paper's Bayesian Optimization search (§3.2) uses a Gaussian Process
+//! surrogate over the utility-vs-concurrency function, limited to the last
+//! 20 observations so that (i) changing system conditions are forgotten
+//! quickly and (ii) the cubic cost of GP inference stays in the
+//! milliseconds. Acquisition functions are chosen adaptively by the
+//! **GP-Hedge** portfolio algorithm (Hoffman et al., building on the
+//! adversarial-bandit Hedge/Exp3 of Auer et al., the paper's reference
+//! \[13\]).
+//!
+//! Everything is implemented here from first principles on dense `f64`
+//! matrices: Cholesky factorization, triangular solves, RBF/Matérn kernels,
+//! log marginal likelihood, and a small grid-search hyperparameter fit. The
+//! problem dimension for Falcon is 1 (concurrency) to 3 (adding parallelism
+//! and pipelining), and the training set is ≤ 20 points, so dense
+//! factorizations are the right tool — no BLAS needed.
+
+pub mod acquisition;
+pub mod gp;
+pub mod hedge;
+pub mod kernel;
+pub mod linalg;
+pub mod normal;
+
+pub use acquisition::{Acquisition, AcquisitionKind};
+pub use gp::{GpError, GpRegressor};
+pub use hedge::GpHedge;
+pub use kernel::{Kernel, Matern52, Rbf};
+pub use linalg::Matrix;

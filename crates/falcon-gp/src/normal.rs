@@ -1,0 +1,69 @@
+//! Standard normal PDF/CDF via the Abramowitz–Stegun erf approximation.
+
+use std::f64::consts::PI;
+
+/// Standard normal probability density.
+#[inline]
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Error function, Abramowitz & Stegun formula 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+#[inline]
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_peak_at_zero() {
+        assert!((pdf(0.0) - 0.398942).abs() < 1e-5);
+        assert!(pdf(1.0) < pdf(0.0));
+        assert!((pdf(2.0) - pdf(-2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841345).abs() < 1e-5);
+        assert!((cdf(-1.0) - 0.158655).abs() < 1e-5);
+        assert!((cdf(1.96) - 0.975002).abs() < 1e-4);
+        assert!(cdf(6.0) > 0.999999);
+        assert!(cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut prev = 0.0;
+        let mut x = -5.0;
+        while x <= 5.0 {
+            let c = cdf(x);
+            assert!(c >= prev);
+            prev = c;
+            x += 0.1;
+        }
+    }
+
+    #[test]
+    fn erf_odd_function() {
+        for &x in &[0.1, 0.7, 1.5, 3.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the Gaussian-process stack.
+
+use proptest::prelude::*;
+
+use falcon_gp::linalg::{dot, Matrix};
+use falcon_gp::{Acquisition, AcquisitionKind, GpRegressor, Kernel, Matern52, Rbf};
+
+/// Build a random symmetric positive-definite matrix `A = B·Bᵀ + εI`.
+fn spd(values: &[f64], n: usize) -> Matrix {
+    let mut b = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = values[i * n + j];
+        }
+    }
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += b[(i, k)] * b[(j, k)];
+            }
+            a[(i, j)] = s;
+        }
+        a[(i, i)] += 0.5;
+    }
+    a
+}
+
+proptest! {
+    /// Cholesky solves invert random SPD systems: `A·x = b` round-trips.
+    #[test]
+    fn cholesky_solves_random_spd(
+        vals in proptest::collection::vec(-2.0f64..2.0, 16),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let a = spd(&vals, 4);
+        let l = a.cholesky().expect("SPD by construction");
+        let y = l.solve_lower(&b);
+        let x = l.solve_lower_transpose(&y);
+        let back = a.mat_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    /// Cholesky log-det is finite and the factor is lower-triangular with
+    /// positive diagonal.
+    #[test]
+    fn cholesky_factor_well_formed(
+        vals in proptest::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let a = spd(&vals, 3);
+        let l = a.cholesky().unwrap();
+        for i in 0..3 {
+            prop_assert!(l[(i, i)] > 0.0);
+            for j in (i + 1)..3 {
+                prop_assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+        prop_assert!(l.cholesky_log_det().is_finite());
+    }
+
+    /// Kernels are symmetric, bounded by their variance, and maximal at
+    /// zero distance.
+    #[test]
+    fn kernels_symmetric_and_bounded(
+        a in proptest::collection::vec(-50.0f64..50.0, 2),
+        b in proptest::collection::vec(-50.0f64..50.0, 2),
+        var in 0.1f64..10.0,
+        ls in 0.1f64..20.0,
+    ) {
+        let rbf = Rbf::new(var, ls);
+        let mat = Matern52::new(var, ls);
+        for k in [&rbf as &dyn Kernel, &mat as &dyn Kernel] {
+            let kab = k.eval(&a, &b);
+            let kba = k.eval(&b, &a);
+            prop_assert!((kab - kba).abs() < 1e-12);
+            prop_assert!(kab <= var + 1e-12);
+            prop_assert!(kab >= 0.0);
+            prop_assert!((k.eval(&a, &a) - var).abs() < 1e-9);
+        }
+    }
+
+    /// GP posterior variance is non-negative everywhere and the posterior
+    /// mean is finite for arbitrary targets.
+    #[test]
+    fn gp_posterior_well_formed(
+        ys in proptest::collection::vec(-1000.0f64..1000.0, 2..12),
+        q in -100.0f64..100.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64 * 3.0]).collect();
+        let gp = GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 5.0), 1e-3).unwrap();
+        let (m, v) = gp.predict(&[q]);
+        prop_assert!(m.is_finite());
+        prop_assert!(v >= 0.0 && v.is_finite());
+    }
+
+    /// Acquisition argmax always returns a valid candidate index, for all
+    /// portfolio members.
+    #[test]
+    fn acquisition_argmax_in_range(
+        ys in proptest::collection::vec(-10.0f64..10.0, 3..10),
+        best in -10.0f64..10.0,
+        n_candidates in 1usize..40,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let gp = GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 2.0), 1e-2).unwrap();
+        let candidates: Vec<Vec<f64>> = (0..n_candidates).map(|i| vec![i as f64 * 0.5]).collect();
+        for kind in AcquisitionKind::portfolio() {
+            let acq = Acquisition::with_defaults(kind);
+            let idx = acq.argmax(&gp, &candidates, best);
+            prop_assert!(idx < candidates.len());
+        }
+    }
+
+    /// dot() agrees with a manual loop.
+    #[test]
+    fn dot_matches_manual(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..20),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+        let manual: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((dot(&a, &b) - manual).abs() < 1e-9 * manual.abs().max(1.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! The destination side: accept and drain connections, count bytes.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::throttle::TokenBucket;
+
+/// A loopback receiver: accepts connections on an ephemeral port and drains
+/// them on dedicated threads, accumulating a global byte counter.
+///
+/// With [`Receiver::start_throttled`], each drain thread reads through a
+/// token bucket: the socket buffers then fill and TCP backpressure slows
+/// the sender — a live reproduction of the *destination-write-limited*
+/// regime (the paper's HPCLab bottleneck) on real sockets.
+pub struct Receiver {
+    port: u16,
+    bytes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Receiver {
+    /// Bind 127.0.0.1 on an ephemeral port and start accepting, draining
+    /// at full speed.
+    pub fn start() -> std::io::Result<Self> {
+        Self::start_inner(None)
+    }
+
+    /// Like [`Receiver::start`], but each connection is drained at no more
+    /// than `per_conn_mbps` — the per-process write cap of a parallel file
+    /// system, live.
+    pub fn start_throttled(per_conn_mbps: f64) -> std::io::Result<Self> {
+        assert!(per_conn_mbps > 0.0);
+        Self::start_inner(Some(per_conn_mbps))
+    }
+
+    fn start_inner(per_conn_mbps: Option<f64>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let bytes = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let b = Arc::clone(&bytes);
+        let s = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut drains: Vec<JoinHandle<()>> = Vec::new();
+            while !s.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let b = Arc::clone(&b);
+                        let s = Arc::clone(&s);
+                        drains.push(std::thread::spawn(move || {
+                            drain(stream, &b, &s, per_conn_mbps)
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+                drains.retain(|h| !h.is_finished());
+            }
+            for h in drains {
+                let _ = h.join();
+            }
+        });
+
+        Ok(Receiver {
+            port,
+            bytes,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Port the receiver listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Total bytes drained across all connections so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and draining.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn drain(mut stream: TcpStream, bytes: &AtomicU64, stop: &AtomicBool, per_conn_mbps: Option<f64>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut bucket = per_conn_mbps.map(TokenBucket::new);
+    let mut buf = vec![0u8; 256 * 1024];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                bytes.fetch_add(n as u64, Ordering::Relaxed);
+                if let Some(bucket) = bucket.as_mut() {
+                    // Emulate a slow storage write: withhold further reads
+                    // until the "disk" has caught up. The kernel buffers
+                    // fill and TCP pushes back on the sender.
+                    let wait = bucket.acquire(n);
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait.min(Duration::from_millis(250)));
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn counts_bytes_from_one_connection() {
+        let rx = Receiver::start().unwrap();
+        let mut tx = TcpStream::connect(("127.0.0.1", rx.port())).unwrap();
+        let payload = vec![7u8; 1_000_000];
+        tx.write_all(&payload).unwrap();
+        drop(tx);
+        // Wait for the drain thread.
+        for _ in 0..100 {
+            if rx.total_bytes() >= 1_000_000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(rx.total_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn counts_bytes_from_parallel_connections() {
+        let rx = Receiver::start().unwrap();
+        let port = rx.port();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut tx = TcpStream::connect(("127.0.0.1", port)).unwrap();
+                    tx.write_all(&vec![1u8; 250_000]).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..100 {
+            if rx.total_bytes() >= 1_000_000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(rx.total_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn throttled_receiver_limits_drain_rate() {
+        use std::io::Write;
+        // 16 Mbps = 2 MB/s per connection.
+        let rx = Receiver::start_throttled(16.0).unwrap();
+        let port = rx.port();
+        let writer = std::thread::spawn(move || {
+            let mut tx = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            let chunk = vec![3u8; 64 * 1024];
+            let deadline = std::time::Instant::now() + Duration::from_millis(900);
+            while std::time::Instant::now() < deadline {
+                if tx.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(1000));
+        let drained = rx.total_bytes();
+        writer.join().unwrap();
+        // 2 MB/s for ~1 s plus kernel socket buffers (~a few hundred KB):
+        // far below the >100 MB an unthrottled loopback second moves.
+        assert!(
+            drained < 8_000_000,
+            "throttle ineffective: drained {drained} bytes"
+        );
+        assert!(drained > 500_000, "nothing drained: {drained}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut rx = Receiver::start().unwrap();
+        rx.shutdown();
+        rx.shutdown();
+    }
+}

@@ -1,0 +1,349 @@
+//! The source side: a dynamic pool of throttled file-worker threads.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use falcon_core::{ProbeMetrics, TransferSettings};
+use parking_lot::Mutex;
+
+use crate::throttle::TokenBucket;
+
+/// Configuration of a loopback transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopbackConfig {
+    /// Receiver port (from [`crate::Receiver::port`]).
+    pub port: u16,
+    /// Per-worker token-bucket rate (the per-process I/O cap), Mbps.
+    pub per_worker_mbps: f64,
+    /// Byte budget; the transfer completes when this many bytes are sent.
+    /// `u64::MAX` for open-ended experiments.
+    pub total_bytes: u64,
+    /// Hard ceiling on worker threads.
+    pub max_workers: u32,
+}
+
+struct Shared {
+    sent_bytes: AtomicU64,
+    stop_all: AtomicBool,
+    budget: AtomicU64,
+}
+
+struct Worker {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+/// A live loopback transfer with a dynamically sized worker pool.
+///
+/// `set_settings` resizes the pool (concurrency) and reconnects workers
+/// with the requested number of sockets each (parallelism); pipelining has
+/// no wire effect on loopback (there are no per-file control round trips)
+/// and is accepted for interface compatibility.
+pub struct LoopbackTransfer {
+    config: LoopbackConfig,
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<Worker>>,
+    settings: Mutex<TransferSettings>,
+    last_sample: Mutex<(Instant, u64)>,
+    last_peek: Mutex<(Instant, u64)>,
+}
+
+impl LoopbackTransfer {
+    /// Start with one worker.
+    pub fn start(config: LoopbackConfig) -> std::io::Result<Self> {
+        let shared = Arc::new(Shared {
+            sent_bytes: AtomicU64::new(0),
+            stop_all: AtomicBool::new(false),
+            budget: AtomicU64::new(config.total_bytes),
+        });
+        let t = LoopbackTransfer {
+            config,
+            shared,
+            workers: Mutex::new(Vec::new()),
+            settings: Mutex::new(TransferSettings::with_concurrency(1)),
+            last_sample: Mutex::new((Instant::now(), 0)),
+            last_peek: Mutex::new((Instant::now(), 0)),
+        };
+        t.apply_settings(TransferSettings::with_concurrency(1))?;
+        Ok(t)
+    }
+
+    /// Resize the worker pool to match `settings`.
+    pub fn apply_settings(&self, settings: TransferSettings) -> std::io::Result<()> {
+        let target = settings.concurrency.min(self.config.max_workers) as usize;
+        let parallelism = settings.parallelism.max(1);
+        let mut workers = self.workers.lock();
+        let mut current = self.settings.lock();
+        let reconnect = current.parallelism != parallelism;
+        *current = settings;
+        drop(current);
+
+        if reconnect {
+            for w in workers.drain(..) {
+                w.stop.store(true, Ordering::Relaxed);
+                let _ = w.handle.join();
+            }
+        }
+        while workers.len() > target {
+            let w = workers.pop().expect("len checked");
+            w.stop.store(true, Ordering::Relaxed);
+            let _ = w.handle.join();
+        }
+        while workers.len() < target {
+            workers.push(self.spawn_worker(parallelism)?);
+        }
+        Ok(())
+    }
+
+    fn spawn_worker(&self, parallelism: u32) -> std::io::Result<Worker> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let port = self.config.port;
+        let rate = self.config.per_worker_mbps;
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut streams: Vec<TcpStream> = Vec::new();
+            for _ in 0..parallelism {
+                match TcpStream::connect(("127.0.0.1", port)) {
+                    Ok(s) => {
+                        let _ = s.set_write_timeout(Some(Duration::from_millis(200)));
+                        streams.push(s);
+                    }
+                    Err(_) => return,
+                }
+            }
+            let mut bucket = TokenBucket::new(rate);
+            let chunk = vec![0xA5u8; 64 * 1024];
+            let mut idx = 0usize;
+            while !stop2.load(Ordering::Relaxed) && !shared.stop_all.load(Ordering::Relaxed) {
+                // Budget check: claim a chunk before sending it.
+                let claimed = shared
+                    .budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                        Some(b.saturating_sub(chunk.len() as u64))
+                    })
+                    .unwrap_or(0);
+                if claimed == 0 {
+                    shared.stop_all.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let send_len = chunk.len().min(claimed as usize);
+                let wait = bucket.acquire(send_len);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait.min(Duration::from_millis(250)));
+                }
+                let n_streams = streams.len();
+                let stream = &mut streams[idx % n_streams];
+                idx = idx.wrapping_add(1);
+                match stream.write_all(&chunk[..send_len]) {
+                    Ok(()) => {
+                        shared.sent_bytes.fetch_add(send_len as u64, Ordering::Relaxed);
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Worker { stop, handle })
+    }
+
+    /// Current settings.
+    pub fn settings(&self) -> TransferSettings {
+        *self.settings.lock()
+    }
+
+    /// Bytes sent so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.shared.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Whether the byte budget is exhausted.
+    pub fn is_complete(&self) -> bool {
+        self.shared.budget.load(Ordering::Relaxed) == 0
+    }
+
+    /// Interval metrics since the previous `sample` call. Loss on loopback
+    /// is zero: this is the sender-limited regime of §3.1.
+    pub fn sample(&self) -> ProbeMetrics {
+        let mut last = self.last_sample.lock();
+        let now = Instant::now();
+        let sent = self.sent_bytes();
+        let dt = now.duration_since(last.0).as_secs_f64().max(1e-6);
+        let delta = sent - last.1;
+        *last = (now, sent);
+        let settings = self.settings();
+        let mbps = delta as f64 * 8.0 / dt / 1e6;
+        ProbeMetrics {
+            settings,
+            aggregate_mbps: mbps,
+            per_thread_mbps: mbps / f64::from(settings.concurrency.max(1)),
+            loss_rate: 0.0,
+            interval_s: dt,
+        }
+    }
+
+    /// Instantaneous-ish rate (Mbps) since the previous `peek_rate` call,
+    /// without disturbing the probe accounting of [`LoopbackTransfer::sample`].
+    /// Intended for trace recording at ~1 s resolution.
+    pub fn peek_rate(&self) -> f64 {
+        let mut last = self.last_peek.lock();
+        let now = Instant::now();
+        let sent = self.sent_bytes();
+        let dt = now.duration_since(last.0).as_secs_f64();
+        let delta = sent.saturating_sub(last.1);
+        *last = (now, sent);
+        if dt <= 1e-6 {
+            return 0.0;
+        }
+        delta as f64 * 8.0 / dt / 1e6
+    }
+
+    /// Stop all workers.
+    pub fn shutdown(&self) {
+        self.shared.stop_all.store(true, Ordering::Relaxed);
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            w.stop.store(true, Ordering::Relaxed);
+            let _ = w.handle.join();
+        }
+    }
+}
+
+impl Drop for LoopbackTransfer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Receiver;
+
+    fn engine(rx: &Receiver, per_worker_mbps: f64) -> LoopbackTransfer {
+        LoopbackTransfer::start(LoopbackConfig {
+            port: rx.port(),
+            per_worker_mbps,
+            total_bytes: u64::MAX,
+            max_workers: 16,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn throttle_limits_one_worker() {
+        let rx = Receiver::start().unwrap();
+        let tx = engine(&rx, 80.0); // 10 MB/s
+        tx.sample();
+        std::thread::sleep(Duration::from_millis(600));
+        let m = tx.sample();
+        // One worker at 80 Mbps: allow generous slack for scheduling.
+        assert!(
+            (40.0..140.0).contains(&m.aggregate_mbps),
+            "got {} Mbps",
+            m.aggregate_mbps
+        );
+        tx.shutdown();
+    }
+
+    #[test]
+    fn more_workers_scale_throughput() {
+        let rx = Receiver::start().unwrap();
+        let tx = engine(&rx, 40.0);
+        tx.apply_settings(TransferSettings::with_concurrency(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        tx.sample();
+        std::thread::sleep(Duration::from_millis(700));
+        let one = tx.sample().aggregate_mbps;
+
+        tx.apply_settings(TransferSettings::with_concurrency(6)).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        tx.sample();
+        std::thread::sleep(Duration::from_millis(700));
+        let six = tx.sample().aggregate_mbps;
+        assert!(
+            six > 2.5 * one,
+            "concurrency did not scale: {one} -> {six}"
+        );
+        tx.shutdown();
+    }
+
+    #[test]
+    fn byte_budget_completes() {
+        let rx = Receiver::start().unwrap();
+        let tx = LoopbackTransfer::start(LoopbackConfig {
+            port: rx.port(),
+            per_worker_mbps: 800.0,
+            total_bytes: 2_000_000,
+            max_workers: 4,
+        })
+        .unwrap();
+        tx.apply_settings(TransferSettings::with_concurrency(2)).unwrap();
+        for _ in 0..200 {
+            if tx.is_complete() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(tx.is_complete());
+        // Sent within one chunk of the budget.
+        assert!(tx.sent_bytes() >= 1_900_000 && tx.sent_bytes() <= 2_100_000);
+        tx.shutdown();
+    }
+
+    #[test]
+    fn peek_rate_tracks_activity_independently_of_sample() {
+        let rx = Receiver::start().unwrap();
+        let tx = engine(&rx, 80.0);
+        tx.peek_rate();
+        std::thread::sleep(Duration::from_millis(400));
+        let peek = tx.peek_rate();
+        assert!(peek > 0.0, "peek {peek}");
+        // Peeking must not reset the sample window.
+        std::thread::sleep(Duration::from_millis(300));
+        let m = tx.sample();
+        assert!(
+            m.interval_s > 0.6,
+            "sample window was disturbed: {}",
+            m.interval_s
+        );
+        tx.shutdown();
+    }
+
+    #[test]
+    fn shrinking_pool_joins_workers() {
+        let rx = Receiver::start().unwrap();
+        let tx = engine(&rx, 40.0);
+        tx.apply_settings(TransferSettings::with_concurrency(8)).unwrap();
+        tx.apply_settings(TransferSettings::with_concurrency(2)).unwrap();
+        assert_eq!(tx.settings().concurrency, 2);
+        tx.shutdown();
+    }
+
+    #[test]
+    fn parallelism_change_reconnects() {
+        let rx = Receiver::start().unwrap();
+        let tx = engine(&rx, 40.0);
+        tx.apply_settings(TransferSettings {
+            concurrency: 2,
+            parallelism: 3,
+            pipelining: 1,
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        tx.sample();
+        std::thread::sleep(Duration::from_millis(300));
+        let m = tx.sample();
+        assert!(m.aggregate_mbps > 0.0);
+        tx.shutdown();
+    }
+}

@@ -1,0 +1,437 @@
+//! Weighted max-min fair allocation by progressive filling.
+//!
+//! All connections in the paper's environments share one end-to-end path, so
+//! each resource constrains the *sum* of the rates of the streams crossing
+//! it. TCP flows with equal RTT converge to equal shares of a saturated link
+//! (paper footnote 1); progressive filling computes exactly that fixed point
+//! for the fluid model, while honouring each stream's own rate cap (from
+//! per-process I/O throttles or the congestion-control response function).
+
+/// A stream to be allocated: an upper bound on its rate and the set of
+/// resources it crosses (bitmask over at most 64 resources — far more than
+/// any path in this suite needs).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamDemand {
+    /// Maximum rate this stream can use (Mbps); `f64::INFINITY` if unbounded.
+    pub cap_mbps: f64,
+    /// Bitmask of resource indices this stream crosses.
+    pub resource_mask: u64,
+}
+
+/// A weighted stream for [`weighted_max_min_allocate`]: at a saturated
+/// resource a stream receives bandwidth proportional to its weight. Equal
+/// weights reduce to plain max-min; TCP's RTT bias can be modelled with
+/// weights ∝ 1/RTT.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedStreamDemand {
+    /// Maximum rate this stream can use (Mbps).
+    pub cap_mbps: f64,
+    /// Bitmask of resource indices this stream crosses.
+    pub resource_mask: u64,
+    /// Fair-share weight (> 0).
+    pub weight: f64,
+}
+
+/// Compute the max-min fair allocation.
+///
+/// Returns the per-stream allocated rate. `capacities[i]` is the capacity of
+/// resource `i`. Runs in `O(rounds * (streams + resources))` where rounds is
+/// bounded by the number of distinct freezing events (≤ streams + resources).
+pub fn max_min_allocate(streams: &[StreamDemand], capacities: &[f64]) -> Vec<f64> {
+    assert!(capacities.len() <= 64, "at most 64 resources supported");
+    let n = streams.len();
+    let mut rate = vec![0.0f64; n];
+    if n == 0 {
+        return rate;
+    }
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+
+    loop {
+        // Count active streams on each resource.
+        let mut active_count = vec![0u32; capacities.len()];
+        let mut n_active = 0u32;
+        for (s, f) in streams.iter().zip(frozen.iter()) {
+            if !*f {
+                n_active += 1;
+                let mut mask = s.resource_mask;
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    active_count[i] += 1;
+                    mask &= mask - 1;
+                }
+            }
+        }
+        if n_active == 0 {
+            break;
+        }
+
+        // The uniform increment every active stream can still receive is
+        // bounded by the tightest resource and by each stream's own headroom.
+        let mut inc = f64::INFINITY;
+        for (i, &cnt) in active_count.iter().enumerate() {
+            if cnt > 0 {
+                inc = inc.min(remaining[i].max(0.0) / f64::from(cnt));
+            }
+        }
+        for (idx, s) in streams.iter().enumerate() {
+            if !frozen[idx] {
+                inc = inc.min(s.cap_mbps - rate[idx]);
+            }
+        }
+        if !inc.is_finite() {
+            // No stream crosses any resource and all caps are infinite:
+            // degenerate input; nothing more to allocate meaningfully.
+            break;
+        }
+        let inc = inc.max(0.0);
+
+        // Apply the increment and freeze streams that hit their cap or a
+        // saturated resource.
+        for (idx, s) in streams.iter().enumerate() {
+            if frozen[idx] {
+                continue;
+            }
+            rate[idx] += inc;
+            let mut mask = s.resource_mask;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                remaining[i] -= inc;
+                mask &= mask - 1;
+            }
+        }
+        let mut any_frozen = false;
+        for (idx, s) in streams.iter().enumerate() {
+            if frozen[idx] {
+                continue;
+            }
+            let cap_hit = rate[idx] >= s.cap_mbps - 1e-9;
+            let mut res_hit = false;
+            let mut mask = s.resource_mask;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                if remaining[i] <= 1e-9 {
+                    res_hit = true;
+                    break;
+                }
+                mask &= mask - 1;
+            }
+            if cap_hit || res_hit {
+                frozen[idx] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen {
+            // inc was limited only by numerical slack; terminate to be safe.
+            if inc <= 1e-12 {
+                break;
+            }
+        }
+    }
+    rate
+}
+
+/// Weighted max-min fair allocation by progressive filling: every active
+/// stream's rate grows in proportion to its weight until it hits its own
+/// cap or saturates a resource.
+pub fn weighted_max_min_allocate(streams: &[WeightedStreamDemand], capacities: &[f64]) -> Vec<f64> {
+    assert!(capacities.len() <= 64, "at most 64 resources supported");
+    let n = streams.len();
+    let mut rate = vec![0.0f64; n];
+    if n == 0 {
+        return rate;
+    }
+    for s in streams {
+        assert!(s.weight > 0.0, "weights must be positive");
+    }
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+
+    loop {
+        // Total active weight per resource.
+        let mut active_weight = vec![0.0f64; capacities.len()];
+        let mut n_active = 0u32;
+        for (s, f) in streams.iter().zip(frozen.iter()) {
+            if !*f {
+                n_active += 1;
+                let mut mask = s.resource_mask;
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    active_weight[i] += s.weight;
+                    mask &= mask - 1;
+                }
+            }
+        }
+        if n_active == 0 {
+            break;
+        }
+
+        // The uniform *per-weight* increment bounded by the tightest
+        // resource and by each stream's headroom.
+        let mut inc = f64::INFINITY;
+        for (i, &w) in active_weight.iter().enumerate() {
+            if w > 0.0 {
+                inc = inc.min(remaining[i].max(0.0) / w);
+            }
+        }
+        for (idx, s) in streams.iter().enumerate() {
+            if !frozen[idx] {
+                inc = inc.min((s.cap_mbps - rate[idx]) / s.weight);
+            }
+        }
+        if !inc.is_finite() {
+            break;
+        }
+        let inc = inc.max(0.0);
+
+        for (idx, s) in streams.iter().enumerate() {
+            if frozen[idx] {
+                continue;
+            }
+            rate[idx] += inc * s.weight;
+            let mut mask = s.resource_mask;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                remaining[i] -= inc * s.weight;
+                mask &= mask - 1;
+            }
+        }
+        let mut any_frozen = false;
+        for (idx, s) in streams.iter().enumerate() {
+            if frozen[idx] {
+                continue;
+            }
+            let cap_hit = rate[idx] >= s.cap_mbps - 1e-9;
+            let mut res_hit = false;
+            let mut mask = s.resource_mask;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                if remaining[i] <= 1e-9 {
+                    res_hit = true;
+                    break;
+                }
+                mask &= mask - 1;
+            }
+            if cap_hit || res_hit {
+                frozen[idx] = true;
+                any_frozen = true;
+            }
+        }
+        if !any_frozen && inc <= 1e-12 {
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_mask() -> u64 {
+        0b1
+    }
+
+    #[test]
+    fn single_stream_gets_min_of_cap_and_capacity() {
+        let s = [StreamDemand {
+            cap_mbps: 50.0,
+            resource_mask: all_mask(),
+        }];
+        let r = max_min_allocate(&s, &[100.0]);
+        assert!((r[0] - 50.0).abs() < 1e-9);
+
+        let s = [StreamDemand {
+            cap_mbps: 500.0,
+            resource_mask: all_mask(),
+        }];
+        let r = max_min_allocate(&s, &[100.0]);
+        assert!((r[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_streams_share_equally() {
+        let s = vec![
+            StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: all_mask(),
+            };
+            4
+        ];
+        let r = max_min_allocate(&s, &[100.0]);
+        for v in &r {
+            assert!((v - 25.0).abs() < 1e-9, "got {v}");
+        }
+    }
+
+    #[test]
+    fn capped_stream_leaves_surplus_to_others() {
+        let s = [
+            StreamDemand {
+                cap_mbps: 10.0,
+                resource_mask: all_mask(),
+            },
+            StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: all_mask(),
+            },
+        ];
+        let r = max_min_allocate(&s, &[100.0]);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck_is_tightest() {
+        // Two resources; stream crosses both; second is tighter.
+        let s = [StreamDemand {
+            cap_mbps: f64::INFINITY,
+            resource_mask: 0b11,
+        }];
+        let r = max_min_allocate(&s, &[100.0, 40.0]);
+        assert!((r[0] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_streams_do_not_interfere() {
+        let s = [
+            StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: 0b01,
+            },
+            StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: 0b10,
+            },
+        ];
+        let r = max_min_allocate(&s, &[30.0, 70.0]);
+        assert!((r[0] - 30.0).abs() < 1e-9);
+        assert!((r[1] - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_no_resource_oversubscribed() {
+        let s: Vec<StreamDemand> = (0..10)
+            .map(|i| StreamDemand {
+                cap_mbps: 5.0 + f64::from(i),
+                resource_mask: 0b111,
+            })
+            .collect();
+        let caps = [60.0, 80.0, 55.0];
+        let r = max_min_allocate(&s, &caps);
+        for (i, &c) in caps.iter().enumerate() {
+            let used: f64 = s
+                .iter()
+                .zip(r.iter())
+                .filter(|(st, _)| st.resource_mask & (1 << i) != 0)
+                .map(|(_, rr)| rr)
+                .sum();
+            assert!(used <= c + 1e-6, "resource {i} oversubscribed: {used} > {c}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let r = max_min_allocate(&[], &[100.0]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn weighted_allocation_honours_weights() {
+        let streams = [
+            WeightedStreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: 0b1,
+                weight: 1.0,
+            },
+            WeightedStreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: 0b1,
+                weight: 3.0,
+            },
+        ];
+        let r = weighted_max_min_allocate(&streams, &[100.0]);
+        assert!((r[0] - 25.0).abs() < 1e-9, "{r:?}");
+        assert!((r[1] - 75.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn equal_weights_match_unweighted() {
+        let caps = [60.0, 80.0];
+        let plain: Vec<StreamDemand> = (0..5)
+            .map(|i| StreamDemand {
+                cap_mbps: 10.0 + f64::from(i),
+                resource_mask: 0b11,
+            })
+            .collect();
+        let weighted: Vec<WeightedStreamDemand> = plain
+            .iter()
+            .map(|s| WeightedStreamDemand {
+                cap_mbps: s.cap_mbps,
+                resource_mask: s.resource_mask,
+                weight: 1.0,
+            })
+            .collect();
+        let a = max_min_allocate(&plain, &caps);
+        let b = weighted_max_min_allocate(&weighted, &caps);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_capped_stream_releases_surplus() {
+        // Heavyweight stream capped low: its weight advantage is moot and
+        // the lightweight stream takes the rest.
+        let streams = [
+            WeightedStreamDemand {
+                cap_mbps: 10.0,
+                resource_mask: 0b1,
+                weight: 10.0,
+            },
+            WeightedStreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: 0b1,
+                weight: 1.0,
+            },
+        ];
+        let r = weighted_max_min_allocate(&streams, &[100.0]);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let streams = [WeightedStreamDemand {
+            cap_mbps: 1.0,
+            resource_mask: 0b1,
+            weight: 0.0,
+        }];
+        weighted_max_min_allocate(&streams, &[100.0]);
+    }
+
+    #[test]
+    fn agent_share_proportional_to_connection_count() {
+        // The congestion-game mechanism: at a saturated link, an agent with
+        // twice the connections gets twice the throughput.
+        let mut streams = Vec::new();
+        for _ in 0..10 {
+            streams.push(StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: all_mask(),
+            });
+        }
+        for _ in 0..20 {
+            streams.push(StreamDemand {
+                cap_mbps: f64::INFINITY,
+                resource_mask: all_mask(),
+            });
+        }
+        let r = max_min_allocate(&streams, &[300.0]);
+        let a: f64 = r[..10].iter().sum();
+        let b: f64 = r[10..].iter().sum();
+        assert!((a - 100.0).abs() < 1e-6, "agent A got {a}");
+        assert!((b - 200.0).abs() < 1e-6, "agent B got {b}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Resources of an end-to-end transfer path.
+
+/// What kind of resource a path element is. The kind determines which
+/// constraints apply: disk resources may carry a per-process (per-stream)
+/// throughput cap, and a network link carries the packet-loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Source storage read (parallel file system / RAID array).
+    DiskRead,
+    /// Source host network interface card.
+    SourceNic,
+    /// The shared network path (bottleneck link). Loss is modelled here.
+    NetworkLink,
+    /// Destination host network interface card.
+    DestNic,
+    /// Destination storage write.
+    DiskWrite,
+}
+
+impl ResourceKind {
+    /// True for storage resources, which enforce their per-stream cap per
+    /// *file thread* (process), not per network connection: GridFTP-style
+    /// parallelism (`p` sockets per file) still reads the file through one
+    /// I/O process.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, ResourceKind::DiskRead | ResourceKind::DiskWrite)
+    }
+}
+
+/// One capacity-constrained element of the transfer path.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name for experiment logs ("lustre-read", "40G-link"…).
+    pub name: &'static str,
+    /// Kind of resource.
+    pub kind: ResourceKind,
+    /// Aggregate capacity in Mbps shared by all streams crossing it.
+    pub capacity_mbps: f64,
+    /// Optional per-stream cap in Mbps. For disks this is the per-process
+    /// I/O throughput limit that makes concurrency necessary (paper §2);
+    /// for network resources it would be a per-flow shaper (unused in the
+    /// paper's environments).
+    pub per_stream_cap_mbps: Option<f64>,
+    /// Number of streams beyond which end-host contention (process
+    /// scheduling, lock contention in the file system client) starts to
+    /// erode aggregate capacity. Models the gentle throughput decline at
+    /// very high concurrency in the paper's Figure 1(a) and the "overburdened
+    /// end hosts" effect of §2.
+    pub contention_onset_streams: u32,
+    /// Fractional capacity lost per stream beyond the onset.
+    pub contention_slope: f64,
+}
+
+impl Resource {
+    /// Convenience constructor.
+    pub fn new(
+        name: &'static str,
+        kind: ResourceKind,
+        capacity_mbps: f64,
+        per_stream_cap_mbps: Option<f64>,
+    ) -> Self {
+        assert!(capacity_mbps > 0.0, "resource capacity must be positive");
+        if let Some(c) = per_stream_cap_mbps {
+            assert!(c > 0.0, "per-stream cap must be positive");
+        }
+        Resource {
+            name,
+            kind,
+            capacity_mbps,
+            per_stream_cap_mbps,
+            contention_onset_streams: 32,
+            contention_slope: 0.006,
+        }
+    }
+
+    /// Override the contention model (builder style).
+    pub fn with_contention(mut self, onset_streams: u32, slope: f64) -> Self {
+        self.contention_onset_streams = onset_streams;
+        self.contention_slope = slope;
+        self
+    }
+
+    /// Effective aggregate capacity once end-host contention from
+    /// `n_streams` concurrent streams is accounted for. Only disks and NICs
+    /// suffer host contention; a network link's capacity is fixed.
+    pub fn effective_capacity_mbps(&self, n_streams: u32) -> f64 {
+        if self.kind == ResourceKind::NetworkLink {
+            return self.capacity_mbps;
+        }
+        let over = f64::from(n_streams.saturating_sub(self.contention_onset_streams));
+        let factor = (1.0 - self.contention_slope * over).max(0.4);
+        self.capacity_mbps * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_kinds_are_disk() {
+        assert!(ResourceKind::DiskRead.is_disk());
+        assert!(ResourceKind::DiskWrite.is_disk());
+        assert!(!ResourceKind::NetworkLink.is_disk());
+        assert!(!ResourceKind::SourceNic.is_disk());
+        assert!(!ResourceKind::DestNic.is_disk());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Resource::new("bad", ResourceKind::NetworkLink, 0.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-stream cap must be positive")]
+    fn zero_stream_cap_rejected() {
+        Resource::new("bad", ResourceKind::DiskRead, 100.0, Some(0.0));
+    }
+
+    #[test]
+    fn contention_reduces_disk_capacity_beyond_onset() {
+        let r = Resource::new("d", ResourceKind::DiskWrite, 1000.0, None).with_contention(10, 0.01);
+        assert_eq!(r.effective_capacity_mbps(10), 1000.0);
+        assert!((r.effective_capacity_mbps(20) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_floor_is_40_percent() {
+        let r = Resource::new("d", ResourceKind::DiskWrite, 1000.0, None).with_contention(0, 1.0);
+        assert!((r.effective_capacity_mbps(100) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_link_immune_to_host_contention() {
+        let r = Resource::new("l", ResourceKind::NetworkLink, 1000.0, None).with_contention(1, 0.5);
+        assert_eq!(r.effective_capacity_mbps(1000), 1000.0);
+    }
+}

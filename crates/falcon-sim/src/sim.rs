@@ -1,0 +1,794 @@
+//! The discrete-time fluid simulation.
+//!
+//! Every `step(dt)` the simulator:
+//!
+//! 1. Builds the set of active connections (each agent contributes
+//!    `concurrency × parallelism` connections; background flows contribute
+//!    theirs), each capped by the tightest per-process disk throttle divided
+//!    across its file's parallel sockets.
+//! 2. Computes the packet-loss rate at the bottleneck link from the aggregate
+//!    *offered* (upstream-capped) load and the total connection count
+//!    ([`falcon_tcp::BottleneckLossModel`]).
+//! 3. Caps every connection by its congestion-control response at the
+//!    effective loss-event rate (bursty queue-tail drops hit several packets
+//!    of one window at once, so the per-flow loss-*event* rate is the packet
+//!    loss rate divided by [`Simulation::LOSS_EVENT_BURST`]).
+//! 4. Allocates rates by weighted max-min progressive filling over all path
+//!    resources (with end-host contention eroding disk/NIC capacity at very
+//!    high stream counts).
+//! 5. Advances each connection's [`falcon_tcp::RateRamp`] toward its
+//!    allocation and accrues goodput `rate × (1 − loss)`.
+//!
+//! Sampling (`take_sample`) returns interval-averaged metrics with
+//! multiplicative Gaussian measurement noise, which is what a Falcon monitor
+//! thread would observe on a real system.
+
+use falcon_tcp::RateRamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alloc::{weighted_max_min_allocate, WeightedStreamDemand};
+use crate::env::Environment;
+
+/// Handle to an agent (transfer task) registered with the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentHandle(usize);
+
+/// Application-layer settings of one transfer task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentSettings {
+    /// Number of files transferred simultaneously (file threads/processes).
+    pub concurrency: u32,
+    /// TCP connections per file.
+    pub parallelism: u32,
+    /// Fraction of wall time each file thread spends actually moving bytes
+    /// (1.0 = no startup gaps). The transfer layer derives this from dataset
+    /// file sizes and the pipelining depth.
+    pub efficiency: f64,
+    /// Per-connection fair-share weight at saturated resources (default
+    /// 1.0 — the paper's same-RTT assumption, footnote 1). Set below 1 to
+    /// model a longer-RTT agent whose loss-based flows claim less than an
+    /// equal share.
+    pub share_weight: f64,
+}
+
+impl AgentSettings {
+    /// Concurrency-only settings (parallelism 1, fully efficient).
+    pub fn with_concurrency(concurrency: u32) -> Self {
+        AgentSettings {
+            concurrency,
+            parallelism: 1,
+            efficiency: 1.0,
+            share_weight: 1.0,
+        }
+    }
+
+    /// Total TCP connections this setting creates (`n × p`).
+    pub fn total_connections(&self) -> u32 {
+        self.concurrency.saturating_mul(self.parallelism)
+    }
+}
+
+impl Default for AgentSettings {
+    fn default() -> Self {
+        AgentSettings::with_concurrency(1)
+    }
+}
+
+/// A scripted non-agent flow crossing only the bottleneck link (cross
+/// traffic from other users of the shared network).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundFlow {
+    /// Activation time (seconds).
+    pub start_s: f64,
+    /// Deactivation time (seconds); `f64::INFINITY` for permanent.
+    pub end_s: f64,
+    /// Aggregate demand of the flow (Mbps).
+    pub demand_mbps: f64,
+    /// Number of TCP connections it consists of (affects the loss model).
+    pub connections: u32,
+}
+
+/// Interval-averaged observation returned by [`Simulation::take_sample`].
+#[derive(Debug, Clone, Copy)]
+pub struct AgentSample {
+    /// Aggregate goodput of the agent over the interval (Mbps), with
+    /// measurement noise applied.
+    pub throughput_mbps: f64,
+    /// Average per-file-thread goodput (Mbps): `throughput / concurrency`.
+    pub per_thread_mbps: f64,
+    /// Time-averaged packet loss rate over the interval.
+    pub loss_rate: f64,
+    /// Settings in effect when the sample was taken.
+    pub settings: AgentSettings,
+    /// Length of the sampled interval (seconds).
+    pub interval_s: f64,
+}
+
+#[derive(Debug)]
+struct AgentState {
+    alive: bool,
+    settings: AgentSettings,
+    ramps: Vec<RateRamp>,
+    /// Megabits delivered since the last sample.
+    delivered_mb: f64,
+    /// ∫ loss dt since the last sample.
+    loss_integral: f64,
+    /// Seconds since the last sample.
+    sample_clock_s: f64,
+    /// Current instantaneous aggregate goodput (Mbps).
+    instant_mbps: f64,
+}
+
+/// The fluid simulation. Deterministic given construction seed and call
+/// sequence.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_sim::{AgentSettings, Environment, Simulation};
+///
+/// let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 1);
+/// let agent = sim.add_agent();
+/// sim.set_settings(agent, AgentSettings::with_concurrency(10));
+/// sim.run_for(30.0, 0.1);
+/// let sample = sim.take_sample(agent);
+/// // 10 processes × 100 Mbps saturate the 1 Gbps link.
+/// assert!(sample.throughput_mbps > 900.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    env: Environment,
+    agents: Vec<AgentState>,
+    background: Vec<BackgroundFlow>,
+    time_s: f64,
+    current_loss: f64,
+    rng: StdRng,
+}
+
+impl Simulation {
+    /// Packets lost per congestion event: queue-tail drops are bursty and
+    /// synchronized, so the per-flow loss-*event* rate seen by the congestion
+    /// controller is far below the raw packet-loss rate; we divide by this
+    /// factor before applying the response function.
+    pub const LOSS_EVENT_BURST: f64 = 25.0;
+
+    /// Create a simulation of `env`, seeded deterministically.
+    pub fn new(env: Environment, seed: u64) -> Self {
+        Simulation {
+            env,
+            agents: Vec::new(),
+            background: Vec::new(),
+            time_s: 0.0,
+            current_loss: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The environment being simulated.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Current simulated time (seconds).
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Register a new transfer task with default settings.
+    pub fn add_agent(&mut self) -> AgentHandle {
+        self.agents.push(AgentState {
+            alive: true,
+            settings: AgentSettings::default(),
+            ramps: vec![RateRamp::new(self.env.rtt_s)],
+            delivered_mb: 0.0,
+            loss_integral: 0.0,
+            sample_clock_s: 0.0,
+            instant_mbps: 0.0,
+        });
+        AgentHandle(self.agents.len() - 1)
+    }
+
+    /// Remove a transfer task (e.g., its dataset completed).
+    pub fn remove_agent(&mut self, h: AgentHandle) {
+        self.agents[h.0].alive = false;
+        self.agents[h.0].ramps.clear();
+    }
+
+    /// Whether the agent is still registered.
+    pub fn is_alive(&self, h: AgentHandle) -> bool {
+        self.agents[h.0].alive
+    }
+
+    /// Apply new application-layer settings to an agent. Added connections
+    /// start from zero rate (connection-establishment transient); removed
+    /// connections disappear immediately.
+    pub fn set_settings(&mut self, h: AgentHandle, settings: AgentSettings) {
+        assert!(settings.concurrency >= 1, "concurrency must be >= 1");
+        assert!(settings.parallelism >= 1, "parallelism must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&settings.efficiency),
+            "efficiency must be in [0, 1]"
+        );
+        assert!(settings.share_weight > 0.0, "share weight must be positive");
+        let rtt = self.env.rtt_s;
+        let st = &mut self.agents[h.0];
+        let want = settings.total_connections() as usize;
+        while st.ramps.len() < want {
+            st.ramps.push(RateRamp::new(rtt));
+        }
+        st.ramps.truncate(want);
+        st.settings = settings;
+    }
+
+    /// Current settings of an agent.
+    pub fn settings(&self, h: AgentHandle) -> AgentSettings {
+        self.agents[h.0].settings
+    }
+
+    /// Script a background cross-traffic flow.
+    pub fn add_background_flow(&mut self, flow: BackgroundFlow) {
+        self.background.push(flow);
+    }
+
+    /// Current packet-loss rate at the bottleneck link.
+    pub fn current_loss(&self) -> f64 {
+        self.current_loss
+    }
+
+    /// Total live TCP connections across all agents (excluding background).
+    pub fn total_connections(&self) -> u32 {
+        self.agents
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| a.settings.total_connections())
+            .sum()
+    }
+
+    /// Instantaneous aggregate goodput of an agent (Mbps), noise-free.
+    pub fn instantaneous_rate_mbps(&self, h: AgentHandle) -> f64 {
+        self.agents[h.0].instant_mbps
+    }
+
+    /// Advance the simulation by `dt_s` seconds.
+    pub fn step(&mut self, dt_s: f64) {
+        assert!(dt_s > 0.0);
+        let t = self.time_s;
+        let bottleneck = self.env.bottleneck_link;
+        let link_capacity = self.env.resources[bottleneck].capacity_mbps;
+
+        // --- 1. Build connection-level demands. ------------------------------
+        // Tightest per-process disk cap along the path (None → unbounded).
+        let per_proc_cap: f64 = self
+            .env
+            .resources
+            .iter()
+            .filter(|r| r.kind.is_disk())
+            .filter_map(|r| r.per_stream_cap_mbps)
+            .fold(f64::INFINITY, f64::min);
+
+        // Streams are ordered: for each alive agent, its n*p connections;
+        // then one stream per active background flow.
+        let full_mask: u64 = (1u64 << self.env.resources.len()) - 1;
+        let link_mask: u64 = 1u64 << bottleneck;
+
+        let mut streams: Vec<WeightedStreamDemand> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new(); // agent index per agent stream
+        let mut offered_mbps = 0.0;
+        let mut n_conns_total: u32 = 0;
+
+        for (idx, a) in self.agents.iter().enumerate() {
+            if !a.alive {
+                continue;
+            }
+            let s = a.settings;
+            // The per-process throttle applies to the file thread; its `p`
+            // sockets split that budget. Startup-gap efficiency scales the
+            // thread's usable demand.
+            let per_conn_cap = per_proc_cap / f64::from(s.parallelism) * s.efficiency;
+            for _ in 0..s.total_connections() {
+                streams.push(WeightedStreamDemand {
+                    cap_mbps: per_conn_cap,
+                    resource_mask: full_mask,
+                    weight: s.share_weight,
+                });
+                owners.push(idx);
+            }
+            if per_conn_cap.is_finite() {
+                offered_mbps += per_conn_cap * f64::from(s.total_connections());
+            } else {
+                // No disk throttle: flows push as hard as the link allows.
+                offered_mbps += link_capacity;
+            }
+            n_conns_total += s.total_connections();
+        }
+
+        // Offered load at the shared link cannot exceed what upstream
+        // resources (source disk, source NIC) can physically emit.
+        let upstream_cap: f64 = self
+            .env
+            .resources
+            .iter()
+            .take(bottleneck)
+            .map(|r| r.effective_capacity_mbps(n_conns_total))
+            .fold(f64::INFINITY, f64::min);
+        offered_mbps = offered_mbps.min(upstream_cap);
+
+        let n_agent_streams = streams.len();
+        for bg in &self.background {
+            if t >= bg.start_s && t < bg.end_s {
+                // Each background connection competes as its own max-min
+                // stream, splitting the flow's demand.
+                let conns = bg.connections.max(1);
+                let per_conn = bg.demand_mbps / f64::from(conns);
+                for _ in 0..conns {
+                    streams.push(WeightedStreamDemand {
+                        cap_mbps: per_conn,
+                        resource_mask: link_mask,
+                        weight: 1.0,
+                    });
+                }
+                offered_mbps += bg.demand_mbps;
+                n_conns_total += bg.connections;
+            }
+        }
+
+        // --- 2. Loss at every network link. -----------------------------------
+        // Each link drops independently; the end-to-end survival
+        // probability is the product of per-link survivals. Offered load at
+        // a link is capped by everything upstream of it. (Background flows
+        // traverse only the designated bottleneck link.)
+        let mut survival = 1.0f64;
+        for (i, r) in self.env.resources.iter().enumerate() {
+            if r.kind != crate::resource::ResourceKind::NetworkLink {
+                continue;
+            }
+            let upstream: f64 = self
+                .env
+                .resources
+                .iter()
+                .take(i)
+                .map(|u| u.effective_capacity_mbps(n_conns_total))
+                .fold(f64::INFINITY, f64::min);
+            // `offered_mbps` already includes background demand and the
+            // global upstream clamp from step 1; non-bottleneck links see
+            // the transfer demand clamped by their own upstream.
+            let link_offered = if i == bottleneck {
+                offered_mbps
+            } else {
+                offered_mbps.min(upstream)
+            };
+            let l = self.env.loss_model.loss_rate(
+                link_offered,
+                r.capacity_mbps,
+                n_conns_total,
+                self.env.rtt_s,
+                self.env.mss_bytes,
+            );
+            survival *= 1.0 - l;
+        }
+        let loss = (1.0 - survival).clamp(0.0, 1.0);
+        self.current_loss = loss;
+
+        // --- 3. Congestion-control caps. --------------------------------------
+        let loss_event_rate = loss / Self::LOSS_EVENT_BURST;
+        let n_at_link = streams.len().max(1) as f64;
+        let fair_share = link_capacity / n_at_link;
+        let cca_cap = self.env.cca.sustainable_rate_mbps(
+            loss_event_rate,
+            self.env.rtt_s,
+            self.env.mss_bytes,
+            fair_share.max(link_capacity), // response-function cap only; share
+                                           // enforcement happens in max-min
+        );
+        for st in streams.iter_mut().take(n_agent_streams) {
+            st.cap_mbps = st.cap_mbps.min(cca_cap);
+        }
+
+        // --- 4. Max-min allocation over contended capacities. -----------------
+        let stream_count = streams.len() as u32;
+        let capacities: Vec<f64> = self
+            .env
+            .resources
+            .iter()
+            .map(|r| r.effective_capacity_mbps(stream_count))
+            .collect();
+        let rates = weighted_max_min_allocate(&streams, &capacities);
+
+        // --- 5. Ramp dynamics and accounting. ---------------------------------
+        let mut cursor = 0usize;
+        for (idx, a) in self.agents.iter_mut().enumerate() {
+            if !a.alive {
+                continue;
+            }
+            let mut agg = 0.0;
+            for ramp in a.ramps.iter_mut() {
+                debug_assert_eq!(owners[cursor], idx);
+                let target = rates[cursor];
+                let actual = ramp.advance(target, dt_s);
+                agg += actual * (1.0 - loss);
+                cursor += 1;
+            }
+            a.instant_mbps = agg;
+            a.delivered_mb += agg * dt_s;
+            a.loss_integral += loss * dt_s;
+            a.sample_clock_s += dt_s;
+        }
+
+        self.time_s += dt_s;
+    }
+
+    /// Consume and return the interval metrics accumulated since the last
+    /// call (or since the agent joined). Applies multiplicative Gaussian
+    /// measurement noise to throughput.
+    pub fn take_sample(&mut self, h: AgentHandle) -> AgentSample {
+        let noise = self.sample_noise();
+        let a = &mut self.agents[h.0];
+        let dt = a.sample_clock_s.max(1e-9);
+        let mut thr = (a.delivered_mb / dt) * noise;
+        if thr < 0.0 {
+            thr = 0.0;
+        }
+        let loss = a.loss_integral / dt;
+        let sample = AgentSample {
+            throughput_mbps: thr,
+            per_thread_mbps: thr / f64::from(a.settings.concurrency.max(1)),
+            loss_rate: loss,
+            settings: a.settings,
+            interval_s: a.sample_clock_s,
+        };
+        a.delivered_mb = 0.0;
+        a.loss_integral = 0.0;
+        a.sample_clock_s = 0.0;
+        sample
+    }
+
+    /// One multiplicative noise factor `1 + σ·Z` (Box–Muller).
+    fn sample_noise(&mut self) -> f64 {
+        let sigma = self.env.noise_std_frac;
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (1.0 + sigma * z).max(0.05)
+    }
+
+    /// Run the simulation for `duration_s` at the given tick, without
+    /// touching settings. Convenience for tests and warm-up phases.
+    pub fn run_for(&mut self, duration_s: f64, dt_s: f64) {
+        let steps = (duration_s / dt_s).round() as u64;
+        for _ in 0..steps {
+            self.step(dt_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Environment;
+
+    const DT: f64 = 0.1;
+
+    fn settled_sample(env: Environment, cc: u32, seconds: f64) -> AgentSample {
+        let mut sim = Simulation::new(env.without_noise(), 7);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(cc));
+        sim.run_for(seconds, DT);
+        sim.take_sample(a)
+    }
+
+    #[test]
+    fn single_process_is_throttled() {
+        // Figure 3/4 topology: one process reads at 10 Mbps.
+        let s = settled_sample(Environment::emulab_fig4(), 1, 30.0);
+        assert!(
+            (s.throughput_mbps - 10.0).abs() < 1.0,
+            "got {}",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn ten_processes_saturate_fig4_link() {
+        let s = settled_sample(Environment::emulab_fig4(), 10, 60.0);
+        assert!(s.throughput_mbps > 90.0, "got {}", s.throughput_mbps);
+    }
+
+    #[test]
+    fn oversubscription_raises_loss_not_throughput() {
+        let s10 = settled_sample(Environment::emulab_fig4(), 10, 60.0);
+        let s32 = settled_sample(Environment::emulab_fig4(), 32, 60.0);
+        // Paper Figure 4: still ~100 Mbps at 32 but ~10% loss.
+        assert!(s32.throughput_mbps > 85.0, "got {}", s32.throughput_mbps);
+        assert!(
+            s32.loss_rate > 4.0 * s10.loss_rate,
+            "loss {} vs {}",
+            s32.loss_rate,
+            s10.loss_rate
+        );
+        assert!(s32.loss_rate > 0.06, "loss at 32 was {}", s32.loss_rate);
+    }
+
+    #[test]
+    fn throughput_concave_in_concurrency() {
+        // More concurrency always helps until saturation, then flattens.
+        let s1 = settled_sample(Environment::hpclab(), 1, 30.0);
+        let s4 = settled_sample(Environment::hpclab(), 4, 30.0);
+        let s9 = settled_sample(Environment::hpclab(), 9, 30.0);
+        let s16 = settled_sample(Environment::hpclab(), 16, 30.0);
+        assert!(s1.throughput_mbps < s4.throughput_mbps);
+        assert!(s4.throughput_mbps < s9.throughput_mbps);
+        // Marginal gain collapses after saturation.
+        let gain_early = s4.throughput_mbps - s1.throughput_mbps;
+        let gain_late = (s16.throughput_mbps - s9.throughput_mbps).max(0.0);
+        assert!(gain_late < gain_early * 0.3);
+    }
+
+    #[test]
+    fn hpclab_reaches_paper_range() {
+        // Falcon reports >25 Gbps with ~9 concurrency.
+        let s = settled_sample(Environment::hpclab(), 9, 30.0);
+        assert!(
+            s.throughput_mbps > 25_000.0,
+            "got {} Mbps",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn xsede_reaches_paper_range() {
+        // Falcon reports ~5.4 Gbps.
+        let s = settled_sample(Environment::xsede(), 10, 60.0);
+        assert!(
+            (5_000.0..6_000.0).contains(&s.throughput_mbps),
+            "got {} Mbps",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn campus_cluster_reaches_paper_range() {
+        // Falcon reports ~9.2 Gbps (NIC-limited at 9.6).
+        let s = settled_sample(Environment::campus_cluster(), 8, 30.0);
+        assert!(
+            (8_500.0..9_700.0).contains(&s.throughput_mbps),
+            "got {} Mbps",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn two_equal_agents_share_fairly() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let a = sim.add_agent();
+        let b = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.set_settings(b, AgentSettings::with_concurrency(10));
+        sim.run_for(60.0, DT);
+        let sa = sim.take_sample(a);
+        let sb = sim.take_sample(b);
+        let ratio = sa.throughput_mbps / sb.throughput_mbps;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_proportional_to_connection_count_at_saturation() {
+        // The congestion-game mechanism (HARP's late-comer advantage).
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let a = sim.add_agent();
+        let b = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(5));
+        sim.set_settings(b, AgentSettings::with_concurrency(10));
+        sim.run_for(60.0, DT);
+        let sa = sim.take_sample(a);
+        let sb = sim.take_sample(b);
+        let ratio = sb.throughput_mbps / sa.throughput_mbps;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn agent_departure_frees_capacity() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let a = sim.add_agent();
+        let b = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.set_settings(b, AgentSettings::with_concurrency(10));
+        sim.run_for(40.0, DT);
+        sim.take_sample(a);
+        sim.remove_agent(b);
+        sim.run_for(40.0, DT);
+        let sa = sim.take_sample(a);
+        assert!(sa.throughput_mbps > 900.0, "got {}", sa.throughput_mbps);
+    }
+
+    #[test]
+    fn background_flow_takes_bandwidth_while_active() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.add_background_flow(BackgroundFlow {
+            start_s: 40.0,
+            end_s: 80.0,
+            demand_mbps: 600.0,
+            connections: 6,
+        });
+        sim.run_for(40.0, DT);
+        let before = sim.take_sample(a);
+        sim.run_for(40.0, DT);
+        let during = sim.take_sample(a);
+        sim.run_for(40.0, DT);
+        let after = sim.take_sample(a);
+        assert!(before.throughput_mbps > 950.0);
+        assert!(during.throughput_mbps < 700.0, "{}", during.throughput_mbps);
+        assert!(after.throughput_mbps > 900.0);
+    }
+
+    #[test]
+    fn ramp_makes_short_samples_underestimate() {
+        let env = Environment::emulab(100.0).without_noise();
+        let mut sim = Simulation::new(env, 3);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.run_for(1.0, DT);
+        let early = sim.take_sample(a);
+        sim.run_for(30.0, DT);
+        let late = sim.take_sample(a);
+        assert!(early.throughput_mbps < 0.8 * late.throughput_mbps);
+    }
+
+    #[test]
+    fn noise_is_reproducible_for_same_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(Environment::xsede(), seed);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(5));
+            sim.run_for(10.0, DT);
+            sim.take_sample(a).throughput_mbps
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn efficiency_scales_throughput() {
+        let env = Environment::xsede().without_noise();
+        let mut sim = Simulation::new(env, 1);
+        let a = sim.add_agent();
+        sim.set_settings(
+            a,
+            AgentSettings {
+                efficiency: 0.5,
+                ..AgentSettings::with_concurrency(4)
+            },
+        );
+        sim.run_for(40.0, DT);
+        let half = sim.take_sample(a);
+        sim.set_settings(
+            a,
+            AgentSettings::with_concurrency(4),
+        );
+        sim.run_for(40.0, DT);
+        let full = sim.take_sample(a);
+        let ratio = half.throughput_mbps / full.throughput_mbps;
+        assert!((0.4..0.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn parallelism_splits_process_budget() {
+        // p sockets share the file thread's I/O budget, so cc=4, p=4 moves
+        // no more data than cc=4, p=1 in a disk-limited network.
+        let env = Environment::xsede().without_noise();
+        let mut sim = Simulation::new(env, 1);
+        let a = sim.add_agent();
+        sim.set_settings(
+            a,
+            AgentSettings {
+                parallelism: 4,
+                ..AgentSettings::with_concurrency(4)
+            },
+        );
+        sim.run_for(40.0, DT);
+        let with_p = sim.take_sample(a);
+        sim.set_settings(a, AgentSettings::with_concurrency(4));
+        sim.run_for(40.0, DT);
+        let without_p = sim.take_sample(a);
+        let ratio = with_p.throughput_mbps / without_p.throughput_mbps;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency must be >= 1")]
+    fn zero_concurrency_rejected() {
+        let mut sim = Simulation::new(Environment::xsede(), 1);
+        let a = sim.add_agent();
+        sim.set_settings(
+            a,
+            AgentSettings {
+                concurrency: 0,
+                ..AgentSettings::with_concurrency(1)
+            },
+        );
+    }
+
+    #[test]
+    fn multi_hop_throughput_capped_by_tighter_link() {
+        let s = settled_sample(Environment::multi_hop(), 10, 40.0);
+        // 10 × 400 Mbps = 4 Gbps of demand squeezes through the 2.5 Gbps
+        // backbone hop.
+        assert!(
+            (2_200.0..2_550.0).contains(&s.throughput_mbps),
+            "got {}",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn multi_hop_loss_combines_links() {
+        // Two saturated 100 Mbps hops drop roughly twice what one does:
+        // end-to-end loss = 1 − ∏(1 − Lᵢ).
+        use crate::resource::{Resource, ResourceKind};
+        let mut two_hop = Environment::emulab_fig4().without_noise();
+        two_hop.resources = vec![
+            Resource::new("disk-read", ResourceKind::DiskRead, 1000.0, Some(10.0)),
+            Resource::new("src-nic", ResourceKind::SourceNic, 1000.0, None),
+            Resource::new("hop1-100M", ResourceKind::NetworkLink, 100.0, None),
+            Resource::new("hop2-100M", ResourceKind::NetworkLink, 100.0, None),
+            Resource::new("dst-nic", ResourceKind::DestNic, 1000.0, None),
+        ];
+        two_hop.bottleneck_link = 3;
+
+        let loss_of = |env: Environment| {
+            let mut sim = Simulation::new(env, 7);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(32));
+            sim.run_for(30.0, DT);
+            sim.current_loss()
+        };
+        let single = loss_of(Environment::emulab_fig4().without_noise());
+        let double = loss_of(two_hop);
+        assert!(single > 0.05, "single-hop loss {single}");
+        assert!(
+            double > 1.5 * single,
+            "two hops should compound: {double} vs {single}"
+        );
+        assert!(double < 2.0 * single + 0.01, "more than compounding: {double}");
+    }
+
+    #[test]
+    fn share_weight_biases_saturated_shares() {
+        // Two identical agents, one with half the per-connection weight
+        // (a longer-RTT transfer): at a saturated link it gets ~half the
+        // bandwidth — TCP's documented RTT unfairness, opt-in.
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let heavy = sim.add_agent();
+        let light = sim.add_agent();
+        sim.set_settings(heavy, AgentSettings::with_concurrency(10));
+        sim.set_settings(
+            light,
+            AgentSettings {
+                share_weight: 0.5,
+                ..AgentSettings::with_concurrency(10)
+            },
+        );
+        sim.run_for(60.0, DT);
+        let h = sim.take_sample(heavy).throughput_mbps;
+        let l = sim.take_sample(light).throughput_mbps;
+        let ratio = h / l;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_resets_accumulator() {
+        let mut sim = Simulation::new(Environment::xsede().without_noise(), 1);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(2));
+        sim.run_for(10.0, DT);
+        let s1 = sim.take_sample(a);
+        let s2 = sim.take_sample(a);
+        assert!(s1.throughput_mbps > 0.0);
+        assert_eq!(s2.interval_s, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the fluid simulator.
+
+use proptest::prelude::*;
+
+use falcon_sim::{AgentSettings, Environment, EnvironmentKind, Simulation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregate delivered goodput never exceeds the path capacity, for any
+    /// mix of agents and settings in any preset.
+    #[test]
+    fn throughput_never_exceeds_capacity(
+        env_idx in 0usize..7,
+        ccs in proptest::collection::vec(1u32..40, 1..4),
+        seed in 0u64..1000,
+    ) {
+        let env = EnvironmentKind::all()[env_idx].build().without_noise();
+        let capacity = env.path_capacity_mbps();
+        let mut sim = Simulation::new(env, seed);
+        let agents: Vec<_> = ccs
+            .iter()
+            .map(|&cc| {
+                let a = sim.add_agent();
+                sim.set_settings(a, AgentSettings::with_concurrency(cc));
+                a
+            })
+            .collect();
+        sim.run_for(30.0, 0.1);
+        let total: f64 = agents.iter().map(|&a| sim.take_sample(a).throughput_mbps).sum();
+        prop_assert!(
+            total <= capacity * 1.01,
+            "total {total} exceeds capacity {capacity}"
+        );
+    }
+
+    /// Identical agents get near-identical throughput (symmetry).
+    #[test]
+    fn identical_agents_are_symmetric(
+        cc in 1u32..32,
+        n_agents in 2usize..4,
+        seed in 0u64..100,
+    ) {
+        let env = Environment::emulab(100.0).without_noise();
+        let mut sim = Simulation::new(env, seed);
+        let agents: Vec<_> = (0..n_agents)
+            .map(|_| {
+                let a = sim.add_agent();
+                sim.set_settings(a, AgentSettings::with_concurrency(cc));
+                a
+            })
+            .collect();
+        sim.run_for(40.0, 0.1);
+        let rates: Vec<f64> = agents.iter().map(|&a| sim.take_sample(a).throughput_mbps).collect();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(max - min <= 0.02 * max.max(1.0), "rates {rates:?}");
+    }
+
+    /// More concurrency never reduces throughput by more than the host
+    /// contention erosion allows (weak monotonicity up to saturation).
+    #[test]
+    fn throughput_weakly_monotone_before_saturation(
+        seed in 0u64..100,
+    ) {
+        let env = Environment::hpclab().without_noise();
+        let sat = env.saturating_concurrency();
+        let mut prev = 0.0;
+        for cc in 1..=sat {
+            let mut sim = Simulation::new(env.clone(), seed);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(cc));
+            sim.run_for(25.0, 0.1);
+            let thr = sim.take_sample(a).throughput_mbps;
+            prop_assert!(thr >= prev * 0.995, "cc={cc}: {thr} < prev {prev}");
+            prev = thr;
+        }
+    }
+
+    /// Loss is a probability at all times, under any load.
+    #[test]
+    fn loss_is_probability(
+        cc in 1u32..100,
+        seed in 0u64..100,
+    ) {
+        let mut sim = Simulation::new(Environment::emulab_fig4(), seed);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(cc));
+        sim.run_for(20.0, 0.1);
+        let l = sim.current_loss();
+        prop_assert!((0.0..=1.0).contains(&l));
+        let s = sim.take_sample(a);
+        prop_assert!((0.0..=1.0).contains(&s.loss_rate));
+    }
+
+    /// Settings changes preserve invariants: shrinking and growing the
+    /// connection pool mid-flight never produces negative or NaN rates.
+    #[test]
+    fn settings_churn_is_safe(
+        steps in proptest::collection::vec((1u32..48, 1u32..4), 2..10),
+        seed in 0u64..100,
+    ) {
+        let mut sim = Simulation::new(Environment::stampede2_comet(), seed);
+        let a = sim.add_agent();
+        for &(cc, p) in &steps {
+            sim.set_settings(
+                a,
+                AgentSettings {
+                    parallelism: p,
+                    ..AgentSettings::with_concurrency(cc)
+                },
+            );
+            sim.run_for(3.0, 0.1);
+            let r = sim.instantaneous_rate_mbps(a);
+            prop_assert!(r.is_finite() && r >= 0.0, "rate {r} after {cc}x{p}");
+        }
+        let s = sim.take_sample(a);
+        prop_assert!(s.throughput_mbps.is_finite() && s.throughput_mbps >= 0.0);
+    }
+
+    /// Sample accounting: the interval-average throughput equals delivered
+    /// megabits divided by elapsed time, so two consecutive samples over
+    /// halves equal one sample over the whole (noise-free).
+    #[test]
+    fn sampling_is_additive(cc in 1u32..20, seed in 0u64..50) {
+        let env = Environment::xsede().without_noise();
+        let mut sim1 = Simulation::new(env.clone(), seed);
+        let a1 = sim1.add_agent();
+        sim1.set_settings(a1, AgentSettings::with_concurrency(cc));
+        sim1.run_for(20.0, 0.1);
+        let whole = sim1.take_sample(a1).throughput_mbps;
+
+        let mut sim2 = Simulation::new(env, seed);
+        let a2 = sim2.add_agent();
+        sim2.set_settings(a2, AgentSettings::with_concurrency(cc));
+        sim2.run_for(10.0, 0.1);
+        let h1 = sim2.take_sample(a2);
+        sim2.run_for(10.0, 0.1);
+        let h2 = sim2.take_sample(a2);
+        let combined = (h1.throughput_mbps * h1.interval_s + h2.throughput_mbps * h2.interval_s)
+            / (h1.interval_s + h2.interval_s);
+        prop_assert!(
+            (whole - combined).abs() < 0.01 * whole.max(1.0),
+            "whole {whole} vs combined {combined}"
+        );
+    }
+}

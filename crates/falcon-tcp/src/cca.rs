@@ -1,0 +1,111 @@
+//! Congestion-control algorithm selector.
+
+use crate::response;
+
+/// The congestion-control algorithm used by every connection of a transfer.
+///
+/// The paper's experiments use loss-based variants (Cubic, Reno, HSTCP); BBR
+/// is evaluated here as the paper's stated future-work extension
+/// (`experiments ablation_bbr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CongestionControl {
+    /// TCP Reno / NewReno, modelled with the Padhye response.
+    Reno,
+    /// TCP CUBIC (Linux default), RFC 8312 response function.
+    #[default]
+    Cubic,
+    /// HighSpeed TCP, RFC 3649 response function.
+    Hstcp,
+    /// BBR: rate-based, loss-agnostic below ~20% loss.
+    Bbr,
+}
+
+impl CongestionControl {
+    /// Maximum sustainable rate (Mbps) for one connection under `loss` and
+    /// `rtt_s`, given the fair-share bandwidth `share_mbps` available to it at
+    /// the bottleneck.
+    ///
+    /// For loss-based CCAs the result is `min(share, response(loss, rtt))`;
+    /// for BBR the response is the share itself degraded only past the loss
+    /// tolerance.
+    pub fn sustainable_rate_mbps(
+        &self,
+        loss: f64,
+        rtt_s: f64,
+        mss_bytes: f64,
+        share_mbps: f64,
+    ) -> f64 {
+        let cap = match self {
+            CongestionControl::Reno => response::padhye_rate_mbps(loss, rtt_s, mss_bytes),
+            CongestionControl::Cubic => response::cubic_rate_mbps(loss, rtt_s, mss_bytes),
+            CongestionControl::Hstcp => response::hstcp_rate_mbps(loss, rtt_s, mss_bytes),
+            CongestionControl::Bbr => return response::bbr_rate_mbps(loss, share_mbps),
+        };
+        cap.min(share_mbps)
+    }
+
+    /// Name as reported by the operating system / experiment logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CongestionControl::Reno => "reno",
+            CongestionControl::Cubic => "cubic",
+            CongestionControl::Hstcp => "hstcp",
+            CongestionControl::Bbr => "bbr",
+        }
+    }
+
+    /// All supported variants, for sweeps.
+    pub fn all() -> [CongestionControl; 4] {
+        [
+            CongestionControl::Reno,
+            CongestionControl::Cubic,
+            CongestionControl::Hstcp,
+            CongestionControl::Bbr,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cubic() {
+        assert_eq!(CongestionControl::default(), CongestionControl::Cubic);
+    }
+
+    #[test]
+    fn loss_based_ccas_capped_by_share() {
+        for cca in [
+            CongestionControl::Reno,
+            CongestionControl::Cubic,
+            CongestionControl::Hstcp,
+        ] {
+            let r = cca.sustainable_rate_mbps(1e-6, 0.0001, 1460.0, 100.0);
+            assert!(
+                r <= 100.0 + 1e-9,
+                "{} exceeded its fair share: {r}",
+                cca.name()
+            );
+        }
+    }
+
+    #[test]
+    fn high_loss_throttles_loss_based_but_not_bbr() {
+        let loss = 0.1;
+        let rtt = 0.03;
+        let share = 1000.0;
+        let cubic = CongestionControl::Cubic.sustainable_rate_mbps(loss, rtt, 1460.0, share);
+        let bbr = CongestionControl::Bbr.sustainable_rate_mbps(loss, rtt, 1460.0, share);
+        assert!(cubic < share * 0.1, "cubic should collapse, got {cubic}");
+        assert_eq!(bbr, share);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = CongestionControl::all().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

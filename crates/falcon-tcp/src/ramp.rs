@@ -1,0 +1,137 @@
+//! First-order rate convergence filter.
+//!
+//! Real TCP connections do not jump to their steady-state rate: slow start
+//! and congestion avoidance take several RTTs (seconds, in long fat
+//! networks — the paper's stated reason sample transfers need 3–5 s). The
+//! fluid simulator applies this filter to each connection so that throughput
+//! samples taken too early underestimate a setting, exactly the measurement
+//! noise the online optimizers must tolerate.
+
+/// Exponential approach of the actual rate toward a target rate.
+#[derive(Debug, Clone, Copy)]
+pub struct RateRamp {
+    /// Current smoothed rate (Mbps).
+    rate_mbps: f64,
+    /// Time constant (seconds) of the exponential approach when ramping up.
+    tau_up_s: f64,
+    /// Time constant when backing off. Loss-based TCP reduces its window
+    /// multiplicatively, so downward convergence is faster.
+    tau_down_s: f64,
+}
+
+impl RateRamp {
+    /// Create a ramp starting from zero rate.
+    ///
+    /// `rtt_s` scales the time constants: ramp-up takes a few tens of RTTs
+    /// (slow start doubling plus congestion-avoidance approach), with a lower
+    /// bound so that even sub-millisecond-RTT LANs take a noticeable fraction
+    /// of a second to converge (process spawn + file open costs).
+    pub fn new(rtt_s: f64) -> Self {
+        let tau_up = (rtt_s * 25.0).clamp(0.3, 3.0);
+        let tau_down = (rtt_s * 8.0).clamp(0.1, 1.0);
+        RateRamp {
+            rate_mbps: 0.0,
+            tau_up_s: tau_up,
+            tau_down_s: tau_down,
+        }
+    }
+
+    /// Create a ramp with explicit time constants (used in tests).
+    pub fn with_taus(tau_up_s: f64, tau_down_s: f64) -> Self {
+        RateRamp {
+            rate_mbps: 0.0,
+            tau_up_s,
+            tau_down_s,
+        }
+    }
+
+    /// Current smoothed rate.
+    #[inline]
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_mbps
+    }
+
+    /// Advance the filter by `dt_s` toward `target_mbps` and return the new
+    /// smoothed rate.
+    pub fn advance(&mut self, target_mbps: f64, dt_s: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        let tau = if target_mbps >= self.rate_mbps {
+            self.tau_up_s
+        } else {
+            self.tau_down_s
+        };
+        let alpha = 1.0 - (-dt_s / tau).exp();
+        self.rate_mbps += (target_mbps - self.rate_mbps) * alpha;
+        self.rate_mbps
+    }
+
+    /// Force the rate (used when a connection is torn down).
+    pub fn reset(&mut self) {
+        self.rate_mbps = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let r = RateRamp::new(0.03);
+        assert_eq!(r.rate_mbps(), 0.0);
+    }
+
+    #[test]
+    fn approaches_target_monotonically() {
+        let mut r = RateRamp::with_taus(1.0, 0.5);
+        let mut prev = 0.0;
+        for _ in 0..100 {
+            let v = r.advance(100.0, 0.1);
+            assert!(v >= prev);
+            assert!(v <= 100.0);
+            prev = v;
+        }
+        assert!(prev > 99.0, "should be converged, got {prev}");
+    }
+
+    #[test]
+    fn one_tau_covers_63_percent() {
+        let mut r = RateRamp::with_taus(1.0, 0.5);
+        r.advance(100.0, 1.0);
+        let v = r.rate_mbps();
+        assert!((v - 63.2).abs() < 0.5, "got {v}");
+    }
+
+    #[test]
+    fn backoff_is_faster_than_rampup() {
+        let mut r = RateRamp::with_taus(2.0, 0.2);
+        // Converge up.
+        for _ in 0..200 {
+            r.advance(100.0, 0.1);
+        }
+        let up = r.rate_mbps();
+        // One step down.
+        r.advance(10.0, 0.1);
+        let after_down = r.rate_mbps();
+        let down_fraction = (up - after_down) / (up - 10.0);
+        // With tau_down = 0.2s, one 0.1s step covers ~39%.
+        assert!(down_fraction > 0.3, "down fraction {down_fraction}");
+    }
+
+    #[test]
+    fn reset_zeroes_rate() {
+        let mut r = RateRamp::new(0.03);
+        r.advance(50.0, 10.0);
+        assert!(r.rate_mbps() > 0.0);
+        r.reset();
+        assert_eq!(r.rate_mbps(), 0.0);
+    }
+
+    #[test]
+    fn lan_ramp_bounded_below() {
+        // 0.1 ms RTT must still take a meaningful fraction of a second.
+        let mut r = RateRamp::new(0.0001);
+        r.advance(100.0, 0.05);
+        assert!(r.rate_mbps() < 40.0, "LAN ramp too fast: {}", r.rate_mbps());
+    }
+}

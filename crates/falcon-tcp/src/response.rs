@@ -1,0 +1,200 @@
+//! Steady-state congestion-control response functions.
+//!
+//! Each function answers: *given a packet loss rate `p`, round-trip time
+//! `rtt_s` and segment size `mss_bytes`, what throughput (Mbps) can a single
+//! connection of this congestion-control flavour sustain?*
+//!
+//! These are the classic fluid/renewal-theory results from the literature:
+//!
+//! - Mathis et al., "The Macroscopic Behavior of the TCP Congestion Avoidance
+//!   Algorithm" (CCR 1997): `W = sqrt(3/(2p))` segments.
+//! - Padhye et al., "Modeling TCP Throughput" (SIGCOMM 1998): adds the
+//!   retransmission-timeout regime that dominates at high loss.
+//! - CUBIC response function (Ha et al. 2008 / RFC 8312 §5.2).
+//! - HighSpeed TCP response function (RFC 3649): `w(p) = 0.12 / p^0.835`.
+//! - BBR: rate is set by the bandwidth-delay product estimate and is
+//!   insensitive to loss below a tolerance threshold (~20%).
+
+use crate::window_to_mbps;
+
+/// Floor applied to loss rates so the models stay finite. A loss rate below
+/// one packet per ten million corresponds to a practically loss-free path.
+pub const MIN_LOSS: f64 = 1e-7;
+
+/// Mathis square-root law for Reno-family TCP.
+///
+/// `rate = (MSS / RTT) * sqrt(3 / (2p))`.
+///
+/// Returns `f64::INFINITY`-free values: loss is floored at [`MIN_LOSS`] so the
+/// result is always finite; callers should additionally cap by link capacity.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_tcp::mathis_rate_mbps;
+///
+/// // 1% loss on a 100 ms path: ~1.4 Mbps per connection — the reason
+/// // single-stream WAN transfers crawl.
+/// let r = mathis_rate_mbps(0.01, 0.1, 1460.0);
+/// assert!((r - 1.43).abs() < 0.01);
+/// ```
+pub fn mathis_rate_mbps(loss: f64, rtt_s: f64, mss_bytes: f64) -> f64 {
+    let p = loss.max(MIN_LOSS);
+    let window = (1.5 / p).sqrt();
+    window_to_mbps(window, mss_bytes, rtt_s)
+}
+
+/// Padhye et al. full model including retransmission timeouts.
+///
+/// `rate = MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2))`
+/// with `b = 1` (no delayed ACK modelling) and `T0 = max(1s, 4*RTT)`.
+pub fn padhye_rate_mbps(loss: f64, rtt_s: f64, mss_bytes: f64) -> f64 {
+    let p = loss.max(MIN_LOSS);
+    let b = 1.0;
+    let t0 = (4.0 * rtt_s).max(1.0);
+    let term_ca = rtt_s * (2.0 * b * p / 3.0).sqrt();
+    let term_to = t0 * (3.0 * (3.0 * b * p / 8.0).sqrt()).min(1.0) * p * (1.0 + 32.0 * p * p);
+    let bytes_per_s = mss_bytes / (term_ca + term_to);
+    bytes_per_s * 8.0 / 1e6
+}
+
+/// CUBIC response function (RFC 8312 §5.2), valid in CUBIC's own operating
+/// region (large BDP); below that CUBIC falls back to its Reno-friendly mode,
+/// so we return the max of the CUBIC and Mathis responses.
+///
+/// `W_cubic = (C*(3+beta)/(4*(1-beta)))^(1/4) * (RTT/p)^(3/4) / RTT^(3/4)`
+/// expressed in segments per RTT; with RFC constants `C = 0.4`,
+/// `beta_cubic = 0.7` the leading coefficient is about 1.054 and the window is
+/// `1.054 * (RTT^3 / p^3)^(1/4)` — we use the standard form
+/// `W = 1.054 * (RTT / p^3)^(1/4) ... ` reduced to segments:
+/// `W(p, RTT) = (C * (3+beta)/(4*(1-beta)))^(1/4) * RTT^(3/4) / p^(3/4)`
+/// (window in segments, RTT in seconds).
+pub fn cubic_rate_mbps(loss: f64, rtt_s: f64, mss_bytes: f64) -> f64 {
+    let p = loss.max(MIN_LOSS);
+    let c: f64 = 0.4;
+    let beta: f64 = 0.7;
+    let coeff = (c * (3.0 + beta) / (4.0 * (1.0 - beta))).powf(0.25);
+    let window = coeff * rtt_s.powf(0.75) / p.powf(0.75);
+    let cubic = window_to_mbps(window, mss_bytes, rtt_s);
+    // Reno-friendly region: CUBIC never does worse than standard TCP.
+    cubic.max(mathis_rate_mbps(loss, rtt_s, mss_bytes))
+}
+
+/// HighSpeed TCP response function (RFC 3649): `w(p) = 0.12 / p^0.835`
+/// segments, applicable above the standard-TCP crossover; below it HSTCP
+/// behaves like Reno, so we take the max with the Mathis response.
+pub fn hstcp_rate_mbps(loss: f64, rtt_s: f64, mss_bytes: f64) -> f64 {
+    let p = loss.max(MIN_LOSS);
+    let window = 0.12 / p.powf(0.835);
+    let hs = window_to_mbps(window, mss_bytes, rtt_s);
+    hs.max(mathis_rate_mbps(loss, rtt_s, mss_bytes))
+}
+
+/// BBR model: throughput equals the available bandwidth estimate
+/// (`btl_bw_mbps`, supplied by the caller — in the simulator this is the
+/// fair share at the bottleneck) and is insensitive to random loss below
+/// ~20%; beyond that the sending rate collapses proportionally (BBRv1
+/// behaviour documented by Cardwell et al.).
+pub fn bbr_rate_mbps(loss: f64, btl_bw_mbps: f64) -> f64 {
+    const LOSS_TOLERANCE: f64 = 0.20;
+    if loss <= LOSS_TOLERANCE {
+        btl_bw_mbps
+    } else {
+        // Past the tolerance the delivery rate degrades with surviving packets.
+        btl_bw_mbps * ((1.0 - loss) / (1.0 - LOSS_TOLERANCE)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: f64 = 1460.0;
+
+    #[test]
+    fn mathis_matches_hand_computation() {
+        // W = sqrt(1.5/0.01) = sqrt(150) ≈ 12.247 segments.
+        // rate = 12.247 * 1460 * 8 / 0.1 / 1e6 ≈ 1.4305 Mbps.
+        let r = mathis_rate_mbps(0.01, 0.1, MSS);
+        assert!((r - 1.4305).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn mathis_decreases_with_loss() {
+        let lo = mathis_rate_mbps(0.001, 0.03, MSS);
+        let hi = mathis_rate_mbps(0.1, 0.03, MSS);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn mathis_decreases_with_rtt() {
+        let fast = mathis_rate_mbps(0.01, 0.001, MSS);
+        let slow = mathis_rate_mbps(0.01, 0.1, MSS);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn mathis_finite_at_zero_loss() {
+        let r = mathis_rate_mbps(0.0, 0.03, MSS);
+        assert!(r.is_finite() && r > 0.0);
+    }
+
+    #[test]
+    fn padhye_below_mathis_at_high_loss() {
+        // Timeouts make Padhye strictly more pessimistic when loss is heavy.
+        let p = 0.2;
+        assert!(padhye_rate_mbps(p, 0.03, MSS) < mathis_rate_mbps(p, 0.03, MSS));
+    }
+
+    #[test]
+    fn padhye_close_to_mathis_at_low_loss() {
+        let p = 1e-4;
+        let ratio = padhye_rate_mbps(p, 0.03, MSS) / mathis_rate_mbps(p, 0.03, MSS);
+        assert!(ratio > 0.8 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cubic_beats_mathis_in_fast_long_paths() {
+        // Large BDP regime is where CUBIC's response function dominates.
+        let r_cubic = cubic_rate_mbps(1e-5, 0.06, MSS);
+        let r_mathis = mathis_rate_mbps(1e-5, 0.06, MSS);
+        assert!(r_cubic >= r_mathis);
+    }
+
+    #[test]
+    fn hstcp_beats_mathis_at_low_loss() {
+        let r_hs = hstcp_rate_mbps(1e-6, 0.04, MSS);
+        let r_m = mathis_rate_mbps(1e-6, 0.04, MSS);
+        assert!(r_hs > r_m);
+    }
+
+    #[test]
+    fn bbr_ignores_moderate_loss() {
+        assert_eq!(bbr_rate_mbps(0.05, 1000.0), 1000.0);
+        assert_eq!(bbr_rate_mbps(0.19, 1000.0), 1000.0);
+    }
+
+    #[test]
+    fn bbr_degrades_past_tolerance() {
+        let r = bbr_rate_mbps(0.5, 1000.0);
+        assert!(r < 1000.0 && r > 0.0);
+    }
+
+    #[test]
+    fn all_models_monotone_in_loss() {
+        let rtt = 0.03;
+        let mut prev = [f64::INFINITY; 4];
+        for &p in &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1] {
+            let cur = [
+                mathis_rate_mbps(p, rtt, MSS),
+                padhye_rate_mbps(p, rtt, MSS),
+                cubic_rate_mbps(p, rtt, MSS),
+                hstcp_rate_mbps(p, rtt, MSS),
+            ];
+            for (c, pr) in cur.iter().zip(prev.iter()) {
+                assert!(c <= pr, "non-monotone: {c} > {pr} at p={p}");
+            }
+            prev = cur;
+        }
+    }
+}

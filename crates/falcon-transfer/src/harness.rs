@@ -1,0 +1,341 @@
+//! The harness interface between tuners and byte-moving substrates.
+
+use falcon_core::{ProbeMetrics, TransferSettings};
+use falcon_sim::{AgentHandle, AgentSettings, Simulation};
+
+use crate::dataset::Dataset;
+use crate::job::TransferJob;
+use crate::pipelining::thread_efficiency;
+
+/// A substrate that can run several concurrent transfer tasks and report
+/// black-box metrics for each. Implemented by [`SimHarness`] here and by
+/// the real loopback engine in the `falcon-net` crate.
+pub trait TransferHarness {
+    /// Register a new transfer task for `dataset`; returns its slot id.
+    fn join(&mut self, dataset: Dataset) -> usize;
+
+    /// Apply application-layer settings to a task.
+    fn apply(&mut self, agent: usize, settings: TransferSettings);
+
+    /// Advance wall-clock time.
+    fn advance(&mut self, dt_s: f64);
+
+    /// Consume the interval metrics accumulated since the last sample.
+    fn sample(&mut self, agent: usize) -> ProbeMetrics;
+
+    /// Instantaneous (un-averaged) goodput of a task, for trace plots.
+    fn instantaneous_mbps(&self, agent: usize) -> f64;
+
+    /// The settings currently applied to a task.
+    fn current_settings(&self, agent: usize) -> TransferSettings;
+
+    /// Whether the task's dataset has been fully delivered.
+    fn is_complete(&self, agent: usize) -> bool;
+
+    /// Remove a task before completion (scripted departures).
+    fn leave(&mut self, agent: usize);
+
+    /// Current wall-clock time (seconds).
+    fn time_s(&self) -> f64;
+
+    /// Probe interval appropriate for this substrate (3 s LAN / 5 s WAN).
+    fn sample_interval_s(&self) -> f64;
+
+    /// Upper bound of the concurrency search space.
+    fn max_concurrency(&self) -> u32;
+}
+
+struct Slot {
+    handle: AgentHandle,
+    job: TransferJob,
+    dataset: Dataset,
+    settings: TransferSettings,
+    share_weight: f64,
+    complete: bool,
+}
+
+/// [`TransferHarness`] backed by the fluid simulator.
+pub struct SimHarness {
+    sim: Simulation,
+    slots: Vec<Slot>,
+    /// Nominal per-thread rate used by the pipelining-efficiency model:
+    /// the tightest per-process disk throttle of the environment.
+    nominal_thread_mbps: f64,
+    /// Per-slot fair-share weights, by join order (missing → 1.0). Models
+    /// TCP RTT unfairness between transfers on different paths.
+    agent_weights: Vec<f64>,
+}
+
+impl SimHarness {
+    /// Wrap a simulation.
+    pub fn new(sim: Simulation) -> Self {
+        let nominal = sim
+            .env()
+            .resources
+            .iter()
+            .filter(|r| r.kind.is_disk())
+            .filter_map(|r| r.per_stream_cap_mbps)
+            .fold(f64::INFINITY, f64::min);
+        let nominal_thread_mbps = if nominal.is_finite() {
+            nominal
+        } else {
+            sim.env().path_capacity_mbps()
+        };
+        SimHarness {
+            sim,
+            slots: Vec::new(),
+            nominal_thread_mbps,
+            agent_weights: Vec::new(),
+        }
+    }
+
+    /// Assign per-connection fair-share weights to agents by join order
+    /// (builder style). Agents beyond the list get weight 1.0.
+    pub fn with_agent_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|&w| w > 0.0));
+        self.agent_weights = weights;
+        self
+    }
+
+    /// Access the underlying simulation (e.g., to script background flows).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Access the underlying simulation immutably.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    fn to_agent_settings(&self, slot: &Slot) -> AgentSettings {
+        let eff = thread_efficiency(
+            &slot.dataset,
+            slot.settings,
+            self.sim.env().rtt_s,
+            self.nominal_thread_mbps / f64::from(slot.settings.parallelism.max(1)),
+        );
+        AgentSettings {
+            concurrency: slot.settings.concurrency,
+            parallelism: slot.settings.parallelism,
+            efficiency: eff,
+            share_weight: slot.share_weight,
+        }
+    }
+}
+
+impl TransferHarness for SimHarness {
+    fn join(&mut self, dataset: Dataset) -> usize {
+        let handle = self.sim.add_agent();
+        let job = TransferJob::new(&dataset);
+        let share_weight = self
+            .agent_weights
+            .get(self.slots.len())
+            .copied()
+            .unwrap_or(1.0);
+        self.slots.push(Slot {
+            handle,
+            job,
+            dataset,
+            settings: TransferSettings::with_concurrency(1),
+            share_weight,
+            complete: false,
+        });
+        let id = self.slots.len() - 1;
+        self.apply(id, TransferSettings::with_concurrency(1));
+        id
+    }
+
+    fn apply(&mut self, agent: usize, settings: TransferSettings) {
+        let slot = &mut self.slots[agent];
+        slot.settings = settings;
+        if !slot.complete {
+            let s = self.to_agent_settings(&self.slots[agent]);
+            let h = self.slots[agent].handle;
+            self.sim.set_settings(h, s);
+        }
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        self.sim.step(dt_s);
+        for slot in &mut self.slots {
+            if slot.complete {
+                continue;
+            }
+            let rate = self.sim.instantaneous_rate_mbps(slot.handle);
+            slot.job.deliver_mbits(rate * dt_s);
+            if slot.job.is_complete() {
+                slot.complete = true;
+                self.sim.remove_agent(slot.handle);
+            }
+        }
+    }
+
+    fn sample(&mut self, agent: usize) -> ProbeMetrics {
+        let slot = &self.slots[agent];
+        let settings = slot.settings;
+        let s = self.sim.take_sample(slot.handle);
+        ProbeMetrics {
+            settings,
+            aggregate_mbps: s.throughput_mbps,
+            per_thread_mbps: s.throughput_mbps / f64::from(settings.concurrency.max(1)),
+            loss_rate: s.loss_rate,
+            interval_s: s.interval_s,
+        }
+    }
+
+    fn instantaneous_mbps(&self, agent: usize) -> f64 {
+        let slot = &self.slots[agent];
+        if slot.complete {
+            0.0
+        } else {
+            self.sim.instantaneous_rate_mbps(slot.handle)
+        }
+    }
+
+    fn current_settings(&self, agent: usize) -> TransferSettings {
+        self.slots[agent].settings
+    }
+
+    fn is_complete(&self, agent: usize) -> bool {
+        self.slots[agent].complete
+    }
+
+    fn leave(&mut self, agent: usize) {
+        let slot = &mut self.slots[agent];
+        if !slot.complete {
+            slot.complete = true;
+            self.sim.remove_agent(slot.handle);
+        }
+    }
+
+    fn time_s(&self) -> f64 {
+        self.sim.time_s()
+    }
+
+    fn sample_interval_s(&self) -> f64 {
+        self.sim.env().sample_interval_s
+    }
+
+    fn max_concurrency(&self) -> u32 {
+        self.sim.env().max_concurrency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, FileSpec, GIB, KIB};
+    use falcon_sim::Environment;
+
+    fn harness(env: Environment) -> SimHarness {
+        SimHarness::new(Simulation::new(env.without_noise(), 11))
+    }
+
+    #[test]
+    fn join_apply_sample_roundtrip() {
+        let mut h = harness(Environment::emulab(100.0));
+        let a = h.join(Dataset::uniform_1gb(100));
+        h.apply(a, TransferSettings::with_concurrency(10));
+        for _ in 0..300 {
+            h.advance(0.1);
+        }
+        let m = h.sample(a);
+        assert_eq!(m.settings.concurrency, 10);
+        assert!(m.aggregate_mbps > 900.0, "got {}", m.aggregate_mbps);
+        assert!((m.interval_s - 30.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn completion_removes_agent_from_network() {
+        // Tiny dataset completes quickly and frees bandwidth.
+        let mut h = harness(Environment::emulab(100.0));
+        let tiny = Dataset {
+            name: "tiny",
+            files: vec![FileSpec { size_bytes: 50 * KIB }; 2],
+        };
+        let a = h.join(tiny);
+        h.apply(a, TransferSettings::with_concurrency(4));
+        for _ in 0..600 {
+            h.advance(0.1);
+            if h.is_complete(a) {
+                break;
+            }
+        }
+        assert!(h.is_complete(a));
+        assert_eq!(h.instantaneous_mbps(a), 0.0);
+    }
+
+    #[test]
+    fn small_files_without_pipelining_underperform() {
+        let run = |pp: u32| {
+            let mut h = harness(Environment::stampede2_comet());
+            let a = h.join(Dataset::small(3));
+            h.apply(
+                a,
+                TransferSettings {
+                    concurrency: 16,
+                    parallelism: 1,
+                    pipelining: pp,
+                },
+            );
+            for _ in 0..400 {
+                h.advance(0.1);
+            }
+            h.sample(a).aggregate_mbps
+        };
+        let no_pp = run(1);
+        let pp16 = run(16);
+        assert!(
+            pp16 > 2.0 * no_pp,
+            "pipelining should multiply small-file throughput: {no_pp} -> {pp16}"
+        );
+    }
+
+    #[test]
+    fn leave_removes_agent() {
+        let mut h = harness(Environment::emulab(100.0));
+        let a = h.join(Dataset::uniform_1gb(100));
+        let b = h.join(Dataset::uniform_1gb(100));
+        h.apply(a, TransferSettings::with_concurrency(10));
+        h.apply(b, TransferSettings::with_concurrency(10));
+        for _ in 0..200 {
+            h.advance(0.1);
+        }
+        h.sample(a);
+        h.leave(b);
+        for _ in 0..200 {
+            h.advance(0.1);
+        }
+        let m = h.sample(a);
+        assert!(m.aggregate_mbps > 900.0, "got {}", m.aggregate_mbps);
+        let _ = GIB;
+    }
+
+    #[test]
+    fn agent_weights_bias_shares() {
+        let mut h = SimHarness::new(Simulation::new(
+            Environment::emulab(100.0).without_noise(),
+            11,
+        ))
+        .with_agent_weights(vec![1.0, 0.5]);
+        let a = h.join(Dataset::uniform_1gb(100_000));
+        let b = h.join(Dataset::uniform_1gb(100_000));
+        h.apply(a, TransferSettings::with_concurrency(10));
+        h.apply(b, TransferSettings::with_concurrency(10));
+        for _ in 0..600 {
+            h.advance(0.1);
+        }
+        let ra = h.sample(a).aggregate_mbps;
+        let rb = h.sample(b).aggregate_mbps;
+        let ratio = ra / rb;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_interval_follows_environment() {
+        let h = harness(Environment::hpclab());
+        assert_eq!(h.sample_interval_s(), 3.0);
+        let h = harness(Environment::xsede());
+        assert_eq!(h.sample_interval_s(), 5.0);
+    }
+}

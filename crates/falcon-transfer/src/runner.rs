@@ -1,0 +1,641 @@
+//! The experiment engine: competing transfer tasks against one harness.
+//!
+//! Every figure in the paper's evaluation is a run of this engine with a
+//! different cast: one or more Falcon agents (GD/BO/HC), baseline tuners
+//! (Globus, HARP), staggered joins and departures, and a trace recorder.
+
+use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
+
+use crate::dataset::Dataset;
+use crate::harness::TransferHarness;
+
+/// Anything that can steer a transfer task from interval samples: Falcon
+/// agents, the Globus heuristic, HARP's regression, or a fixed setting.
+pub trait Tuner {
+    /// Label for traces and tables.
+    fn label(&self) -> String;
+
+    /// The setting to apply when the transfer starts.
+    fn initial(&mut self) -> TransferSettings;
+
+    /// Consume one interval's metrics, return the next setting.
+    fn on_sample(&mut self, metrics: &ProbeMetrics) -> TransferSettings;
+}
+
+impl Tuner for FalconAgent {
+    fn label(&self) -> String {
+        format!("falcon-{}", self.optimizer_name())
+    }
+
+    fn initial(&mut self) -> TransferSettings {
+        self.initial_settings()
+    }
+
+    fn on_sample(&mut self, metrics: &ProbeMetrics) -> TransferSettings {
+        self.observe(*metrics)
+    }
+}
+
+/// A tuner that never changes its setting (used for ablations and as the
+/// core of the Globus baseline).
+pub struct FixedTuner {
+    /// The pinned setting.
+    pub settings: TransferSettings,
+    /// Label for traces.
+    pub name: String,
+}
+
+impl Tuner for FixedTuner {
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+    fn initial(&mut self) -> TransferSettings {
+        self.settings
+    }
+    fn on_sample(&mut self, _metrics: &ProbeMetrics) -> TransferSettings {
+        self.settings
+    }
+}
+
+/// One transfer task in an experiment.
+pub struct AgentPlan {
+    /// The tuner steering it.
+    pub tuner: Box<dyn Tuner>,
+    /// Dataset to move.
+    pub dataset: Dataset,
+    /// When the task joins (seconds from experiment start).
+    pub start_s: f64,
+    /// Optional scripted departure (seconds); `None` = runs to completion
+    /// or end of experiment.
+    pub leave_s: Option<f64>,
+}
+
+impl AgentPlan {
+    /// Task that starts at t = 0 and runs until done.
+    pub fn at_start(tuner: Box<dyn Tuner>, dataset: Dataset) -> Self {
+        AgentPlan {
+            tuner,
+            dataset,
+            start_s: 0.0,
+            leave_s: None,
+        }
+    }
+
+    /// Task that joins later (competing-transfer experiments).
+    pub fn joining_at(tuner: Box<dyn Tuner>, dataset: Dataset, start_s: f64) -> Self {
+        AgentPlan {
+            tuner,
+            dataset,
+            start_s,
+            leave_s: None,
+        }
+    }
+
+    /// Scripted departure (builder style).
+    pub fn leaving_at(mut self, leave_s: f64) -> Self {
+        self.leave_s = Some(leave_s);
+        self
+    }
+}
+
+/// One recorded point of an agent's trace.
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// Wall-clock time (seconds).
+    pub t_s: f64,
+    /// Agent index in the plan order.
+    pub agent: usize,
+    /// Instantaneous goodput (Mbps).
+    pub mbps: f64,
+    /// Settings in effect.
+    pub settings: TransferSettings,
+    /// Instantaneous loss at the bottleneck.
+    pub loss: f64,
+}
+
+/// The full record of an experiment run.
+pub struct RunTrace {
+    /// Agent labels in plan order.
+    pub labels: Vec<String>,
+    /// Trace points, time-ordered.
+    pub points: Vec<TracePoint>,
+    /// Completion time per agent (`None` if still running at the end).
+    pub completed_at: Vec<Option<f64>>,
+}
+
+impl RunTrace {
+    /// Time series `(t, mbps, concurrency)` of one agent.
+    pub fn series(&self, agent: usize) -> Vec<(f64, f64, u32)> {
+        self.points
+            .iter()
+            .filter(|p| p.agent == agent)
+            .map(|p| (p.t_s, p.mbps, p.settings.concurrency))
+            .collect()
+    }
+
+    /// Mean goodput of an agent over `[from_s, to_s)`.
+    pub fn avg_mbps(&self, agent: usize, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .map(|p| p.mbps)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+
+    /// Mean concurrency of an agent over `[from_s, to_s)`.
+    pub fn avg_concurrency(&self, agent: usize, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .map(|p| f64::from(p.settings.concurrency))
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+
+    /// Mean loss over `[from_s, to_s)` (averaged over all active agents'
+    /// points — loss is a link property so any agent's points carry it).
+    pub fn avg_loss(&self, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.t_s >= from_s && p.t_s < to_s)
+            .map(|p| p.loss)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+
+    /// Export the full trace as CSV (`t_s,agent,label,mbps,concurrency,
+    /// parallelism,pipelining`), ready for external plotting of the paper's
+    /// time-series figures.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("t_s,agent,label,mbps,concurrency,parallelism,pipelining\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.1},{},{},{:.1},{},{},{}\n",
+                p.t_s,
+                p.agent,
+                self.labels.get(p.agent).map_or("?", |s| s.as_str()),
+                p.mbps,
+                p.settings.concurrency,
+                p.settings.parallelism,
+                p.settings.pipelining,
+            ));
+        }
+        out
+    }
+
+    /// Per-agent summary statistics of instantaneous goodput over a window.
+    pub fn throughput_summary(
+        &self,
+        agent: usize,
+        from_s: f64,
+        to_s: f64,
+    ) -> Option<crate::stats::Summary> {
+        let samples: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .map(|p| p.mbps)
+            .collect();
+        crate::stats::Summary::of(&samples)
+    }
+
+    /// Process-seconds consumed by an agent over a window: the integral of
+    /// its concurrency over time. The paper's "just-enough concurrency"
+    /// claim is exactly that Falcon buys near-optimal throughput at far
+    /// fewer process-seconds than aggressive fixed settings (§2, §3.1).
+    pub fn process_seconds(&self, agent: usize, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<&TracePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .collect();
+        let mut total = 0.0;
+        for w in pts.windows(2) {
+            total += f64::from(w[0].settings.concurrency) * (w[1].t_s - w[0].t_s);
+        }
+        total
+    }
+
+    /// Connection-seconds (`cc × p` integrated over time) — the network-side
+    /// overhead analogue of [`RunTrace::process_seconds`].
+    pub fn connection_seconds(&self, agent: usize, from_s: f64, to_s: f64) -> f64 {
+        let pts: Vec<&TracePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .collect();
+        let mut total = 0.0;
+        for w in pts.windows(2) {
+            total += f64::from(w[0].settings.total_connections()) * (w[1].t_s - w[0].t_s);
+        }
+        total
+    }
+
+    /// How many times the agent's settings changed in a window — the
+    /// reconfiguration churn of an always-on search.
+    pub fn settings_changes(&self, agent: usize, from_s: f64, to_s: f64) -> usize {
+        let pts: Vec<&TracePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.agent == agent && p.t_s >= from_s && p.t_s < to_s)
+            .collect();
+        pts.windows(2)
+            .filter(|w| w[0].settings != w[1].settings)
+            .count()
+    }
+
+    /// Jain's fairness index of agent goodputs over a window.
+    pub fn fairness(&self, agents: &[usize], from_s: f64, to_s: f64) -> f64 {
+        let xs: Vec<f64> = agents
+            .iter()
+            .map(|&a| self.avg_mbps(a, from_s, to_s))
+            .collect();
+        jain_index(&xs)
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 = perfectly fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+/// Drives an experiment: joins agents on schedule, samples and re-tunes
+/// each at the harness's probe interval, records traces.
+///
+/// After applying a new setting the runner lets the transfer warm up for a
+/// third of the probe interval (capped at 2 s) and then discards the
+/// accumulated metrics, so the decision sample reflects steady behaviour —
+/// the paper's "once the sample transfer is executed for a sufficient
+/// amount of time, it captures performance metrics". Without this, freshly
+/// created connections still in slow start systematically deflate the
+/// utility of higher-concurrency probes.
+pub struct Runner {
+    /// Simulation tick (seconds).
+    pub dt_s: f64,
+    /// Trace recording resolution (seconds).
+    pub trace_every_s: f64,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner {
+            dt_s: 0.1,
+            trace_every_s: 1.0,
+        }
+    }
+}
+
+struct Live {
+    slot: usize,
+    next_probe_s: f64,
+    /// When to throw away the warm-up metrics of the current probe.
+    discard_at_s: Option<f64>,
+    joined: bool,
+    done: bool,
+}
+
+impl Runner {
+    /// Run `plans` against `harness` for `duration_s`, returning the trace.
+    pub fn run<H: TransferHarness>(
+        &self,
+        harness: &mut H,
+        mut plans: Vec<AgentPlan>,
+        duration_s: f64,
+    ) -> RunTrace {
+        let interval = harness.sample_interval_s();
+        let warmup = (interval / 3.0).min(2.0);
+        let labels: Vec<String> = plans.iter().map(|p| p.tuner.label()).collect();
+        let mut live: Vec<Live> = plans
+            .iter()
+            .map(|_| Live {
+                slot: usize::MAX,
+                next_probe_s: 0.0,
+                discard_at_s: None,
+                joined: false,
+                done: false,
+            })
+            .collect();
+        let mut points = Vec::new();
+        let mut completed_at: Vec<Option<f64>> = vec![None; plans.len()];
+
+        let steps = (duration_s / self.dt_s).round() as u64;
+        let trace_every = (self.trace_every_s / self.dt_s).round().max(1.0) as u64;
+
+        for step in 0..steps {
+            let t = harness.time_s();
+
+            // Joins.
+            for (i, plan) in plans.iter_mut().enumerate() {
+                if !live[i].joined && t >= plan.start_s {
+                    let slot = harness.join(plan.dataset.clone());
+                    harness.apply(slot, plan.tuner.initial());
+                    live[i].slot = slot;
+                    live[i].joined = true;
+                    // Stagger probe clocks: independently started transfers
+                    // are never phase-locked. Synchronized probing would
+                    // make every agent measure the *joint* gradient (flat
+                    // past saturation) instead of its own marginal share.
+                    const PHASES: [f64; 8] = [0.0, 0.37, 0.71, 0.19, 0.53, 0.89, 0.11, 0.67];
+                    live[i].next_probe_s = t + interval * (1.0 + PHASES[i % PHASES.len()]);
+                    live[i].discard_at_s = Some(t + warmup);
+                }
+            }
+
+            // Scripted departures.
+            for (i, plan) in plans.iter().enumerate() {
+                if live[i].joined && !live[i].done {
+                    if let Some(leave) = plan.leave_s {
+                        if t >= leave {
+                            harness.leave(live[i].slot);
+                            live[i].done = true;
+                            completed_at[i].get_or_insert(t);
+                        }
+                    }
+                }
+            }
+
+            harness.advance(self.dt_s);
+
+            // Completion + probes.
+            for (i, plan) in plans.iter_mut().enumerate() {
+                if !live[i].joined || live[i].done {
+                    continue;
+                }
+                let slot = live[i].slot;
+                if harness.is_complete(slot) {
+                    live[i].done = true;
+                    completed_at[i] = Some(harness.time_s());
+                    continue;
+                }
+                if let Some(discard_at) = live[i].discard_at_s {
+                    if harness.time_s() >= discard_at {
+                        let _ = harness.sample(slot); // drop warm-up metrics
+                        live[i].discard_at_s = None;
+                    }
+                }
+                if harness.time_s() >= live[i].next_probe_s {
+                    let metrics = harness.sample(slot);
+                    let settings = plan.tuner.on_sample(&metrics);
+                    harness.apply(slot, settings);
+                    live[i].next_probe_s += interval;
+                    live[i].discard_at_s = Some(harness.time_s() + warmup);
+                }
+            }
+
+            // Trace.
+            if step % trace_every == 0 {
+                for (i, l) in live.iter().enumerate() {
+                    if l.joined && !l.done {
+                        points.push(TracePoint {
+                            t_s: harness.time_s(),
+                            agent: i,
+                            mbps: harness.instantaneous_mbps(l.slot),
+                            settings: harness.current_settings(l.slot),
+                            loss: 0.0,
+                        });
+                    }
+                }
+            }
+        }
+
+        RunTrace {
+            labels,
+            points,
+            completed_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::SimHarness;
+    use falcon_core::FalconAgent;
+    use falcon_sim::{Environment, Simulation};
+
+    fn harness(env: Environment, seed: u64) -> SimHarness {
+        SimHarness::new(Simulation::new(env, seed))
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One agent hogging: index → 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // Paper's HARP case: one transfer at ~2x the other.
+        let unfair = jain_index(&[7.0, 14.0]);
+        assert!(unfair < 0.95, "got {unfair}");
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn single_gd_agent_converges_in_emulab10() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 200.0);
+        // After convergence, throughput near 1 Gbps and cc near 10.
+        let avg = trace.avg_mbps(0, 120.0, 200.0);
+        assert!(avg > 850.0, "avg {avg}");
+        let cc = trace.avg_concurrency(0, 120.0, 200.0);
+        assert!((8.0..=13.0).contains(&cc), "cc {cc}");
+    }
+
+    #[test]
+    fn fixed_tuner_never_moves() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FixedTuner {
+                settings: TransferSettings::with_concurrency(3),
+                name: "fixed-3".into(),
+            }),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 60.0);
+        for (_, _, cc) in trace.series(0) {
+            assert_eq!(cc, 3);
+        }
+        assert_eq!(trace.labels[0], "fixed-3");
+    }
+
+    #[test]
+    fn late_joiner_appears_at_its_start_time() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plans = vec![
+            AgentPlan::at_start(
+                Box::new(FalconAgent::gradient_descent(32)),
+                Dataset::uniform_1gb(10_000),
+            ),
+            AgentPlan::joining_at(
+                Box::new(FalconAgent::gradient_descent(32)),
+                Dataset::uniform_1gb(10_000),
+                100.0,
+            ),
+        ];
+        let trace = Runner::default().run(&mut h, plans, 200.0);
+        let first_b = trace
+            .points
+            .iter()
+            .find(|p| p.agent == 1)
+            .map(|p| p.t_s)
+            .unwrap();
+        assert!((100.0..105.0).contains(&first_b), "joined at {first_b}");
+        assert!(trace.avg_mbps(1, 150.0, 200.0) > 100.0);
+    }
+
+    #[test]
+    fn scripted_departure_stops_traces() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plans = vec![AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(10_000),
+        )
+        .leaving_at(50.0)];
+        let trace = Runner::default().run(&mut h, plans, 100.0);
+        let last = trace.series(0).last().map(|&(t, _, _)| t).unwrap();
+        assert!(last <= 51.0, "traced past departure: {last}");
+        assert!(trace.completed_at[0].is_some());
+    }
+
+    #[test]
+    fn completion_recorded_for_small_dataset() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        // 10 × 1 GB ≈ 80 Gbit at ~1 Gbps → ~80-120 s with search overhead.
+        let plans = vec![AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(10),
+        )];
+        let trace = Runner::default().run(&mut h, plans, 400.0);
+        let done = trace.completed_at[0].expect("never completed");
+        assert!((60.0..300.0).contains(&done), "completed at {done}");
+    }
+
+    #[test]
+    fn overhead_accounting_matches_fixed_settings() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FixedTuner {
+                settings: TransferSettings {
+                    concurrency: 8,
+                    parallelism: 2,
+                    pipelining: 1,
+                },
+                name: "fixed".into(),
+            }),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 100.0);
+        // 8 processes for ~100 s ≈ 800 process-seconds; 16 connections
+        // for ~100 s ≈ 1600 connection-seconds.
+        let ps = trace.process_seconds(0, 0.0, 100.0);
+        assert!((750.0..=800.0).contains(&ps), "process-seconds {ps}");
+        let cs = trace.connection_seconds(0, 0.0, 100.0);
+        assert!((1500.0..=1600.0).contains(&cs), "connection-seconds {cs}");
+        assert_eq!(trace.settings_changes(0, 0.0, 100.0), 0);
+    }
+
+    #[test]
+    fn falcon_changes_settings_continuously() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 200.0);
+        // Continuous optimization: probes change settings even at steady
+        // state (the paper's n−1/n+1 bounce).
+        let churn = trace.settings_changes(0, 120.0, 200.0);
+        assert!(churn >= 8, "churn {churn}");
+    }
+
+    #[test]
+    fn trace_csv_has_header_and_rows() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 30.0);
+        let csv = trace.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "t_s,agent,label,mbps,concurrency,parallelism,pipelining"
+        );
+        let n_rows = lines.count();
+        assert!(n_rows >= 25, "only {n_rows} rows");
+        assert!(csv.contains("falcon-gradient-descent"));
+    }
+
+    #[test]
+    fn throughput_summary_matches_avg() {
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 5);
+        let plan = AgentPlan::at_start(
+            Box::new(FixedTuner {
+                settings: TransferSettings::with_concurrency(10),
+                name: "fixed".into(),
+            }),
+            Dataset::uniform_1gb(10_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 60.0);
+        let summary = trace.throughput_summary(0, 30.0, 60.0).unwrap();
+        let avg = trace.avg_mbps(0, 30.0, 60.0);
+        assert!((summary.mean - avg).abs() < 1e-9);
+        assert!(summary.p95 >= summary.median);
+        // Fixed setting at steady state: tight distribution.
+        assert!(summary.cv < 0.05, "cv {}", summary.cv);
+    }
+
+    #[test]
+    fn two_gd_agents_share_fairly() {
+        // The headline fairness property (Figure 11): competing Falcon-GD
+        // agents end with near-identical throughput.
+        let mut h = harness(Environment::emulab(100.0), 5);
+        let plans = vec![
+            AgentPlan::at_start(
+                Box::new(FalconAgent::gradient_descent(32)),
+                Dataset::uniform_1gb(100_000),
+            ),
+            AgentPlan::joining_at(
+                Box::new(FalconAgent::gradient_descent(32)),
+                Dataset::uniform_1gb(100_000),
+                120.0,
+            ),
+        ];
+        let trace = Runner::default().run(&mut h, plans, 420.0);
+        let fair = trace.fairness(&[0, 1], 300.0, 420.0);
+        assert!(fair > 0.93, "Jain index {fair}");
+        // And the pair still uses most of the link.
+        let total =
+            trace.avg_mbps(0, 300.0, 420.0) + trace.avg_mbps(1, 300.0, 420.0);
+        assert!(total > 700.0, "aggregate {total}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Summary statistics over experiment traces.
+//!
+//! The paper reports its results as means over convergence windows plus
+//! qualitative stability statements ("smaller fluctuations upon
+//! convergence", §4.2). These helpers quantify both: location (mean,
+//! median, percentiles) and dispersion (standard deviation, coefficient of
+//! variation) of a throughput or concurrency series.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`; 0 when mean is 0).
+    pub cv: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let std_dev = var.sqrt();
+        Some(Summary {
+            count: n,
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            p5: percentile_sorted(&sorted, 5.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            std_dev,
+            cv: if mean.abs() > 1e-12 { std_dev / mean } else { 0.0 },
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Resample an irregular time series onto a uniform grid by
+/// last-observation-carried-forward; useful for aligning traces of agents
+/// that joined at different times.
+pub fn resample_locf(series: &[(f64, f64)], t0: f64, t1: f64, step: f64) -> Vec<(f64, f64)> {
+    assert!(step > 0.0 && t1 >= t0);
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    let mut last: Option<f64> = None;
+    let mut t = t0;
+    while t <= t1 + 1e-9 {
+        while idx < series.len() && series[idx].0 <= t {
+            last = Some(series[idx].1);
+            idx += 1;
+        }
+        if let Some(v) = last {
+            out.push((t, v));
+        }
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[5.0; 10]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn summary_of_known_sequence() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.cv - 2.0f64.sqrt() / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 25.0);
+        assert!((percentile_sorted(&sorted, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn resample_carries_forward() {
+        let series = [(0.0, 1.0), (2.5, 2.0), (7.0, 3.0)];
+        let out = resample_locf(&series, 0.0, 8.0, 2.0);
+        assert_eq!(
+            out,
+            vec![(0.0, 1.0), (2.0, 1.0), (4.0, 2.0), (6.0, 2.0), (8.0, 3.0)]
+        );
+    }
+
+    #[test]
+    fn resample_before_first_sample_is_empty_prefix() {
+        let series = [(5.0, 1.0)];
+        let out = resample_locf(&series, 0.0, 8.0, 2.0);
+        // Nothing known before t = 5; first emitted point is at t = 6.
+        assert_eq!(out, vec![(6.0, 1.0), (8.0, 1.0)]);
+    }
+
+    #[test]
+    fn bo_fluctuates_more_than_gd_example() {
+        // The §4.2 use case: CV distinguishes a jittery series from a
+        // stable one with the same mean.
+        let gd = [9.0, 10.0, 11.0, 10.0, 9.5, 10.5];
+        let bo = [4.0, 16.0, 6.0, 14.0, 8.0, 12.0];
+        let s_gd = Summary::of(&gd).unwrap();
+        let s_bo = Summary::of(&bo).unwrap();
+        assert!((s_gd.mean - s_bo.mean).abs() < 0.1);
+        assert!(s_bo.cv > 3.0 * s_gd.cv);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for datasets, jobs, pipelining, and statistics.
+
+use proptest::prelude::*;
+
+use falcon_core::TransferSettings;
+use falcon_transfer::dataset::{Dataset, FileSpec};
+use falcon_transfer::job::TransferJob;
+use falcon_transfer::pipelining::{per_file_gap_s, thread_efficiency};
+use falcon_transfer::runner::jain_index;
+use falcon_transfer::stats::{percentile_sorted, Summary};
+
+fn dataset_from_sizes(sizes: &[u64]) -> Dataset {
+    Dataset {
+        name: "prop",
+        files: sizes.iter().map(|&s| FileSpec { size_bytes: s }).collect(),
+    }
+}
+
+proptest! {
+    /// Job accounting: total delivered never exceeds the dataset size, and
+    /// progress is monotone in delivery.
+    #[test]
+    fn job_accounting_invariants(
+        sizes in proptest::collection::vec(1u64..10_000_000, 1..50),
+        deliveries in proptest::collection::vec(0.0f64..1e4, 1..50),
+    ) {
+        let d = dataset_from_sizes(&sizes);
+        let total = d.total_bytes();
+        let mut job = TransferJob::new(&d);
+        let mut prev_progress = 0.0;
+        let mut prev_files = 0;
+        for &mb in &deliveries {
+            job.deliver_mbits(mb);
+            let p = job.progress();
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev_progress);
+            prop_assert!(job.delivered_bytes() <= total);
+            let files = job.files_completed();
+            prop_assert!(files >= prev_files);
+            prop_assert!(files <= job.files_total());
+            prev_progress = p;
+            prev_files = files;
+        }
+        if job.is_complete() {
+            prop_assert_eq!(job.files_completed(), job.files_total());
+        }
+    }
+
+    /// Pipelining efficiency is within (0, 1], monotone in pipelining depth
+    /// and in file size.
+    #[test]
+    fn efficiency_monotone(
+        mean_kib in 1u64..1_000_000,
+        rtt in 1e-4f64..0.2,
+        rate in 1.0f64..10_000.0,
+        pp in 1u32..32,
+    ) {
+        let d = dataset_from_sizes(&[mean_kib * 1024; 5]);
+        let s = |pp| TransferSettings { concurrency: 4, parallelism: 1, pipelining: pp };
+        let e = thread_efficiency(&d, s(pp), rtt, rate);
+        prop_assert!((0.0..=1.0).contains(&e));
+        let e_deeper = thread_efficiency(&d, s(pp + 4), rtt, rate);
+        prop_assert!(e_deeper >= e - 1e-12, "deeper pipelining hurt: {e} -> {e_deeper}");
+        let bigger = dataset_from_sizes(&[mean_kib * 1024 * 4; 5]);
+        let e_big = thread_efficiency(&bigger, s(pp), rtt, rate);
+        prop_assert!(e_big >= e - 1e-12, "bigger files hurt efficiency: {e} -> {e_big}");
+    }
+
+    /// Per-file gap scales as 1/pp and grows with RTT.
+    #[test]
+    fn gap_scaling(rtt in 1e-4f64..0.5, pp in 1u32..64) {
+        let g = per_file_gap_s(rtt, pp);
+        prop_assert!(g > 0.0);
+        prop_assert!((per_file_gap_s(rtt, pp * 2) - g / 2.0).abs() < 1e-12);
+        prop_assert!(per_file_gap_s(rtt * 2.0, pp) > g);
+    }
+
+    /// Dataset generators: deterministic, within their declared size
+    /// envelopes, never empty.
+    #[test]
+    fn dataset_generators_bounded(seed in 0u64..20) {
+        use falcon_transfer::dataset::{GIB, KIB, MIB, TIB};
+        let small = Dataset::small(seed);
+        prop_assert!(!small.is_empty());
+        prop_assert!(small.files.iter().all(|f| (KIB..=10 * MIB).contains(&f.size_bytes)));
+        prop_assert!(small.total_bytes() >= 120 * GIB);
+        prop_assert!(small.total_bytes() < 121 * GIB);
+
+        let large = Dataset::large(seed);
+        prop_assert!(large.files.iter().all(|f| (100 * MIB..=10 * GIB).contains(&f.size_bytes)));
+        prop_assert!(large.total_bytes() >= TIB);
+    }
+
+    /// Jain's index is scale-invariant and permutation-invariant.
+    #[test]
+    fn jain_invariances(
+        xs in proptest::collection::vec(0.01f64..1e6, 2..12),
+        scale in 0.01f64..100.0,
+    ) {
+        let j = jain_index(&xs);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-9);
+        let mut rev = xs.clone();
+        rev.reverse();
+        prop_assert!((jain_index(&rev) - j).abs() < 1e-12);
+        prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+    }
+
+    /// Summary statistics are order-consistent: p5 ≤ median ≤ p95, and the
+    /// mean lies within [min, max].
+    #[test]
+    fn summary_order_consistency(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.p5 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Percentiles of a sorted slice are monotone in the percentile.
+    #[test]
+    fn percentile_monotone(
+        mut xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile_sorted(&xs, p);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Falcon vs the state of the art (§4.3 / Figure 14, condensed).
+//!
+//! Runs Globus (fixed heuristic), HARP (historical regression + probing)
+//! and Falcon-GD one at a time on the HPCLab testbed for a 1 TB dataset
+//! and prints what each achieved.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use falcon_repro::baselines::{GlobusTuner, HarpHistory, HarpTuner};
+use falcon_repro::core::FalconAgent;
+use falcon_repro::sim::{Environment, Simulation};
+use falcon_repro::transfer::dataset::Dataset;
+use falcon_repro::transfer::harness::SimHarness;
+use falcon_repro::transfer::runner::{AgentPlan, Runner, Tuner};
+
+fn run(tuner: Box<dyn Tuner>) -> (String, f64, f64) {
+    let label = tuner.label();
+    let mut harness = SimHarness::new(Simulation::new(Environment::hpclab(), 5));
+    let trace = Runner::default().run(
+        &mut harness,
+        vec![AgentPlan::at_start(tuner, Dataset::uniform_1gb(1_000_000))],
+        240.0,
+    );
+    (
+        label,
+        trace.avg_mbps(0, 120.0, 240.0) / 1000.0,
+        trace.avg_concurrency(0, 120.0, 240.0),
+    )
+}
+
+fn main() {
+    let env = Environment::hpclab();
+    println!(
+        "HPCLab: 40 Gbps LAN, NVMe-write-limited at {:.1} Gbps\n",
+        env.path_capacity_mbps() / 1000.0
+    );
+    let dataset = Dataset::uniform_1gb(1_000_000);
+    let contenders: Vec<Box<dyn Tuner>> = vec![
+        Box::new(GlobusTuner::for_dataset(&dataset)),
+        Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
+        Box::new(FalconAgent::gradient_descent(64)),
+    ];
+    println!("{:<24} {:>10} {:>14}", "system", "gbps", "concurrency");
+    let mut results = Vec::new();
+    for tuner in contenders {
+        let (label, gbps, cc) = run(tuner);
+        println!("{label:<24} {gbps:>10.2} {cc:>14.1}");
+        results.push(gbps);
+    }
+    println!(
+        "\nfalcon vs globus: {:.1}x   falcon vs harp: {:.1}x",
+        results[2] / results[0],
+        results[2] / results[1]
+    );
+}

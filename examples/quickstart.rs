@@ -1,0 +1,55 @@
+//! Quickstart: tune a single file transfer with Falcon's Gradient Descent.
+//!
+//! Simulates moving 200 × 1 GB files over the XSEDE testbed (10 Gbps WAN,
+//! Lustre read-limited). Falcon starts at concurrency 2, probes a setting
+//! every 5 seconds, and converges to the ~10 concurrent transfers that
+//! saturate the parallel file system.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use falcon_repro::core::FalconAgent;
+use falcon_repro::sim::{Environment, Simulation};
+use falcon_repro::transfer::dataset::Dataset;
+use falcon_repro::transfer::harness::{SimHarness, TransferHarness};
+
+fn main() {
+    let env = Environment::xsede();
+    println!(
+        "environment: {} (path capacity {:.1} Gbps, saturates at ~{} concurrent transfers)",
+        env.name,
+        env.path_capacity_mbps() / 1000.0,
+        env.saturating_concurrency()
+    );
+
+    let mut harness = SimHarness::new(Simulation::new(env, 42));
+    let slot = harness.join(Dataset::uniform_1gb(200));
+    let mut agent = FalconAgent::gradient_descent(harness.max_concurrency());
+    harness.apply(slot, agent.initial_settings());
+
+    let interval = harness.sample_interval_s();
+    let mut next_probe = interval;
+    println!("{:>8}  {:>12}  {:>12}  {:>9}", "time_s", "setting", "gbps", "progress");
+    while !harness.is_complete(slot) && harness.time_s() < 600.0 {
+        harness.advance(0.1);
+        if harness.time_s() >= next_probe {
+            let metrics = harness.sample(slot);
+            let settings = agent.observe(metrics);
+            harness.apply(slot, settings);
+            next_probe += interval;
+            println!(
+                "{:>8.1}  {:>12}  {:>12.2}  {:>8.0}%",
+                harness.time_s(),
+                format!("cc={}", metrics.settings.concurrency),
+                metrics.aggregate_mbps / 1000.0,
+                100.0 * harness.time_s() / 600.0
+            );
+        }
+    }
+    if harness.is_complete(slot) {
+        println!("transfer complete at t={:.1}s", harness.time_s());
+    } else {
+        println!("time budget exhausted");
+    }
+}

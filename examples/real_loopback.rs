@@ -1,0 +1,54 @@
+//! Falcon against real sockets: tune a live TCP loopback transfer.
+//!
+//! A receiver drains connections on 127.0.0.1; the sender runs a pool of
+//! worker threads, each token-bucket-throttled to 60 Mbps (playing the
+//! per-process cap of a parallel file system). Falcon's Gradient Descent
+//! observes real interval throughput and grows the pool until the
+//! concurrency regret outweighs the gain.
+//!
+//! Runs ~25 seconds of wall-clock time.
+//!
+//! ```text
+//! cargo run --release --example real_loopback
+//! ```
+
+use falcon_repro::core::FalconAgent;
+use falcon_repro::net::{LoopbackConfig, LoopbackTransfer, Receiver};
+
+fn main() -> std::io::Result<()> {
+    let receiver = Receiver::start()?;
+    println!("receiver listening on 127.0.0.1:{}", receiver.port());
+
+    let transfer = LoopbackTransfer::start(LoopbackConfig {
+        port: receiver.port(),
+        per_worker_mbps: 60.0,
+        total_bytes: u64::MAX,
+        max_workers: 24,
+    })?;
+    let mut agent = FalconAgent::gradient_descent(24);
+    transfer
+        .apply_settings(agent.initial_settings())
+        .expect("apply settings");
+
+    let interval = std::time::Duration::from_millis(1200);
+    println!("{:>6}  {:>6}  {:>12}  {:>10}", "probe", "cc", "mbps", "utility");
+    transfer.sample(); // reset the interval counter
+    for probe in 0..20 {
+        std::thread::sleep(interval);
+        let metrics = transfer.sample();
+        let utility = agent.utility().evaluate(&metrics);
+        let settings = agent.observe(metrics);
+        transfer.apply_settings(settings).expect("apply settings");
+        println!(
+            "{probe:>6}  {:>6}  {:>12.1}  {:>10.1}",
+            metrics.settings.concurrency, metrics.aggregate_mbps, utility
+        );
+    }
+    println!(
+        "\nfinal: {} ({} MB moved through real sockets)",
+        transfer.settings(),
+        transfer.sent_bytes() / 1_000_000
+    );
+    transfer.shutdown();
+    Ok(())
+}

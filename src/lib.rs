@@ -1,0 +1,12 @@
+//! Umbrella crate for the Falcon reproduction suite.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can use a single dependency.
+
+pub use falcon_baselines as baselines;
+pub use falcon_core as core;
+pub use falcon_gp as gp;
+pub use falcon_net as net;
+pub use falcon_sim as sim;
+pub use falcon_tcp as tcp;
+pub use falcon_transfer as transfer;

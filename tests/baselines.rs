@@ -1,0 +1,134 @@
+//! Integration tests pitting Falcon against the baseline tuners — the
+//! orderings the paper's §4.3 and §4.5 report.
+
+use falcon_repro::baselines::{GlobusTuner, HarpHistory, HarpTuner};
+use falcon_repro::core::FalconAgent;
+use falcon_repro::sim::{Environment, Simulation};
+use falcon_repro::transfer::dataset::Dataset;
+use falcon_repro::transfer::harness::SimHarness;
+use falcon_repro::transfer::runner::{AgentPlan, Runner, Tuner};
+
+fn endless() -> Dataset {
+    Dataset::uniform_1gb(1_000_000)
+}
+
+fn solo(env: Environment, tuner: Box<dyn Tuner>, seed: u64) -> f64 {
+    let mut h = SimHarness::new(Simulation::new(env, seed));
+    let trace = Runner::default().run(
+        &mut h,
+        vec![AgentPlan::at_start(tuner, endless())],
+        300.0,
+    );
+    trace.avg_mbps(0, 180.0, 300.0)
+}
+
+/// Paper's headline: Falcon 2–6x over Globus.
+#[test]
+fn falcon_beats_globus_2x_to_6x() {
+    for env in [
+        Environment::hpclab(),
+        Environment::xsede(),
+        Environment::stampede2_comet(),
+    ] {
+        let name = env.name;
+        let globus = solo(
+            env.clone(),
+            Box::new(GlobusTuner::for_dataset(&endless())),
+            31,
+        );
+        let falcon = solo(env, Box::new(FalconAgent::gradient_descent(64)), 31);
+        let ratio = falcon / globus;
+        assert!(
+            (1.5..=8.0).contains(&ratio),
+            "{name}: falcon/globus = {ratio:.1}"
+        );
+    }
+}
+
+/// HARP lands between Globus and Falcon in fast networks.
+#[test]
+fn harp_between_globus_and_falcon_in_hpclab() {
+    let env = Environment::hpclab;
+    let globus = solo(env(), Box::new(GlobusTuner::for_dataset(&endless())), 33);
+    let harp = solo(
+        env(),
+        Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
+        33,
+    );
+    let falcon = solo(env(), Box::new(FalconAgent::gradient_descent(64)), 33);
+    assert!(globus < harp, "globus {globus:.0} vs harp {harp:.0}");
+    assert!(harp < falcon, "harp {harp:.0} vs falcon {falcon:.0}");
+}
+
+/// Two HARP transfers end up unfair; two Falcon transfers do not (the
+/// Figure 2(b) vs Figure 11 contrast).
+#[test]
+fn harp_pair_unfair_falcon_pair_fair() {
+    let run_pair = |mk: &dyn Fn() -> Box<dyn Tuner>, seed: u64| {
+        let mut h = SimHarness::new(Simulation::new(Environment::stampede2_comet(), seed));
+        let plans = vec![
+            AgentPlan::at_start(mk(), endless()),
+            AgentPlan::joining_at(mk(), endless(), 120.0),
+        ];
+        let trace = Runner::default().run(&mut h, plans, 800.0);
+        let a = trace.avg_mbps(0, 600.0, 800.0);
+        let b = trace.avg_mbps(1, 600.0, 800.0);
+        b / a.max(1e-9)
+    };
+    let harp_ratio = run_pair(
+        &|| Box::new(HarpTuner::new(HarpHistory::for_capacity_gbps(20.0))),
+        41,
+    );
+    let falcon_ratio = run_pair(&|| Box::new(FalconAgent::gradient_descent(64)), 41);
+    assert!(
+        harp_ratio > 1.25,
+        "HARP late-comer should win: ratio {harp_ratio:.2}"
+    );
+    assert!(
+        (0.85..1.2).contains(&falcon_ratio),
+        "Falcon pair should be even: ratio {falcon_ratio:.2}"
+    );
+}
+
+/// Falcon-GD joining incumbents takes spare capacity without crushing them
+/// (§4.5 friendliness).
+#[test]
+fn falcon_gd_is_friendly_to_incumbents() {
+    let mut h = SimHarness::new(Simulation::new(Environment::stampede2_comet(), 43));
+    let dataset = Dataset::large(1);
+    let plans = vec![
+        AgentPlan::at_start(Box::new(GlobusTuner::for_dataset(&dataset)), endless()),
+        AgentPlan::joining_at(
+            Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
+            endless(),
+            60.0,
+        ),
+        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), endless(), 120.0),
+    ];
+    let trace = Runner::default().run(&mut h, plans, 450.0);
+    let harp_before = trace.avg_mbps(1, 100.0, 120.0);
+    let harp_after = trace.avg_mbps(1, 300.0, 450.0);
+    let falcon = trace.avg_mbps(2, 300.0, 450.0);
+    // Falcon got real bandwidth…
+    assert!(falcon > 8_000.0, "falcon got {falcon:.0}");
+    // …while leaving the incumbent a substantial share. (Our substrate's
+    // strict per-connection fair sharing makes any multi-connection agent
+    // proportionally strong, so the degradation here is larger than the
+    // paper's 15-20% — see EXPERIMENTS.md.)
+    assert!(
+        harp_after > 0.4 * harp_before,
+        "harp {harp_before:.0} -> {harp_after:.0}"
+    );
+}
+
+/// Globus's fixed settings cannot adapt when capacity frees up.
+#[test]
+fn globus_leaves_capacity_unused() {
+    let env = Environment::hpclab();
+    let capacity = env.path_capacity_mbps();
+    let globus = solo(env, Box::new(GlobusTuner::for_dataset(&endless())), 47);
+    assert!(
+        globus < 0.4 * capacity,
+        "globus {globus:.0} of {capacity:.0} — too good for a fixed heuristic"
+    );
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over the suite's core invariants.
+
+use proptest::prelude::*;
+
+use falcon_repro::core::{ProbeMetrics, SearchBounds, TransferSettings, UtilityFunction};
+use falcon_repro::gp::{GpRegressor, Matern52};
+use falcon_repro::sim::alloc::{max_min_allocate, StreamDemand};
+use falcon_repro::tcp::{mathis_rate_mbps, BottleneckLossModel};
+use falcon_repro::transfer::runner::jain_index;
+
+proptest! {
+    /// Max-min allocation never oversubscribes any resource and never
+    /// exceeds a stream's own cap.
+    #[test]
+    fn maxmin_feasibility(
+        caps in proptest::collection::vec(1.0f64..500.0, 1..40),
+        capacities in proptest::collection::vec(10.0f64..2000.0, 1..5),
+    ) {
+        let n_res = capacities.len();
+        let streams: Vec<StreamDemand> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| StreamDemand {
+                cap_mbps: c,
+                // Every stream crosses the first resource; others vary.
+                resource_mask: 0b1 | ((i as u64 % (1 << n_res)) & ((1 << n_res) - 1)),
+            })
+            .collect();
+        let rates = max_min_allocate(&streams, &capacities);
+        for (r, s) in rates.iter().zip(&streams) {
+            prop_assert!(*r <= s.cap_mbps + 1e-6);
+            prop_assert!(*r >= 0.0);
+        }
+        for (i, &cap) in capacities.iter().enumerate() {
+            let used: f64 = rates
+                .iter()
+                .zip(&streams)
+                .filter(|(_, s)| s.resource_mask & (1 << i) != 0)
+                .map(|(r, _)| r)
+                .sum();
+            prop_assert!(used <= cap + 1e-6, "resource {i}: {used} > {cap}");
+        }
+    }
+
+    /// Identical unconstrained streams sharing one resource receive equal
+    /// rates (the TCP same-RTT fairness assumption of footnote 1).
+    #[test]
+    fn maxmin_symmetry(n in 1usize..60, capacity in 10.0f64..5000.0) {
+        let streams = vec![
+            StreamDemand { cap_mbps: f64::INFINITY, resource_mask: 0b1 };
+            n
+        ];
+        let rates = max_min_allocate(&streams, &[capacity]);
+        let expect = capacity / n as f64;
+        for r in rates {
+            prop_assert!((r - expect).abs() < 1e-6);
+        }
+    }
+
+    /// The loss model is monotone in connection count at fixed utilization
+    /// and bounded in [0, 1].
+    #[test]
+    fn loss_monotone_in_connections(
+        cap in 10.0f64..100_000.0,
+        rtt in 1e-4f64..0.2,
+        n in 1u32..200,
+    ) {
+        let m = BottleneckLossModel::default();
+        let l1 = m.loss_rate(cap * 1.2, cap, n, rtt, 1460.0);
+        let l2 = m.loss_rate(cap * 1.2, cap, n + 1, rtt, 1460.0);
+        prop_assert!((0.0..=1.0).contains(&l1));
+        prop_assert!(l2 >= l1 - 1e-12);
+    }
+
+    /// Mathis throughput is monotone decreasing in loss and RTT.
+    #[test]
+    fn mathis_monotonicity(
+        loss in 1e-6f64..0.4,
+        rtt in 1e-4f64..0.5,
+    ) {
+        let base = mathis_rate_mbps(loss, rtt, 1460.0);
+        prop_assert!(base > 0.0);
+        prop_assert!(mathis_rate_mbps(loss * 2.0, rtt, 1460.0) <= base);
+        prop_assert!(mathis_rate_mbps(loss, rtt * 2.0, 1460.0) <= base);
+    }
+
+    /// Eq 4 is concave in n over the guaranteed region: the second
+    /// difference of the utility along n is non-positive for loss-free,
+    /// constant-per-thread-throughput metrics.
+    #[test]
+    fn eq4_concave_within_limit(
+        t in 1.0f64..5000.0,
+        n in 2u32..99,
+    ) {
+        let u = UtilityFunction::falcon_default();
+        let eval = |n: u32| {
+            u.evaluate(&ProbeMetrics {
+                settings: TransferSettings::with_concurrency(n),
+                aggregate_mbps: f64::from(n) * t,
+                per_thread_mbps: t,
+                loss_rate: 0.0,
+                interval_s: 5.0,
+            })
+        };
+        let second_diff = eval(n + 1) - 2.0 * eval(n) + eval(n - 1);
+        prop_assert!(second_diff <= 1e-9, "second difference {second_diff} at n={n}");
+    }
+
+    /// The Eq 5 closed form agrees in sign with the numerical second
+    /// difference of f(n) = n·t/K^n.
+    #[test]
+    fn eq5_sign_matches_numeric(
+        n in 2.0f64..300.0,
+        k in 1.001f64..1.2,
+    ) {
+        let t = 10.0;
+        let analytic = UtilityFunction::second_derivative_eq5(n, t, k);
+        let f = |n: f64| n * t / k.powf(n);
+        let numeric = f(n + 1.0) - 2.0 * f(n) + f(n - 1.0);
+        // Skip the razor-thin region around the inflection point where the
+        // discrete second difference straddles the sign change.
+        let limit = UtilityFunction::concavity_limit(k);
+        prop_assume!((n - limit).abs() > 1.5);
+        prop_assert_eq!(analytic > 0.0, numeric > 0.0, "n={} k={} a={} num={}", n, k, analytic, numeric);
+    }
+
+    /// Bounds clamping is idempotent and always yields contained settings.
+    #[test]
+    fn bounds_clamp_idempotent(
+        cc in 0u32..200, p in 0u32..50, pp in 0u32..50,
+        max_cc in 1u32..100, max_p in 1u32..16, max_pp in 1u32..32,
+    ) {
+        let b = SearchBounds::multi_parameter(max_cc, max_p, max_pp);
+        let s = TransferSettings { concurrency: cc, parallelism: p, pipelining: pp };
+        let c1 = b.clamp(s);
+        prop_assert!(b.contains(c1));
+        prop_assert_eq!(b.clamp(c1), c1);
+    }
+
+    /// Jain's index lies in (0, 1] and is 1 for equal inputs.
+    #[test]
+    fn jain_bounds(xs in proptest::collection::vec(0.0f64..1e6, 1..20)) {
+        let j = jain_index(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+    }
+
+    /// GP posterior mean at a training point approaches the target as noise
+    /// goes to zero, and posterior variance is non-negative everywhere.
+    #[test]
+    fn gp_interpolation(
+        ys in proptest::collection::vec(-100.0f64..100.0, 3..10),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64 * 2.0]).collect();
+        let gp = GpRegressor::fit(&xs, &ys, Matern52::new(50.0, 1.0), 1e-8).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            prop_assert!((m - y).abs() < 1.0, "mean {m} vs {y}");
+            prop_assert!(v >= 0.0);
+        }
+        let (_, v_far) = gp.predict(&[1e6]);
+        prop_assert!(v_far >= 0.0);
+    }
+
+    /// Utility is linear in throughput scale for every form: doubling both
+    /// aggregate and per-thread throughput doubles the utility.
+    #[test]
+    fn utility_scale_invariance(
+        n in 1u32..80,
+        t in 0.1f64..1000.0,
+        loss in 0.0f64..0.05,
+    ) {
+        for u in [
+            UtilityFunction::Throughput,
+            UtilityFunction::LossRegret { b: 10.0 },
+            UtilityFunction::LinearRegret { b: 10.0, c: 0.01 },
+            UtilityFunction::falcon_default(),
+        ] {
+            let m1 = ProbeMetrics {
+                settings: TransferSettings::with_concurrency(n),
+                aggregate_mbps: f64::from(n) * t,
+                per_thread_mbps: t,
+                loss_rate: loss,
+                interval_s: 5.0,
+            };
+            let mut m2 = m1;
+            m2.aggregate_mbps *= 2.0;
+            m2.per_thread_mbps *= 2.0;
+            let (u1, u2) = (u.evaluate(&m1), u.evaluate(&m2));
+            prop_assert!((u2 - 2.0 * u1).abs() <= 1e-9 * u1.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests against the real loopback socket engine: Falcon
+//! tuning genuine TCP transfers end to end (sender-limited regime, loss
+//! identically zero, Eq 4's concurrency regret does all the limiting).
+
+use falcon_repro::core::FalconAgent;
+use falcon_repro::net::{LoopbackConfig, LoopbackTransfer, Receiver};
+
+/// Run Falcon-GD against a live loopback transfer and return the visited
+/// concurrency trace.
+fn drive_real(agent: &mut FalconAgent, per_worker_mbps: f64, probes: usize) -> Vec<u32> {
+    let receiver = Receiver::start().expect("receiver");
+    let transfer = LoopbackTransfer::start(LoopbackConfig {
+        port: receiver.port(),
+        per_worker_mbps,
+        total_bytes: u64::MAX,
+        max_workers: 16,
+    })
+    .expect("transfer");
+    transfer
+        .apply_settings(agent.initial_settings())
+        .expect("apply");
+    let mut trace = Vec::new();
+    transfer.sample();
+    for _ in 0..probes {
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let metrics = transfer.sample();
+        let settings = agent.observe(metrics);
+        transfer.apply_settings(settings).expect("apply");
+        trace.push(settings.concurrency);
+    }
+    transfer.shutdown();
+    trace
+}
+
+#[test]
+fn gd_scales_up_a_real_transfer() {
+    let mut agent = FalconAgent::gradient_descent(16);
+    let trace = drive_real(&mut agent, 30.0, 18);
+    let peak = *trace.iter().max().unwrap();
+    assert!(peak >= 5, "search never scaled up: {trace:?}");
+}
+
+#[test]
+fn concurrency_regret_bounds_a_real_transfer() {
+    // With no loss signal on loopback, only Eq 4's Kⁿ term limits the
+    // search: it must not pin at the maximum forever.
+    let mut agent = FalconAgent::gradient_descent(16);
+    let trace = drive_real(&mut agent, 30.0, 24);
+    let tail = &trace[trace.len() - 6..];
+    assert!(
+        tail.iter().any(|&c| c < 16),
+        "search stuck at the bound: {trace:?}"
+    );
+}
+
+#[test]
+fn write_limited_destination_backpressures_real_transfer() {
+    // The destination drains each connection at 12 Mbps (a slow "disk"):
+    // even with generous sender-side budgets the transfer is capped by the
+    // receiver — the live version of the paper's HPCLab write bottleneck.
+    let receiver = Receiver::start_throttled(12.0).expect("receiver");
+    let transfer = LoopbackTransfer::start(LoopbackConfig {
+        port: receiver.port(),
+        per_worker_mbps: 200.0, // sender could go much faster
+        total_bytes: u64::MAX,
+        max_workers: 4,
+    })
+    .expect("transfer");
+    transfer
+        .apply_settings(falcon_repro::core::TransferSettings::with_concurrency(2))
+        .expect("apply");
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    transfer.sample();
+    std::thread::sleep(std::time::Duration::from_millis(1000));
+    let m = transfer.sample();
+    // 2 connections × 12 Mbps ≈ 24 Mbps; allow buffer slack, but far below
+    // the 400 Mbps the sender budget would permit.
+    assert!(
+        m.aggregate_mbps < 150.0,
+        "backpressure missing: {} Mbps",
+        m.aggregate_mbps
+    );
+    transfer.shutdown();
+}
+
+#[test]
+fn real_transfer_moves_more_bytes_with_more_workers() {
+    let receiver = Receiver::start().expect("receiver");
+    let mk = |workers: u32| {
+        let t = LoopbackTransfer::start(LoopbackConfig {
+            port: receiver.port(),
+            per_worker_mbps: 40.0,
+            total_bytes: u64::MAX,
+            max_workers: 16,
+        })
+        .expect("transfer");
+        t.apply_settings(falcon_repro::core::TransferSettings::with_concurrency(
+            workers,
+        ))
+        .expect("apply");
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        t.sample();
+        std::thread::sleep(std::time::Duration::from_millis(700));
+        let mbps = t.sample().aggregate_mbps;
+        t.shutdown();
+        mbps
+    };
+    let one = mk(1);
+    let eight = mk(8);
+    assert!(
+        eight > 3.0 * one,
+        "8 workers should far outpace 1: {one:.0} vs {eight:.0}"
+    );
+}
