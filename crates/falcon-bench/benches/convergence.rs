@@ -5,9 +5,7 @@
 //! noise-free synthetic landscape, plus the probe counts printed once.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use falcon_core::{
-    FalconAgent, ProbeMetrics, TransferSettings,
-};
+use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
 
 /// Emulab-48 synthetic aggregate throughput.
 fn landscape(cc: u32) -> f64 {

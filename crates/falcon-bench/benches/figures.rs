@@ -9,7 +9,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("table1", |b| b.iter(|| black_box(falcon_experiments::table1())));
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(falcon_experiments::table1()))
+    });
     g.bench_function("fig4", |b| {
         b.iter(|| black_box(falcon_experiments::figs1_4::fig4()))
     });

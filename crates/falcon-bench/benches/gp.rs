@@ -27,9 +27,7 @@ fn bench_gp(c: &mut Criterion) {
         let (xs, ys) = training_set(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3).unwrap(),
-                )
+                black_box(GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3).unwrap())
             })
         });
     }

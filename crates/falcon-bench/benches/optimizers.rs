@@ -94,8 +94,9 @@ fn bench_decisions(c: &mut Criterion) {
     });
 
     c.bench_function("decision_conjugate_gradient", |b| {
-        let mut opt =
-            ConjugateGradientOptimizer::new(CgdParams::new(SearchBounds::multi_parameter(64, 8, 32)));
+        let mut opt = ConjugateGradientOptimizer::new(CgdParams::new(
+            SearchBounds::multi_parameter(64, 8, 32),
+        ));
         let mut s = opt.initial();
         b.iter(|| {
             let next = opt.next(black_box(&observation(s.concurrency)));

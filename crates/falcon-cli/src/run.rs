@@ -27,15 +27,14 @@ fn make_agent(optimizer: Optimizer, max_cc: u32, seed: u64) -> FalconAgent {
         Optimizer::Gd => FalconAgent::gradient_descent(max_cc),
         Optimizer::Bo => FalconAgent::bayesian(max_cc, seed),
         Optimizer::Hc => FalconAgent::hill_climbing(max_cc),
-        Optimizer::Mp => {
-            FalconAgent::multi_parameter(SearchBounds::multi_parameter(max_cc, 8, 32))
-        }
+        Optimizer::Mp => FalconAgent::multi_parameter(SearchBounds::multi_parameter(max_cc, 8, 32)),
     }
 }
 
 /// `falcon envs`: one line per preset.
 pub fn list_envs() -> String {
-    let mut out = String::from("preset            bandwidth  rtt      bottleneck-capacity  saturating-cc\n");
+    let mut out =
+        String::from("preset            bandwidth  rtt      bottleneck-capacity  saturating-cc\n");
     for kind in EnvironmentKind::all() {
         let env = kind.build();
         out.push_str(&format!(
@@ -89,7 +88,10 @@ pub fn simulate(args: &SimulateArgs) -> Result<String, String> {
         }
     }
     if harness.is_complete(slot) {
-        out.push_str(&format!("transfer complete at t={:.1}s\n", harness.time_s()));
+        out.push_str(&format!(
+            "transfer complete at t={:.1}s\n",
+            harness.time_s()
+        ));
     } else {
         out.push_str(&format!(
             "duration reached at t={:.1}s (transfer incomplete)\n",
@@ -109,13 +111,10 @@ pub fn loopback(args: &LoopbackArgs) -> Result<String, String> {
         per_worker_mbps: args.per_worker_mbps,
         total_bytes: u64::MAX,
         max_workers: args.max_workers,
-    })
-    .map_err(|e| format!("sender: {e}"))?;
+    });
 
     let mut agent = make_agent(args.optimizer, args.max_workers, 0xF41C0);
-    transfer
-        .apply_settings(agent.initial_settings())
-        .map_err(|e| format!("apply: {e}"))?;
+    transfer.apply_settings(agent.initial_settings());
 
     let mut out = format!(
         "# loopback port={} optimizer={} per_worker={}Mbps\n{:>6} {:>6} {:>12} {:>10}\n",
@@ -133,9 +132,7 @@ pub fn loopback(args: &LoopbackArgs) -> Result<String, String> {
         let metrics = transfer.sample();
         let utility = agent.utility().evaluate(&metrics);
         let settings = agent.observe(metrics);
-        transfer
-            .apply_settings(settings)
-            .map_err(|e| format!("apply: {e}"))?;
+        transfer.apply_settings(settings);
         out.push_str(&format!(
             "{probe:>6} {:>6} {:>12.1} {:>10.1}\n",
             metrics.settings.concurrency, metrics.aggregate_mbps, utility
@@ -158,8 +155,17 @@ mod tests {
     #[test]
     fn resolve_env_accepts_all_documented_names() {
         for name in [
-            "emulab", "emulab10", "emulab48", "fig4", "emulab-fig4", "xsede", "hpclab", "campus",
-            "campus-cluster", "stampede2", "stampede2-comet",
+            "emulab",
+            "emulab10",
+            "emulab48",
+            "fig4",
+            "emulab-fig4",
+            "xsede",
+            "hpclab",
+            "campus",
+            "campus-cluster",
+            "stampede2",
+            "stampede2-comet",
         ] {
             assert!(resolve_env(name).is_some(), "{name} not resolved");
         }
@@ -169,7 +175,13 @@ mod tests {
     #[test]
     fn list_envs_mentions_every_preset() {
         let out = list_envs();
-        for name in ["emulab", "xsede", "hpclab", "campus-cluster", "stampede2-comet"] {
+        for name in [
+            "emulab",
+            "xsede",
+            "hpclab",
+            "campus-cluster",
+            "stampede2-comet",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }
@@ -185,7 +197,10 @@ mod tests {
         let out = simulate(&args).unwrap();
         // One line per 5 s probe over 150 s, plus header/footer.
         let probe_lines = out.lines().filter(|l| l.contains("cc=")).count();
-        assert!((25..=31).contains(&probe_lines), "{probe_lines} probe lines");
+        assert!(
+            (25..=31).contains(&probe_lines),
+            "{probe_lines} probe lines"
+        );
         // Converged near 1 Gbps by the end.
         let last = out.lines().rfind(|l| l.contains("cc=")).unwrap();
         let gbps: f64 = last.split_whitespace().last().unwrap().parse().unwrap();

@@ -23,14 +23,36 @@
 //! end = 400
 //! mbps = 5000
 //! connections = 10
+//!
+//! # the bottleneck drops to 30% capacity at 250 s and recovers at 350 s
+//! [event]
+//! at = 250
+//! action = link_capacity
+//! factor = 0.3
+//!
+//! [event]
+//! at = 350
+//! action = link_capacity
+//! factor = 1.0
 //! ```
 //!
-//! Comments start with `#`; keys are `key = value`; `[agent]` and
-//! `[background]` open repeated sections.
+//! Comments start with `#`; keys are `key = value`; `[agent]`,
+//! `[background]` and `[event]` open repeated sections.
+//!
+//! `[event]` actions (see [`falcon_sim::EventAction`]):
+//!
+//! | `action =`      | keys                           | effect                               |
+//! |-----------------|--------------------------------|--------------------------------------|
+//! | `link_capacity` | `factor`, optional `resource`  | scale a link's baseline capacity     |
+//! | `loss_floor`    | `rate`                         | impose a packet-loss floor           |
+//! | `disk_throttle` | `factor`                       | scale per-process disk caps          |
+//! | `rtt`           | `rtt_s`                        | set the round-trip time              |
+//! | `kill`          | `agent`                        | crash an agent's transfer process    |
+//! | `revive`        | `agent`                        | bring a killed agent back            |
 
 use falcon_baselines::{GlobusTuner, HarpHistory, HarpTuner};
 use falcon_core::{FalconAgent, SearchBounds, TransferSettings};
-use falcon_sim::{BackgroundFlow, Simulation};
+use falcon_sim::{BackgroundFlow, EnvironmentEvent, EventAction, Simulation};
 use falcon_transfer::dataset::Dataset;
 use falcon_transfer::harness::SimHarness;
 use falcon_transfer::runner::{AgentPlan, FixedTuner, Runner, Tuner};
@@ -78,6 +100,8 @@ pub struct Scenario {
     pub agents: Vec<AgentSpec>,
     /// Scripted cross traffic.
     pub background: Vec<BackgroundFlow>,
+    /// Scripted environment faults/changes.
+    pub events: Vec<EnvironmentEvent>,
 }
 
 impl Default for Scenario {
@@ -89,6 +113,7 @@ impl Default for Scenario {
             trace_path: None,
             agents: Vec::new(),
             background: Vec::new(),
+            events: Vec::new(),
         }
     }
 }
@@ -98,6 +123,65 @@ enum Section {
     Top,
     Agent,
     Background,
+    Event,
+}
+
+/// Accumulates the keys of one `[event]` section until it can be built.
+#[derive(Debug, Clone, Default)]
+struct EventSpec {
+    at_s: Option<f64>,
+    action: Option<String>,
+    factor: Option<f64>,
+    rate: Option<f64>,
+    rtt_s: Option<f64>,
+    agent: Option<usize>,
+    resource: Option<usize>,
+}
+
+impl EventSpec {
+    fn build(&self) -> Result<EnvironmentEvent, ParseError> {
+        let at_s = self
+            .at_s
+            .ok_or_else(|| ParseError("[event] requires at = <seconds>".into()))?;
+        let action_name = self
+            .action
+            .as_deref()
+            .ok_or_else(|| ParseError("[event] requires action = <name>".into()))?;
+        let need = |v: Option<f64>, key: &str| {
+            v.ok_or_else(|| ParseError(format!("[event] action {action_name} requires {key} =")))
+        };
+        let need_agent = || {
+            self.agent
+                .ok_or_else(|| ParseError(format!("[event] action {action_name} requires agent =")))
+        };
+        let action = match action_name {
+            "link_capacity" => EventAction::LinkCapacityFactor {
+                resource: self.resource,
+                factor: need(self.factor, "factor")?,
+            },
+            "loss_floor" => EventAction::LossFloor {
+                rate: need(self.rate, "rate")?,
+            },
+            "disk_throttle" => EventAction::DiskThrottleFactor {
+                factor: need(self.factor, "factor")?,
+            },
+            "rtt" => EventAction::RttShift {
+                rtt_s: need(self.rtt_s, "rtt_s")?,
+            },
+            "kill" => EventAction::KillAgent {
+                agent: need_agent()?,
+            },
+            "revive" => EventAction::ReviveAgent {
+                agent: need_agent()?,
+            },
+            other => {
+                return Err(ParseError(format!(
+                    "unknown event action {other:?} (expected link_capacity|loss_floor|disk_throttle|rtt|kill|revive)"
+                )))
+            }
+        };
+        Ok(EnvironmentEvent::at(at_s, action))
+    }
 }
 
 /// Parse a scenario file's contents.
@@ -111,11 +195,17 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         connections: 1,
     };
 
+    let mut ev = EventSpec::default();
+
     let err = |line_no: usize, msg: String| ParseError(format!("line {}: {msg}", line_no + 1));
     let flush_bg = |sc: &mut Scenario, bg: &BackgroundFlow| {
         if bg.demand_mbps > 0.0 {
             sc.background.push(*bg);
         }
+    };
+    let flush_ev = |sc: &mut Scenario, ev: &EventSpec| -> Result<(), ParseError> {
+        sc.events.push(ev.build()?);
+        Ok(())
     };
 
     for (line_no, raw) in text.lines().enumerate() {
@@ -124,9 +214,13 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
             continue;
         }
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            if section == Section::Background {
-                flush_bg(&mut sc, &bg);
-                bg.demand_mbps = 0.0;
+            match section {
+                Section::Background => {
+                    flush_bg(&mut sc, &bg);
+                    bg.demand_mbps = 0.0;
+                }
+                Section::Event => flush_ev(&mut sc, &ev)?,
+                _ => {}
             }
             section = match name.trim() {
                 "agent" => {
@@ -141,6 +235,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         connections: 1,
                     };
                     Section::Background
+                }
+                "event" => {
+                    ev = EventSpec::default();
+                    Section::Event
                 }
                 other => return Err(err(line_no, format!("unknown section [{other}]"))),
             };
@@ -179,10 +277,22 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 "connections" => bg.connections = num(value)? as u32,
                 other => return Err(err(line_no, format!("unknown background key {other:?}"))),
             },
+            Section::Event => match key {
+                "at" => ev.at_s = Some(num(value)?),
+                "action" => ev.action = Some(value.to_string()),
+                "factor" => ev.factor = Some(num(value)?),
+                "rate" => ev.rate = Some(num(value)?),
+                "rtt_s" => ev.rtt_s = Some(num(value)?),
+                "agent" => ev.agent = Some(num(value)? as usize),
+                "resource" => ev.resource = Some(num(value)? as usize),
+                other => return Err(err(line_no, format!("unknown event key {other:?}"))),
+            },
         }
     }
-    if section == Section::Background {
-        flush_bg(&mut sc, &bg);
+    match section {
+        Section::Background => flush_bg(&mut sc, &bg),
+        Section::Event => flush_ev(&mut sc, &ev)?,
+        _ => {}
     }
     if sc.agents.is_empty() {
         return Err(ParseError("scenario defines no [agent] sections".into()));
@@ -253,6 +363,7 @@ pub fn run(sc: &Scenario) -> Result<String, ParseError> {
     for bg in &sc.background {
         harness.sim_mut().add_background_flow(*bg);
     }
+    harness.sim_mut().add_events(sc.events.iter().copied());
     let mut plans = Vec::new();
     for (i, a) in sc.agents.iter().enumerate() {
         let tuner = make_tuner(&a.tuner, max_cc, sc.seed.wrapping_add(i as u64))?;
@@ -290,6 +401,18 @@ pub fn run(sc: &Scenario) -> Result<String, ParseError> {
         let agents: Vec<usize> = (0..sc.agents.len()).collect();
         let fair = trace.fairness(&agents, sc.duration_s * 2.0 / 3.0, sc.duration_s);
         out.push_str(&format!("jain_index (final third): {fair:.3}\n"));
+    }
+    if !trace.recovery.is_empty() {
+        for (i, a) in sc.agents.iter().enumerate() {
+            let restarts = trace.restarts(i);
+            let discarded = trace.discarded_probes(i);
+            if restarts > 0 || discarded > 0 {
+                out.push_str(&format!(
+                    "recovery: agent {i} ({}) restarted {restarts}x, discarded {discarded} stalled probe(s)\n",
+                    a.tuner
+                ));
+            }
+        }
     }
     if let Some(path) = &sc.trace_path {
         std::fs::write(path, trace.to_csv())
@@ -345,6 +468,66 @@ connections = 3
     }
 
     #[test]
+    fn parses_event_sections() {
+        let text = "\
+[agent]
+tuner = falcon-gd
+
+[event]
+at = 250
+action = link_capacity
+factor = 0.3
+
+[event]
+at = 300
+action = loss_floor
+rate = 0.01
+
+[event]
+at = 320
+action = kill
+agent = 0
+";
+        let sc = parse(text).unwrap();
+        assert_eq!(sc.events.len(), 3);
+        assert_eq!(
+            sc.events[0],
+            EnvironmentEvent::at(
+                250.0,
+                EventAction::LinkCapacityFactor {
+                    resource: None,
+                    factor: 0.3
+                }
+            )
+        );
+        assert_eq!(
+            sc.events[1],
+            EnvironmentEvent::at(300.0, EventAction::LossFloor { rate: 0.01 })
+        );
+        assert_eq!(
+            sc.events[2],
+            EnvironmentEvent::at(320.0, EventAction::KillAgent { agent: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        // Missing at =.
+        assert!(parse("[agent]\ntuner = falcon-gd\n[event]\naction = rtt\nrtt_s = 0.1\n").is_err());
+        // Missing the action's required key.
+        assert!(
+            parse("[agent]\ntuner = falcon-gd\n[event]\nat = 10\naction = link_capacity\n")
+                .is_err()
+        );
+        // Unknown action.
+        assert!(
+            parse("[agent]\ntuner = falcon-gd\n[event]\nat = 10\naction = earthquake\n").is_err()
+        );
+        // Unknown key.
+        assert!(parse("[agent]\ntuner = falcon-gd\n[event]\nat = 10\nwarp = 9\n").is_err());
+    }
+
+    #[test]
     fn rejects_unknown_keys_and_sections() {
         assert!(parse("bogus = 1\n[agent]\ntuner = falcon-gd\n").is_err());
         assert!(parse("[warp]\n").is_err());
@@ -374,8 +557,15 @@ connections = 3
     #[test]
     fn every_tuner_name_constructs() {
         for t in [
-            "falcon-gd", "falcon-bo", "falcon-hc", "falcon-mp", "globus", "harp", "harp:20",
-            "harp-rt", "fixed:8",
+            "falcon-gd",
+            "falcon-bo",
+            "falcon-hc",
+            "falcon-mp",
+            "globus",
+            "harp",
+            "harp:20",
+            "harp-rt",
+            "fixed:8",
         ] {
             assert!(make_tuner(t, 32, 1).is_ok(), "{t}");
         }
@@ -388,6 +578,19 @@ connections = 3
             assert!(make_dataset(d).is_ok(), "{d}");
         }
         assert!(make_dataset("petabytes").is_err());
+    }
+
+    #[test]
+    fn shipped_link_flap_scenario_parses_and_runs() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/link_flap.ini");
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = parse(&text).unwrap();
+        assert_eq!(sc.agents.len(), 3);
+        assert_eq!(sc.events.len(), 2);
+        let out = run(&sc).unwrap();
+        for tuner in ["falcon-hc", "falcon-gd", "falcon-bo"] {
+            assert!(out.contains(tuner), "{out}");
+        }
     }
 
     #[test]

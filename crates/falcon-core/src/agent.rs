@@ -140,12 +140,7 @@ mod tests {
     use super::*;
 
     fn probe(agent: &mut FalconAgent, cc: u32, thr: f64) -> TransferSettings {
-        let m = ProbeMetrics::from_aggregate(
-            TransferSettings::with_concurrency(cc),
-            thr,
-            0.0,
-            5.0,
-        );
+        let m = ProbeMetrics::from_aggregate(TransferSettings::with_concurrency(cc), thr, 0.0, 5.0);
         agent.observe(m)
     }
 
@@ -191,8 +186,7 @@ mod tests {
             "hill-climbing"
         );
         assert_eq!(
-            FalconAgent::multi_parameter(SearchBounds::multi_parameter(8, 4, 8))
-                .optimizer_name(),
+            FalconAgent::multi_parameter(SearchBounds::multi_parameter(8, 4, 8)).optimizer_name(),
             "conjugate-gradient"
         );
     }

@@ -301,7 +301,11 @@ mod tests {
     #[test]
     fn adapts_when_optimum_moves() {
         let mut opt = BayesianOptimizer::new(BoParams::new(64));
-        drive(&mut opt, |n| f64::from(n) * 21.0f64.min(1008.0 / f64::from(n)), 40);
+        drive(
+            &mut opt,
+            |n| f64::from(n) * 21.0f64.min(1008.0 / f64::from(n)),
+            40,
+        );
         // Optimum collapses to 10; within ~1.5 windows BO must follow.
         let trace = drive(&mut opt, emulab10, 40);
         let tail = &trace[25..];
@@ -349,7 +353,11 @@ mod tests {
         let mut opt = BayesianOptimizer::new(BoParams::new(64).with_seed(5).with_dynamic_space(16));
         let landscape = |n: u32| f64::from(n) * 21.0f64.min(1008.0 / f64::from(n));
         let trace = drive(&mut opt, landscape, 60);
-        assert!(opt.current_max() > 32, "ceiling stuck at {}", opt.current_max());
+        assert!(
+            opt.current_max() > 32,
+            "ceiling stuck at {}",
+            opt.current_max()
+        );
         assert!(
             trace.iter().any(|&c| c > 32),
             "never probed past 32: {trace:?}"

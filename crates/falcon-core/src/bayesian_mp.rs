@@ -150,12 +150,7 @@ impl BayesianMpOptimizer {
         let xs: Vec<Vec<f64>> = self
             .history
             .iter()
-            .map(|&(s, _)| {
-                vec![
-                    f64::from(s.concurrency),
-                    f64::from(s.parallelism),
-                ]
-            })
+            .map(|&(s, _)| vec![f64::from(s.concurrency), f64::from(s.parallelism)])
             .collect();
         let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
         let Ok(gp) = GpRegressor::fit_auto(&xs, &ys, self.params.noise_variance) else {
@@ -256,11 +251,13 @@ mod tests {
 
     #[test]
     fn probes_stay_inside_cap() {
-        let mut opt = BayesianMpOptimizer::new(
-            BoMpParams::new(16, 8).with_connection_cap(24).with_seed(3),
-        );
+        let mut opt =
+            BayesianMpOptimizer::new(BoMpParams::new(16, 8).with_connection_cap(24).with_seed(3));
         let trace = drive(&mut opt, flow_limited, 30);
-        assert!(trace.iter().all(|s| s.total_connections() <= 24), "{trace:?}");
+        assert!(
+            trace.iter().all(|s| s.total_connections() <= 24),
+            "{trace:?}"
+        );
     }
 
     #[test]
@@ -281,10 +278,7 @@ mod tests {
         // Saturating 1.6 Gbps needs 32 connections; a concurrency of 16
         // alone cannot do it, so good candidates multiply the axes.
         let tail = &trace[30..];
-        let productive = tail
-            .iter()
-            .filter(|s| s.total_connections() >= 24)
-            .count();
+        let productive = tail.iter().filter(|s| s.total_connections() >= 24).count();
         assert!(productive * 2 > tail.len(), "tail: {tail:?}");
     }
 

@@ -71,11 +71,20 @@ pub struct ConjugateGradientOptimizer {
 }
 
 const PLANS: [ProbePlan; 6] = [
-    ProbePlan { dim: 0, high: false },
+    ProbePlan {
+        dim: 0,
+        high: false,
+    },
     ProbePlan { dim: 0, high: true },
-    ProbePlan { dim: 1, high: false },
+    ProbePlan {
+        dim: 1,
+        high: false,
+    },
     ProbePlan { dim: 1, high: true },
-    ProbePlan { dim: 2, high: false },
+    ProbePlan {
+        dim: 2,
+        high: false,
+    },
     ProbePlan { dim: 2, high: true },
 ];
 
@@ -285,10 +294,7 @@ mod tests {
         let centers = drive(&mut opt, small_files, 120);
         let last = centers.last().unwrap();
         assert!(last.pipelining >= 6, "pp stayed at {last}");
-        assert!(
-            (7..=14).contains(&last.concurrency),
-            "cc ended at {last}"
-        );
+        assert!((7..=14).contains(&last.concurrency), "cc ended at {last}");
     }
 
     #[test]

@@ -143,11 +143,7 @@ mod tests {
     use crate::metrics::ProbeMetrics;
     use crate::utility::UtilityFunction;
 
-    fn drive<F: Fn(u32) -> f64>(
-        opt: &mut GoldenSectionOptimizer,
-        f: F,
-        probes: usize,
-    ) -> Vec<u32> {
+    fn drive<F: Fn(u32) -> f64>(opt: &mut GoldenSectionOptimizer, f: F, probes: usize) -> Vec<u32> {
         let mut trace = Vec::new();
         let mut cc = opt.initial().concurrency;
         for _ in 0..probes {

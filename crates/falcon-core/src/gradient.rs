@@ -34,11 +34,16 @@ pub struct GdParams {
     /// absolute floor of 4): prevents confidence-driven overshoot past the
     /// optimum while still allowing fast geometric growth.
     pub max_step_frac: f64,
-    /// EMA weight of the newest slope estimate (1.0 = no smoothing, the
-    /// default). Smoothing filters the zero-mean noise that competing
-    /// transfers' ±1 probes inject into each other's samples, at the cost
-    /// of slower adaptation; experiments found the default more robust.
-    pub slope_ema_alpha: f64,
+    /// Per-round decay of the per-concurrency utility averages
+    /// (1.0 = no memory: every slope uses only this round's two probes).
+    /// Near an optimum the true restoring slope is far below the sampling
+    /// noise, so a single two-point difference cannot see it. The probe
+    /// bounce revisits the same `n±1` positions round after round, so
+    /// keeping a decayed running mean of utility *per concurrency value*
+    /// averages the noise away exactly where it matters, while fresh
+    /// territory (convergence phase) still reacts to raw slopes at full
+    /// speed because new positions have no history.
+    pub avg_decay: f64,
 }
 
 impl GdParams {
@@ -53,17 +58,17 @@ impl GdParams {
             step_gain: 2.0,
             min_rel_slope: 0.001,
             max_step_frac: 0.35,
-            slope_ema_alpha: 1.0,
+            avg_decay: 0.75,
         }
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Phase {
-    /// Waiting for the probe of `center − 1`.
-    Low,
-    /// Waiting for the probe of `center + 1`; carries `u(center − 1)`.
-    High { u_low: f64 },
+    /// Waiting for the round's first probe.
+    First,
+    /// Waiting for the round's second probe; carries the first utility.
+    Second { u_first: f64 },
 }
 
 /// Online Gradient Descent optimizer state.
@@ -74,7 +79,19 @@ pub struct GradientDescentOptimizer {
     phase: Phase,
     theta: f64,
     last_direction: i64,
-    slope_ema: Option<f64>,
+    /// Decayed running mean of utility per concurrency value:
+    /// `(n, mean, weight)`. Entries fade with [`GdParams::avg_decay`] per
+    /// round and are dropped once negligible.
+    u_cache: Vec<(u32, f64, f64)>,
+    /// Whether this round probes `n+ε` before `n−ε`. Re-drawn every round
+    /// from `order_rng`: a competing transfer probing at the same cadence
+    /// alternates its own ±ε in lockstep, which turns its perturbation into
+    /// a *systematic* bias on our two-point difference. Randomizing the
+    /// probe order (as SPSA randomizes perturbation signs) makes that bias
+    /// zero-mean, so competing searches stop see-sawing each other away
+    /// from the fair equilibrium.
+    order_flipped: bool,
+    order_rng: u64,
 }
 
 impl GradientDescentOptimizer {
@@ -82,12 +99,46 @@ impl GradientDescentOptimizer {
     pub fn new(params: GdParams) -> Self {
         GradientDescentOptimizer {
             center: params.start,
-            phase: Phase::Low,
+            phase: Phase::First,
             theta: params.theta0,
             last_direction: 0,
-            slope_ema: None,
+            u_cache: Vec::new(),
+            order_flipped: false,
+            order_rng: 0x9E37_79B9_7F4A_7C15,
             params,
         }
+    }
+
+    /// Draw the probe order for the next round (xorshift64*).
+    fn redraw_order(&mut self) {
+        let mut x = self.order_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.order_rng = x;
+        self.order_flipped = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63) == 1;
+    }
+
+    /// Fold one utility measurement into the per-position running mean and
+    /// return the updated mean for that position.
+    fn record_utility(&mut self, n: u32, u: f64) -> f64 {
+        if let Some(entry) = self.u_cache.iter_mut().find(|e| e.0 == n) {
+            entry.2 += 1.0;
+            entry.1 += (u - entry.1) / entry.2;
+            entry.1
+        } else {
+            self.u_cache.push((n, u, 1.0));
+            u
+        }
+    }
+
+    /// Age the cache by one round.
+    fn decay_cache(&mut self) {
+        let decay = self.params.avg_decay;
+        for e in &mut self.u_cache {
+            e.2 *= decay;
+        }
+        self.u_cache.retain(|e| e.2 >= 0.05);
     }
 
     /// Current center of the search.
@@ -117,65 +168,96 @@ impl OnlineOptimizer for GradientDescentOptimizer {
     }
 
     fn initial(&self) -> TransferSettings {
-        TransferSettings::with_concurrency(self.low_probe())
+        let first = if self.order_flipped {
+            self.high_probe()
+        } else {
+            self.low_probe()
+        };
+        TransferSettings::with_concurrency(first)
     }
 
     fn next(&mut self, obs: &Observation) -> TransferSettings {
         match self.phase {
-            Phase::Low => {
-                self.phase = Phase::High { u_low: obs.utility };
-                TransferSettings::with_concurrency(self.high_probe())
+            Phase::First => {
+                self.phase = Phase::Second {
+                    u_first: obs.utility,
+                };
+                let second = if self.order_flipped {
+                    self.low_probe()
+                } else {
+                    self.high_probe()
+                };
+                TransferSettings::with_concurrency(second)
             }
-            Phase::High { u_low } => {
-                let u_high = obs.utility;
+            Phase::Second { u_first } => {
+                let (u_low, u_high) = if self.order_flipped {
+                    (obs.utility, u_first)
+                } else {
+                    (u_first, obs.utility)
+                };
                 // γ estimated over the 2ε span; relative form Δ = γ / u(n−ε).
                 let denom = u_low.abs().max(1e-9);
                 let raw_slope = (u_high - u_low) / (2.0 * denom);
-                let alpha = self.params.slope_ema_alpha;
-                let rel_slope = match self.slope_ema {
-                    Some(prev) => prev + alpha * (raw_slope - prev),
-                    None => raw_slope,
-                };
-                self.slope_ema = Some(rel_slope);
+                // The step itself uses the noise-averaged utilities at the
+                // two probe positions.
+                self.decay_cache();
+                let mean_low = self.record_utility(self.low_probe(), u_low);
+                let mean_high = self.record_utility(self.high_probe(), u_high);
+                let span = f64::from(self.high_probe().saturating_sub(self.low_probe()).max(1));
+                let mean_denom = mean_low.abs().max(1e-9);
+                let rel_slope = (mean_high - mean_low) / (span * mean_denom);
 
                 if rel_slope.abs() >= self.params.min_rel_slope {
-                    let direction = if rel_slope > 0.0 { 1 } else { -1 };
-                    if direction == self.last_direction {
-                        self.theta = (self.theta * self.params.theta_growth)
-                            .min(self.params.theta_max);
+                    // θ confidence is keyed on the *raw* slope sign, not the
+                    // smoothed one: successive raw estimates are independent,
+                    // so consecutive agreement is real evidence of a gradient
+                    // (during convergence) while equilibrium noise produces
+                    // coin-flip signs that keep θ low. Chaining θ on the EMA
+                    // sign would let one noise spike persist in the average
+                    // for several rounds and launch a spurious excursion.
+                    let raw_direction = if raw_slope > 0.0 { 1 } else { -1 };
+                    if raw_direction == self.last_direction {
+                        self.theta =
+                            (self.theta * self.params.theta_growth).min(self.params.theta_max);
                     } else {
                         self.theta = self.params.theta0;
                     }
-                    self.last_direction = direction;
+                    self.last_direction = raw_direction;
 
+                    let direction = if rel_slope > 0.0 { 1 } else { -1 };
                     let step = self.theta
                         * self.params.step_gain
                         * rel_slope
                         * f64::from(self.center.max(1));
                     let cap = (self.params.max_step_frac * f64::from(self.center)).max(4.0);
                     let step = step.clamp(-cap, cap).round() as i64;
-                    let step = if step == 0 { i64::from(direction as i32) } else { step };
+                    let step = if step == 0 {
+                        i64::from(direction)
+                    } else {
+                        step
+                    };
                     let (lo, hi) = self.params.bounds.concurrency;
-                    let next =
-                        (i64::from(self.center) + step).clamp(i64::from(lo), i64::from(hi));
+                    let next = (i64::from(self.center) + step).clamp(i64::from(lo), i64::from(hi));
                     self.center = next as u32;
                 } else {
                     // Flat within noise: hold position, lose confidence.
                     self.theta = self.params.theta0;
                     self.last_direction = 0;
                 }
-                self.phase = Phase::Low;
-                TransferSettings::with_concurrency(self.low_probe())
+                self.phase = Phase::First;
+                self.redraw_order();
+                self.initial()
             }
         }
     }
 
     fn reset(&mut self) {
         self.center = self.params.start;
-        self.phase = Phase::Low;
+        self.phase = Phase::First;
         self.theta = self.params.theta0;
         self.last_direction = 0;
-        self.slope_ema = None;
+        self.u_cache.clear();
+        self.order_flipped = false;
     }
 }
 

@@ -45,8 +45,8 @@ pub use conjugate::{CgdParams, ConjugateGradientOptimizer};
 pub use golden_section::{GoldenSectionOptimizer, GssParams};
 pub use gradient::{GdParams, GradientDescentOptimizer};
 pub use hill_climbing::{HcParams, HillClimbingOptimizer};
-pub use stochastic::{SpsaOptimizer, SpsaParams};
 pub use metrics::ProbeMetrics;
 pub use optimizer::{Observation, OnlineOptimizer};
 pub use settings::{SearchBounds, TransferSettings};
+pub use stochastic::{SpsaOptimizer, SpsaParams};
 pub use utility::UtilityFunction;

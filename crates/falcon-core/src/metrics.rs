@@ -1,11 +1,9 @@
 //! Black-box observations of a probe interval.
 
-use serde::{Deserialize, Serialize};
-
 use crate::settings::TransferSettings;
 
 /// What Falcon's monitor thread measures during one sample transfer.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProbeMetrics {
     /// Settings under test.
     pub settings: TransferSettings,
@@ -43,12 +41,8 @@ mod tests {
 
     #[test]
     fn from_aggregate_derives_per_thread() {
-        let m = ProbeMetrics::from_aggregate(
-            TransferSettings::with_concurrency(4),
-            1000.0,
-            0.01,
-            5.0,
-        );
+        let m =
+            ProbeMetrics::from_aggregate(TransferSettings::with_concurrency(4), 1000.0, 0.01, 5.0);
         assert_eq!(m.per_thread_mbps, 250.0);
         assert_eq!(m.aggregate_mbps, 1000.0);
     }

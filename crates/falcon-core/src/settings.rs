@@ -1,10 +1,8 @@
 //! Application-layer transfer settings and search bounds.
 
-use serde::{Deserialize, Serialize};
-
 /// The tunable application-layer parameters of a transfer (GridFTP's
 /// `-cc`, `-p`, `-pp`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransferSettings {
     /// Number of files transferred simultaneously.
     pub concurrency: u32,
@@ -57,7 +55,7 @@ impl std::fmt::Display for TransferSettings {
 }
 
 /// Box bounds of the search space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchBounds {
     /// Inclusive concurrency range.
     pub concurrency: (u32, u32),

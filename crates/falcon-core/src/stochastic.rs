@@ -222,9 +222,8 @@ mod tests {
         drive(&mut spsa, emulab48, 30);
         let spsa_center = spsa.center();
 
-        let mut gd = crate::gradient::GradientDescentOptimizer::new(
-            crate::gradient::GdParams::new(100),
-        );
+        let mut gd =
+            crate::gradient::GradientDescentOptimizer::new(crate::gradient::GdParams::new(100));
         let mut cc = gd.initial().concurrency;
         for _ in 0..30 {
             let m = ProbeMetrics::from_aggregate(

@@ -16,12 +16,10 @@
 //! sets the largest concurrency with an equilibrium guarantee — 1.02 bounds
 //! it at ≈ 101, the paper's recommended balance of stability and headroom.
 
-use serde::{Deserialize, Serialize};
-
 use crate::metrics::ProbeMetrics;
 
 /// The utility model an agent maximizes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UtilityFunction {
     /// Eq 1: `u = n·t` — throughput only. Not concave; included as the
     /// "what existing tools maximize" baseline.
@@ -217,13 +215,7 @@ mod tests {
     fn eq4_peaks_at_saturation_for_flat_throughput_beyond() {
         // t = 10 Mbps per thread up to n = 10, then capacity 100 splits.
         let u = UtilityFunction::falcon_default();
-        let curve = u.estimated_curve(40, |n| {
-            if n <= 10 {
-                10.0
-            } else {
-                100.0 / f64::from(n)
-            }
-        });
+        let curve = u.estimated_curve(40, |n| if n <= 10 { 10.0 } else { 100.0 / f64::from(n) });
         let best = curve
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

@@ -1,9 +1,7 @@
 //! Ablations over Falcon's utility constants and the BBR future-work
 //! extension (§3.1 claims; §6 future work).
 
-use falcon_core::{
-    FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction,
-};
+use falcon_core::{FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction};
 use falcon_sim::{Environment, Simulation};
 use falcon_tcp::CongestionControl;
 use falcon_transfer::dataset::Dataset;
@@ -91,7 +89,13 @@ pub fn ablation_k() -> Table {
 pub fn ablation_bbr() -> Table {
     let mut t = Table::new(
         "Ablation: congestion-control algorithms (Emulab fig-4 topology, optimal cc = 10)",
-        &["cca", "converged_cc", "throughput_mbps", "loss_pct", "thr_at_cc32"],
+        &[
+            "cca",
+            "converged_cc",
+            "throughput_mbps",
+            "loss_pct",
+            "thr_at_cc32",
+        ],
     );
     for cca in CongestionControl::all() {
         let env = Environment::emulab_fig4().with_cca(cca);
@@ -112,11 +116,8 @@ pub fn ablation_bbr() -> Table {
         );
         // Counterfactual: what a fixed cc = 32 would deliver under this
         // CCA — loss-based transports pay for the 10% loss, BBR does not.
-        let (thr32, _) = crate::figs1_4::steady_state(
-            Environment::emulab_fig4().with_cca(cca),
-            32,
-            60.0,
-        );
+        let (thr32, _) =
+            crate::figs1_4::steady_state(Environment::emulab_fig4().with_cca(cca), 32, 60.0);
         t.push_row(&[
             cca.name().to_string(),
             format!("{cc:.1}"),

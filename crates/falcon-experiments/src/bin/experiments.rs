@@ -53,7 +53,10 @@ fn main() {
         if let Err(e) = std::fs::write(&path, table.to_csv()) {
             eprintln!("warning: could not write {path}: {e}");
         } else {
-            println!("[{name}] wrote {path} in {:.1}s\n", t0.elapsed().as_secs_f64());
+            println!(
+                "[{name}] wrote {path} in {:.1}s\n",
+                t0.elapsed().as_secs_f64()
+            );
         }
     }
 }

@@ -82,11 +82,8 @@ pub fn shootout() -> Table {
             demand_mbps: 600.0,
             connections: 30,
         });
-        let trace = Runner::default().run(
-            &mut h,
-            vec![AgentPlan::at_start(mk(), endless())],
-            1200.0,
-        );
+        let trace =
+            Runner::default().run(&mut h, vec![AgentPlan::at_start(mk(), endless())], 1200.0);
         let steady = trace.avg_mbps(0, 400.0, 600.0);
         let released = trace.avg_mbps(0, 900.0, 1200.0);
         // Convergence time measured from the release at 600 s.
@@ -101,6 +98,7 @@ pub fn shootout() -> Table {
                 labels: trace.labels.clone(),
                 points: shifted,
                 completed_at: vec![None],
+                recovery: Vec::new(),
             };
             time_to_sustained(&sub, 0, 1000.0, 0.75, 620.0 + 20.0)
                 .map_or("none".to_string(), |v| format!("{:.0}", v - 600.0))
@@ -226,7 +224,11 @@ pub fn bo_mp() -> Table {
         "Extension: 2-D BO over (concurrency, parallelism) — §4.6 hazard (XSEDE)",
         &["variant", "max_connections_probed", "steady_gbps"],
     );
-    run(BoMpParams::new(32, 32).with_seed(4), "uncapped 32x32", &mut t);
+    run(
+        BoMpParams::new(32, 32).with_seed(4),
+        "uncapped 32x32",
+        &mut t,
+    );
     run(
         BoMpParams::new(32, 32).with_seed(4).with_connection_cap(64),
         "capped at 64 connections",
@@ -271,8 +273,8 @@ pub fn probe_interval() -> Table {
 /// finds "just-enough" concurrency. Also reports loss — the fixed-30 policy
 /// pays in packet loss too (Figure 4's argument).
 pub fn overhead() -> Table {
-    use falcon_transfer::runner::FixedTuner;
     use falcon_core::TransferSettings;
+    use falcon_transfer::runner::FixedTuner;
 
     let run = |tuner: Box<dyn Tuner>| {
         let mut h = SimHarness::new(Simulation::new(Environment::emulab_fig4(), 157));
@@ -280,12 +282,7 @@ pub fn overhead() -> Table {
     };
     let mut t = Table::new(
         "Extension: throughput vs overhead (Emulab fig-4, optimal cc = 10)",
-        &[
-            "policy",
-            "throughput_mbps",
-            "process_seconds",
-            "loss_pct",
-        ],
+        &["policy", "throughput_mbps", "process_seconds", "loss_pct"],
     );
     let fixed = |cc: u32| -> Box<dyn Tuner> {
         Box::new(FixedTuner {
@@ -305,8 +302,7 @@ pub fn overhead() -> Table {
         let thr = trace.avg_mbps(0, 200.0, 400.0);
         let ps = trace.process_seconds(0, 200.0, 400.0);
         let cc = trace.avg_concurrency(0, 200.0, 400.0).round() as u32;
-        let (_, loss) =
-            crate::figs1_4::steady_state(Environment::emulab_fig4(), cc.max(1), 60.0);
+        let (_, loss) = crate::figs1_4::steady_state(Environment::emulab_fig4(), cc.max(1), 60.0);
         t.push_row(&[
             label.to_string(),
             format!("{thr:.0}"),
@@ -356,7 +352,11 @@ pub fn rtt_unfairness() -> Table {
         .with_agent_weights(vec![1.0, 0.5]);
     let plans = vec![
         AgentPlan::at_start(Box::new(FalconAgent::gradient_descent(100)), endless()),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(100)), endless(), 150.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(100)),
+            endless(),
+            150.0,
+        ),
     ];
     let trace = Runner::default().run(&mut h, plans, 900.0);
     let mut t = Table::new(
@@ -489,10 +489,25 @@ mod tests {
         // fixed-2: cheap but slow.
         assert!(thr[0] < 0.3 * thr[1], "fixed-2 {}", thr[0]);
         // fixed-30 and falcon deliver the same throughput…
-        assert!((thr[2] - thr[1]).abs() < 0.12 * thr[1], "{} vs {}", thr[2], thr[1]);
+        assert!(
+            (thr[2] - thr[1]).abs() < 0.12 * thr[1],
+            "{} vs {}",
+            thr[2],
+            thr[1]
+        );
         // …but falcon at a third of the process-seconds and far less loss.
-        assert!(ps[2] < 0.55 * ps[1], "falcon ps {} vs fixed-30 {}", ps[2], ps[1]);
-        assert!(loss[2] < 0.5 * loss[1], "falcon loss {} vs fixed-30 {}", loss[2], loss[1]);
+        assert!(
+            ps[2] < 0.55 * ps[1],
+            "falcon ps {} vs fixed-30 {}",
+            ps[2],
+            ps[1]
+        );
+        assert!(
+            loss[2] < 0.5 * loss[1],
+            "falcon loss {} vs fixed-30 {}",
+            loss[2],
+            loss[1]
+        );
     }
 
     #[test]
@@ -505,9 +520,16 @@ mod tests {
             "uncapped 2-D BO should probe aggressive corners: {uncapped}"
         );
         assert!(capped <= 64.0, "cap violated: {capped}");
-        // Throughput survives the cap on a disk-limited path.
+        // Throughput survives the cap on a disk-limited path: the capped
+        // search loses (almost) nothing against the uncapped one and still
+        // delivers multi-Gbps.
+        let thr_uncapped = t.cell_f64(0, 2);
         let thr_capped = t.cell_f64(1, 2);
-        assert!(thr_capped > 3.5, "capped steady {thr_capped} Gbps");
+        assert!(
+            thr_capped > 0.95 * thr_uncapped,
+            "cap hurt: {thr_capped} vs uncapped {thr_uncapped} Gbps"
+        );
+        assert!(thr_capped > 3.0, "capped steady {thr_capped} Gbps");
     }
 
     #[test]

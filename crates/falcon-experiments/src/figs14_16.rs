@@ -33,7 +33,13 @@ pub fn fig14() -> Table {
     ];
     let mut t = Table::new(
         "Figure 14: Falcon vs state of the art, 1 TB dataset",
-        &["network", "globus_gbps", "harp_gbps", "falcon_gd_gbps", "falcon_vs_globus"],
+        &[
+            "network",
+            "globus_gbps",
+            "harp_gbps",
+            "falcon_gd_gbps",
+            "falcon_vs_globus",
+        ],
     );
     for (name, env) in nets {
         let globus = solo_gbps(
@@ -81,7 +87,12 @@ pub fn fig15() -> Table {
     ];
     let mut t = Table::new(
         "Figure 15: multi-parameter optimization (Stampede2-Comet)",
-        &["dataset", "falcon_cc_only_gbps", "falcon_mp_gbps", "mp_gain_pct"],
+        &[
+            "dataset",
+            "falcon_cc_only_gbps",
+            "falcon_mp_gbps",
+            "mp_gain_pct",
+        ],
     );
     // Whole-transfer average throughput (total bits over completion time),
     // the quantity the paper's bars report — it charges slow searches for
@@ -90,7 +101,8 @@ pub fn fig15() -> Table {
         let total_bits = dataset.total_bytes() as f64 * 8.0;
         let horizon = 900.0;
         let mut h = SimHarness::new(Simulation::new(env(), seed));
-        let trace = Runner::default().run(&mut h, vec![AgentPlan::at_start(tuner, dataset)], horizon);
+        let trace =
+            Runner::default().run(&mut h, vec![AgentPlan::at_start(tuner, dataset)], horizon);
         let duration = trace.completed_at[0].unwrap_or(horizon);
         total_bits / duration / 1e9
     };
@@ -126,10 +138,7 @@ fn friendliness(falcon: Box<dyn Tuner>, title: &str) -> Table {
     let dataset = Dataset::large(9);
     let mut h = SimHarness::new(Simulation::new(env, 83));
     let plans = vec![
-        AgentPlan::at_start(
-            Box::new(GlobusTuner::for_dataset(&dataset)),
-            endless(),
-        ),
+        AgentPlan::at_start(Box::new(GlobusTuner::for_dataset(&dataset)), endless()),
         AgentPlan::joining_at(
             Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
             endless(),

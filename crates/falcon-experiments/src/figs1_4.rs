@@ -45,7 +45,12 @@ pub fn fig1a() -> Table {
 pub fn fig1b() -> Table {
     let mut t = Table::new(
         "Figure 1(b): optimal concurrency by network and dataset",
-        &["network", "dataset", "optimal_concurrency", "gbps_at_optimum"],
+        &[
+            "network",
+            "dataset",
+            "optimal_concurrency",
+            "gbps_at_optimum",
+        ],
     );
     let cases: Vec<(&str, Environment)> = vec![
         ("emulab (WAN, network-bound)", Environment::emulab(100.0)),
@@ -104,11 +109,7 @@ pub fn fig2a() -> Table {
         "Figure 2(a): state-of-the-art solutions vs maximum (Comet-Stampede2)",
         &["system", "throughput_gbps", "fraction_of_max"],
     );
-    t.push_row(&[
-        "maximum".into(),
-        format!("{max_gbps:.2}"),
-        "1.00".into(),
-    ]);
+    t.push_row(&["maximum".into(), format!("{max_gbps:.2}"), "1.00".into()]);
     t.push_row(&[
         "globus".into(),
         format!("{globus:.2}"),

@@ -1,9 +1,7 @@
 //! Utility-function and search-algorithm experiments: Figures 6, 7, 8
 //! (§3.1–§3.2, §4.1).
 
-use falcon_core::{
-    FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction,
-};
+use falcon_core::{FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction};
 use falcon_sim::{Environment, Simulation};
 use falcon_transfer::dataset::Dataset;
 use falcon_transfer::harness::SimHarness;
@@ -178,7 +176,14 @@ pub fn fig6c() -> Table {
     let (nbr1, nbr2) = best_response_equilibrium(nl);
     let mut t = Table::new(
         "Figure 6(c): two competing transfers (fair optimum = 24 each)",
-        &["utility", "nash_cc_each", "agent1_cc", "agent2_cc", "total_cc", "jain_index"],
+        &[
+            "utility",
+            "nash_cc_each",
+            "agent1_cc",
+            "agent2_cc",
+            "total_cc",
+            "jain_index",
+        ],
     );
     t.push_row(&[
         "eq3_c0.01".into(),
@@ -325,10 +330,8 @@ mod tests {
         // The exact Nash equilibrium of the fluid game: Eq 3 (C = 0.01)
         // lands well above the fair optimum (paper: 36-38 each) while Eq 4
         // sits near 24 each.
-        let (l1, l2) = best_response_equilibrium(UtilityFunction::LinearRegret {
-            b: 10.0,
-            c: 0.01,
-        });
+        let (l1, l2) =
+            best_response_equilibrium(UtilityFunction::LinearRegret { b: 10.0, c: 0.01 });
         let (n1, n2) = best_response_equilibrium(UtilityFunction::falcon_default());
         let lin_each = f64::from(l1 + l2) / 2.0;
         let nl_each = f64::from(n1 + n2) / 2.0;

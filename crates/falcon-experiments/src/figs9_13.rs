@@ -39,8 +39,15 @@ fn single_agent_traces(mk: &dyn Fn(u64) -> FalconAgent, title: &str) -> Table {
     let mut t = Table::new(
         title,
         &[
-            "t_s", "emulab_gbps", "emulab_cc", "xsede_gbps", "xsede_cc", "hpclab_gbps",
-            "hpclab_cc", "campus_gbps", "campus_cc",
+            "t_s",
+            "emulab_gbps",
+            "emulab_cc",
+            "xsede_gbps",
+            "xsede_cc",
+            "hpclab_gbps",
+            "hpclab_cc",
+            "campus_gbps",
+            "campus_cc",
         ],
     );
     let mut columns: Vec<Vec<(f64, f64, u32)>> = Vec::new();
@@ -97,10 +104,7 @@ fn stability_run(mk: &dyn Fn(u64) -> FalconAgent, title: &str) -> Table {
     ];
     let trace = Runner::default().run(&mut h, plans, 600.0);
 
-    let mut t = Table::new(
-        title,
-        &["t_s", "agent1_gbps", "agent2_gbps", "agent3_gbps"],
-    );
+    let mut t = Table::new(title, &["t_s", "agent1_gbps", "agent2_gbps", "agent3_gbps"]);
     let mut next = 0.0;
     let mut row: Vec<Option<f64>> = vec![None; 3];
     let mut row_t = 0.0;
@@ -153,8 +157,16 @@ pub fn fig13() -> Table {
     let plans = vec![
         AgentPlan::at_start(Box::new(FalconAgent::gradient_descent(100)), endless())
             .leaving_at(900.0),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(100)), endless(), 300.0),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(100)), endless(), 600.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(100)),
+            endless(),
+            300.0,
+        ),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(100)),
+            endless(),
+            600.0,
+        ),
     ];
     let trace = Runner::default().run(&mut h, plans, 1200.0);
 
@@ -167,24 +179,27 @@ pub fn fig13() -> Table {
     let mut sums = [0.0f64; 3];
     let mut counts = [0usize; 3];
     let mut row_t = 0.0;
-    let flush = |t: &mut Table,
-                     row_t: f64,
-                     ccs: &[Option<u32>],
-                     sums: &[f64; 3],
-                     counts: &[usize; 3]| {
-        if ccs.iter().any(Option::is_some) {
-            let total: f64 = (0..3)
-                .map(|i| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 })
-                .sum();
-            t.push_row(&[
-                format!("{row_t:.0}"),
-                ccs[0].map_or("-".into(), |v| v.to_string()),
-                ccs[1].map_or("-".into(), |v| v.to_string()),
-                ccs[2].map_or("-".into(), |v| v.to_string()),
-                format!("{total:.0}"),
-            ]);
-        }
-    };
+    let flush =
+        |t: &mut Table, row_t: f64, ccs: &[Option<u32>], sums: &[f64; 3], counts: &[usize; 3]| {
+            if ccs.iter().any(Option::is_some) {
+                let total: f64 = (0..3)
+                    .map(|i| {
+                        if counts[i] > 0 {
+                            sums[i] / counts[i] as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                t.push_row(&[
+                    format!("{row_t:.0}"),
+                    ccs[0].map_or("-".into(), |v| v.to_string()),
+                    ccs[1].map_or("-".into(), |v| v.to_string()),
+                    ccs[2].map_or("-".into(), |v| v.to_string()),
+                    format!("{total:.0}"),
+                ]);
+            }
+        };
     for p in &trace.points {
         if p.t_s >= next {
             flush(&mut t, row_t, &ccs, &sums, &counts);
@@ -212,10 +227,19 @@ mod tests {
         let last = t.rows.len() - 1;
         let tail_avg = |col: &str| -> f64 {
             let v = t.column_f64(col);
-            v[last.saturating_sub(5)..].iter().sum::<f64>() / v[last.saturating_sub(5)..].len() as f64
+            v[last.saturating_sub(5)..].iter().sum::<f64>()
+                / v[last.saturating_sub(5)..].len() as f64
         };
-        assert!(tail_avg("emulab_gbps") > 0.85, "emulab {}", tail_avg("emulab_gbps"));
-        assert!(tail_avg("hpclab_gbps") > 22.0, "hpclab {}", tail_avg("hpclab_gbps"));
+        assert!(
+            tail_avg("emulab_gbps") > 0.85,
+            "emulab {}",
+            tail_avg("emulab_gbps")
+        );
+        assert!(
+            tail_avg("hpclab_gbps") > 22.0,
+            "hpclab {}",
+            tail_avg("hpclab_gbps")
+        );
         assert!(
             (4.5..6.0).contains(&tail_avg("xsede_gbps")),
             "xsede {}",

@@ -11,10 +11,10 @@
 
 pub mod ablations;
 pub mod extensions;
+pub mod figs14_16;
 pub mod figs1_4;
 pub mod figs6_8;
 pub mod figs9_13;
-pub mod figs14_16;
 pub mod table;
 
 pub use table::Table;

@@ -29,9 +29,9 @@ impl Table {
 
     /// Parse a cell as f64 (for assertions in tests and benches).
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
-        self.rows[row][col]
-            .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+        self.rows[row][col].parse().unwrap_or_else(|_| {
+            panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+        })
     }
 
     /// Index of a header.

@@ -99,7 +99,10 @@ mod tests {
 
     fn toy_gp() -> GpRegressor {
         // Peak near x = 5 on [0, 10].
-        let x: Vec<Vec<f64>> = [0.0, 2.0, 5.0, 8.0, 10.0].iter().map(|&v| vec![v]).collect();
+        let x: Vec<Vec<f64>> = [0.0, 2.0, 5.0, 8.0, 10.0]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
         let y = [0.0, 3.0, 5.0, 3.0, 0.0];
         GpRegressor::fit(&x, &y, Matern52::new(4.0, 2.0), 1e-4).unwrap()
     }

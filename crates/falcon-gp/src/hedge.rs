@@ -132,7 +132,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy_gp() -> GpRegressor {
-        let x: Vec<Vec<f64>> = [0.0, 2.0, 5.0, 8.0, 10.0].iter().map(|&v| vec![v]).collect();
+        let x: Vec<Vec<f64>> = [0.0, 2.0, 5.0, 8.0, 10.0]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
         let y = [0.0, 3.0, 5.0, 3.0, 0.0];
         GpRegressor::fit(&x, &y, Matern52::new(4.0, 2.0), 1e-4).unwrap()
     }

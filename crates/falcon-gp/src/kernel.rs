@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn rbf_symmetric() {
         let k = Rbf::new(1.0, 3.0);
-        assert_eq!(k.eval(&[1.0, 2.0], &[4.0, -1.0]), k.eval(&[4.0, -1.0], &[1.0, 2.0]));
+        assert_eq!(
+            k.eval(&[1.0, 2.0], &[4.0, -1.0]),
+            k.eval(&[4.0, -1.0], &[1.0, 2.0])
+        );
     }
 
     #[test]

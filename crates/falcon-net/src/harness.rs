@@ -24,7 +24,11 @@ pub struct NetHarness {
 impl NetHarness {
     /// Start a receiver and prepare to host transfers. `per_worker_mbps` is
     /// the emulated per-process I/O cap.
-    pub fn start(per_worker_mbps: f64, max_workers: u32, sample_interval_s: f64) -> std::io::Result<Self> {
+    pub fn start(
+        per_worker_mbps: f64,
+        max_workers: u32,
+        sample_interval_s: f64,
+    ) -> std::io::Result<Self> {
         Ok(NetHarness {
             receiver: Receiver::start()?,
             transfers: Vec::new(),
@@ -43,19 +47,21 @@ impl NetHarness {
 
 impl TransferHarness for NetHarness {
     fn join(&mut self, dataset: Dataset) -> usize {
+        // Never panics: workers establish their own connections with retry
+        // and backoff, and a pool that cannot connect at all just reports
+        // itself detached (the runner's watchdog then keeps retrying).
         let t = LoopbackTransfer::start(LoopbackConfig {
             port: self.receiver.port(),
             per_worker_mbps: self.per_worker_mbps,
             total_bytes: dataset.total_bytes(),
             max_workers: self.max_workers,
-        })
-        .expect("loopback transfer failed to start");
+        });
         self.transfers.push(t);
         self.transfers.len() - 1
     }
 
     fn apply(&mut self, agent: usize, settings: TransferSettings) {
-        let _ = self.transfers[agent].apply_settings(settings);
+        self.transfers[agent].apply_settings(settings);
     }
 
     fn advance(&mut self, dt_s: f64) {
@@ -93,6 +99,20 @@ impl TransferHarness for NetHarness {
 
     fn max_concurrency(&self) -> u32 {
         self.max_workers
+    }
+
+    fn is_attached(&self, agent: usize) -> bool {
+        let t = &self.transfers[agent];
+        t.is_complete() || t.alive_workers() > 0
+    }
+
+    fn restart(&mut self, agent: usize) -> bool {
+        let t = &self.transfers[agent];
+        if t.is_complete() {
+            return false;
+        }
+        t.respawn_dead_workers();
+        true
     }
 }
 

@@ -22,9 +22,10 @@
 pub mod harness;
 pub mod receiver;
 pub mod sender;
+pub mod sync;
 pub mod throttle;
 
 pub use harness::NetHarness;
 pub use receiver::Receiver;
-pub use sender::{LoopbackConfig, LoopbackTransfer};
+pub use sender::{LoopbackConfig, LoopbackTransfer, RecoveryStats};
 pub use throttle::TokenBucket;

@@ -1,12 +1,13 @@
 //! The destination side: accept and drain connections, count bytes.
 
 use std::io::Read;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::sync::Mutex;
 use crate::throttle::TokenBucket;
 
 /// A loopback receiver: accepts connections on an ephemeral port and drains
@@ -21,6 +22,9 @@ pub struct Receiver {
     bytes: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Clones of accepted sockets, kept so a fault-injection test can cut
+    /// a live connection from the receiver side.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl Receiver {
@@ -44,14 +48,19 @@ impl Receiver {
         listener.set_nonblocking(true)?;
         let bytes = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
         let b = Arc::clone(&bytes);
         let s = Arc::clone(&stop);
+        let c = Arc::clone(&conns);
         let accept_thread = std::thread::spawn(move || {
             let mut drains: Vec<JoinHandle<()>> = Vec::new();
             while !s.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            c.lock().push(clone);
+                        }
                         let b = Arc::clone(&b);
                         let s = Arc::clone(&s);
                         drains.push(std::thread::spawn(move || {
@@ -75,6 +84,7 @@ impl Receiver {
             bytes,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -86,6 +96,22 @@ impl Receiver {
     /// Total bytes drained across all connections so far.
     pub fn total_bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection: hard-close the oldest live connection from the
+    /// receiver side (both directions), as if the remote peer or a
+    /// middlebox reset it. The sender sees a broken pipe on its next
+    /// write. Returns whether a connection was cut.
+    pub fn kill_one_connection(&self) -> bool {
+        let mut conns = self.conns.lock();
+        while let Some(stream) = conns.first() {
+            let ok = stream.shutdown(Shutdown::Both).is_ok();
+            conns.remove(0);
+            if ok {
+                return true;
+            }
+        }
+        false
     }
 
     /// Stop accepting and draining.

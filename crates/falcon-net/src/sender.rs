@@ -8,7 +8,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use falcon_core::{ProbeMetrics, TransferSettings};
-use parking_lot::Mutex;
+
+use crate::sync::Mutex;
 
 use crate::throttle::TokenBucket;
 
@@ -30,11 +31,64 @@ struct Shared {
     sent_bytes: AtomicU64,
     stop_all: AtomicBool,
     budget: AtomicU64,
+    live_workers: AtomicU64,
+    connect_retries: AtomicU64,
+    reconnects: AtomicU64,
+    worker_deaths: AtomicU64,
+}
+
+/// Counters of the fault handling inside the worker pool. All values are
+/// cumulative since [`LoopbackTransfer::start`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Connect attempts that failed and were retried under backoff.
+    pub connect_retries: u64,
+    /// Streams successfully re-established after a mid-transfer IO error.
+    pub reconnects: u64,
+    /// Workers that exited because every stream (re)connect failed —
+    /// the pool degrades to the surviving workers instead of panicking.
+    pub worker_deaths: u64,
 }
 
 struct Worker {
     stop: Arc<AtomicBool>,
     handle: JoinHandle<()>,
+}
+
+/// Connect/reconnect backoff: base 10 ms doubling to 500 ms, ±50% jitter.
+const CONNECT_ATTEMPTS: u32 = 6;
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Connect to the receiver, retrying transient failures under capped
+/// exponential backoff with jitter (so a pool of workers re-connecting
+/// after an outage does not stampede in lockstep).
+fn connect_with_retry(port: u16, shared: &Shared, abort: impl Fn() -> bool) -> Option<TcpStream> {
+    use rand::{Rng, SeedableRng};
+    // The vendored `rand` has no thread_rng; a counter-seeded StdRng gives
+    // each (re)connect attempt sequence its own jitter stream.
+    static JITTER_SEED: AtomicU64 = AtomicU64::new(0x7E57_C0DE);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(JITTER_SEED.fetch_add(1, Ordering::Relaxed));
+    let mut backoff = BACKOFF_BASE;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        if abort() {
+            return None;
+        }
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => {
+                let _ = s.set_write_timeout(Some(Duration::from_millis(200)));
+                return Some(s);
+            }
+            Err(_) if attempt + 1 < CONNECT_ATTEMPTS => {
+                shared.connect_retries.fetch_add(1, Ordering::Relaxed);
+                let jitter = rng.gen_range(0.5..1.5);
+                std::thread::sleep(backoff.mul_f64(jitter).min(BACKOFF_CAP));
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            Err(_) => return None,
+        }
+    }
+    None
 }
 
 /// A live loopback transfer with a dynamically sized worker pool.
@@ -53,12 +107,17 @@ pub struct LoopbackTransfer {
 }
 
 impl LoopbackTransfer {
-    /// Start with one worker.
-    pub fn start(config: LoopbackConfig) -> std::io::Result<Self> {
+    /// Start with one worker. Connection establishment happens inside the
+    /// worker threads (with retry and backoff), so starting never fails.
+    pub fn start(config: LoopbackConfig) -> Self {
         let shared = Arc::new(Shared {
             sent_bytes: AtomicU64::new(0),
             stop_all: AtomicBool::new(false),
             budget: AtomicU64::new(config.total_bytes),
+            live_workers: AtomicU64::new(0),
+            connect_retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
         });
         let t = LoopbackTransfer {
             config,
@@ -68,12 +127,12 @@ impl LoopbackTransfer {
             last_sample: Mutex::new((Instant::now(), 0)),
             last_peek: Mutex::new((Instant::now(), 0)),
         };
-        t.apply_settings(TransferSettings::with_concurrency(1))?;
-        Ok(t)
+        t.apply_settings(TransferSettings::with_concurrency(1));
+        t
     }
 
     /// Resize the worker pool to match `settings`.
-    pub fn apply_settings(&self, settings: TransferSettings) -> std::io::Result<()> {
+    pub fn apply_settings(&self, settings: TransferSettings) {
         let target = settings.concurrency.min(self.config.max_workers) as usize;
         let parallelism = settings.parallelism.max(1);
         let mut workers = self.workers.lock();
@@ -94,32 +153,82 @@ impl LoopbackTransfer {
             let _ = w.handle.join();
         }
         while workers.len() < target {
-            workers.push(self.spawn_worker(parallelism)?);
+            workers.push(self.spawn_worker(parallelism));
         }
-        Ok(())
     }
 
-    fn spawn_worker(&self, parallelism: u32) -> std::io::Result<Worker> {
+    /// Workers currently running (may be below the requested concurrency
+    /// after faults — the degraded-pool signal for supervisors).
+    pub fn alive_workers(&self) -> u64 {
+        self.shared.live_workers.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative fault-recovery counters of the worker pool.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            connect_retries: self.shared.connect_retries.load(Ordering::Relaxed),
+            reconnects: self.shared.reconnects.load(Ordering::Relaxed),
+            worker_deaths: self.shared.worker_deaths.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reap workers that died (every stream lost) and spawn replacements up
+    /// to the currently requested concurrency. Returns how many were
+    /// respawned. This is the restart hook a supervising runner calls when
+    /// it notices the pool degraded.
+    pub fn respawn_dead_workers(&self) -> usize {
+        if self.is_complete() || self.shared.stop_all.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let settings = self.settings();
+        let target = settings.concurrency.min(self.config.max_workers) as usize;
+        let parallelism = settings.parallelism.max(1);
+        let mut workers = self.workers.lock();
+        let old: Vec<Worker> = std::mem::take(&mut *workers);
+        for w in old {
+            if w.handle.is_finished() {
+                let _ = w.handle.join();
+            } else {
+                workers.push(w);
+            }
+        }
+        let mut respawned = 0;
+        while workers.len() < target {
+            workers.push(self.spawn_worker(parallelism));
+            respawned += 1;
+        }
+        respawned
+    }
+
+    fn spawn_worker(&self, parallelism: u32) -> Worker {
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::clone(&self.shared);
         let port = self.config.port;
         let rate = self.config.per_worker_mbps;
         let stop2 = Arc::clone(&stop);
+        shared.live_workers.fetch_add(1, Ordering::Relaxed);
         let handle = std::thread::spawn(move || {
+            let abort = |sh: &Shared, st: &AtomicBool| {
+                st.load(Ordering::Relaxed) || sh.stop_all.load(Ordering::Relaxed)
+            };
             let mut streams: Vec<TcpStream> = Vec::new();
             for _ in 0..parallelism {
-                match TcpStream::connect(("127.0.0.1", port)) {
-                    Ok(s) => {
-                        let _ = s.set_write_timeout(Some(Duration::from_millis(200)));
-                        streams.push(s);
-                    }
-                    Err(_) => return,
+                match connect_with_retry(port, &shared, || abort(&shared, &stop2)) {
+                    Some(s) => streams.push(s),
+                    // Degrade to however many streams did connect; a worker
+                    // with zero streams cannot move bytes and exits below.
+                    None => break,
                 }
+            }
+            if streams.is_empty() {
+                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                shared.live_workers.fetch_sub(1, Ordering::Relaxed);
+                return;
             }
             let mut bucket = TokenBucket::new(rate);
             let chunk = vec![0xA5u8; 64 * 1024];
             let mut idx = 0usize;
-            while !stop2.load(Ordering::Relaxed) && !shared.stop_all.load(Ordering::Relaxed) {
+            'outer: while !abort(&shared, &stop2) {
                 // Budget check: claim a chunk before sending it.
                 let claimed = shared
                     .budget
@@ -136,24 +245,49 @@ impl LoopbackTransfer {
                 if !wait.is_zero() {
                     std::thread::sleep(wait.min(Duration::from_millis(250)));
                 }
-                let n_streams = streams.len();
-                let stream = &mut streams[idx % n_streams];
-                idx = idx.wrapping_add(1);
-                match stream.write_all(&chunk[..send_len]) {
-                    Ok(()) => {
-                        shared.sent_bytes.fetch_add(send_len as u64, Ordering::Relaxed);
+                // Round-robin across surviving streams; on a hard IO error
+                // try one reconnect, else drop the stream and carry on with
+                // the rest (graceful degradation — never panic the run).
+                loop {
+                    if streams.is_empty() {
+                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                        shared.live_workers.fetch_sub(1, Ordering::Relaxed);
+                        return;
                     }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
+                    let n_streams = streams.len();
+                    let slot = idx % n_streams;
+                    idx = idx.wrapping_add(1);
+                    match streams[slot].write_all(&chunk[..send_len]) {
+                        Ok(()) => {
+                            shared
+                                .sent_bytes
+                                .fetch_add(send_len as u64, Ordering::Relaxed);
+                            continue 'outer;
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue 'outer;
+                        }
+                        Err(_) => {
+                            match connect_with_retry(port, &shared, || abort(&shared, &stop2)) {
+                                Some(s) => {
+                                    streams[slot] = s;
+                                    shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                                    // Retry this chunk on the fresh stream.
+                                }
+                                None => {
+                                    streams.swap_remove(slot);
+                                }
+                            }
+                        }
                     }
-                    Err(_) => break,
                 }
             }
+            shared.live_workers.fetch_sub(1, Ordering::Relaxed);
         });
-        Ok(Worker { stop, handle })
+        Worker { stop, handle }
     }
 
     /// Current settings.
@@ -236,7 +370,6 @@ mod tests {
             total_bytes: u64::MAX,
             max_workers: 16,
         })
-        .unwrap()
     }
 
     #[test]
@@ -259,21 +392,18 @@ mod tests {
     fn more_workers_scale_throughput() {
         let rx = Receiver::start().unwrap();
         let tx = engine(&rx, 40.0);
-        tx.apply_settings(TransferSettings::with_concurrency(1)).unwrap();
+        tx.apply_settings(TransferSettings::with_concurrency(1));
         std::thread::sleep(Duration::from_millis(300));
         tx.sample();
         std::thread::sleep(Duration::from_millis(700));
         let one = tx.sample().aggregate_mbps;
 
-        tx.apply_settings(TransferSettings::with_concurrency(6)).unwrap();
+        tx.apply_settings(TransferSettings::with_concurrency(6));
         std::thread::sleep(Duration::from_millis(300));
         tx.sample();
         std::thread::sleep(Duration::from_millis(700));
         let six = tx.sample().aggregate_mbps;
-        assert!(
-            six > 2.5 * one,
-            "concurrency did not scale: {one} -> {six}"
-        );
+        assert!(six > 2.5 * one, "concurrency did not scale: {one} -> {six}");
         tx.shutdown();
     }
 
@@ -285,9 +415,8 @@ mod tests {
             per_worker_mbps: 800.0,
             total_bytes: 2_000_000,
             max_workers: 4,
-        })
-        .unwrap();
-        tx.apply_settings(TransferSettings::with_concurrency(2)).unwrap();
+        });
+        tx.apply_settings(TransferSettings::with_concurrency(2));
         for _ in 0..200 {
             if tx.is_complete() {
                 break;
@@ -323,9 +452,41 @@ mod tests {
     fn shrinking_pool_joins_workers() {
         let rx = Receiver::start().unwrap();
         let tx = engine(&rx, 40.0);
-        tx.apply_settings(TransferSettings::with_concurrency(8)).unwrap();
-        tx.apply_settings(TransferSettings::with_concurrency(2)).unwrap();
+        tx.apply_settings(TransferSettings::with_concurrency(8));
+        tx.apply_settings(TransferSettings::with_concurrency(2));
         assert_eq!(tx.settings().concurrency, 2);
+        tx.shutdown();
+    }
+
+    #[test]
+    fn killed_connections_mid_transfer_recover_and_complete() {
+        let rx = Receiver::start().unwrap();
+        // ~8 Mbps × 3 workers = 3 MB/s, so 6 MB takes ~2 s: plenty of
+        // transfer left when the connections are cut.
+        let tx = LoopbackTransfer::start(LoopbackConfig {
+            port: rx.port(),
+            per_worker_mbps: 8.0,
+            total_bytes: 6_000_000,
+            max_workers: 4,
+        });
+        tx.apply_settings(TransferSettings::with_concurrency(3));
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(rx.kill_one_connection(), "no live connection to kill");
+        assert!(rx.kill_one_connection(), "only one connection was live");
+        for _ in 0..600 {
+            if tx.is_complete() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // The harness survived the faults: transfer ran to completion and
+        // the recovery counters show the reconnections.
+        assert!(tx.is_complete(), "transfer hung after connection kills");
+        let stats = tx.recovery_stats();
+        assert!(
+            stats.reconnects >= 1,
+            "no reconnect recorded after kills: {stats:?}"
+        );
         tx.shutdown();
     }
 
@@ -337,8 +498,7 @@ mod tests {
             concurrency: 2,
             parallelism: 3,
             pipelining: 1,
-        })
-        .unwrap();
+        });
         std::thread::sleep(Duration::from_millis(200));
         tx.sample();
         std::thread::sleep(Duration::from_millis(300));

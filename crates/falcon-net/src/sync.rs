@@ -1,0 +1,23 @@
+//! Minimal non-poisoning mutex (the `parking_lot::Mutex` surface this
+//! crate uses, over `std::sync`). A worker thread that panics while
+//! holding a lock must not wedge the whole harness — recovery code keeps
+//! going with the last-written state instead.
+
+/// Mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poisoning from a panicked holder.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn sustained_rate_is_enforced() {
         let mut b = TokenBucket::new(8.0); // 1 MB/s
-        // Drain the burst, then ask for 1 MB: ~1 s of wait accumulates.
+                                           // Drain the burst, then ask for 1 MB: ~1 s of wait accumulates.
         let mut total_wait = Duration::ZERO;
         for _ in 0..5 {
             total_wait += b.acquire(250_000);

@@ -326,7 +326,10 @@ mod tests {
                 .filter(|(st, _)| st.resource_mask & (1 << i) != 0)
                 .map(|(_, rr)| rr)
                 .sum();
-            assert!(used <= c + 1e-6, "resource {i} oversubscribed: {used} > {c}");
+            assert!(
+                used <= c + 1e-6,
+                "resource {i} oversubscribed: {used} > {c}"
+            );
         }
     }
 

@@ -407,7 +407,7 @@ mod tests {
         let env = Environment::multi_hop();
         assert!((env.path_capacity_mbps() - 2500.0).abs() < 1.0);
         assert_eq!(env.saturating_concurrency(), 7); // 2500 / 400
-        // Two network links in the path.
+                                                     // Two network links in the path.
         let links = env
             .resources
             .iter()

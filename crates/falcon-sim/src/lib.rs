@@ -28,10 +28,12 @@
 
 pub mod alloc;
 pub mod env;
+pub mod events;
 pub mod resource;
 pub mod sim;
 pub mod traffic;
 
 pub use env::{Environment, EnvironmentKind};
+pub use events::{EnvironmentEvent, EventAction};
 pub use resource::{Resource, ResourceKind};
 pub use sim::{AgentHandle, AgentSample, AgentSettings, BackgroundFlow, Simulation};

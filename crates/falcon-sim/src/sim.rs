@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::alloc::{weighted_max_min_allocate, WeightedStreamDemand};
 use crate::env::Environment;
+use crate::events::{EnvironmentEvent, EventAction};
 
 /// Handle to an agent (transfer task) registered with the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,8 +140,18 @@ struct AgentState {
 #[derive(Debug)]
 pub struct Simulation {
     env: Environment,
+    /// The environment as constructed; scheduled events scale *baseline*
+    /// values so a restore factor of 1.0 is exact.
+    baseline_env: Environment,
     agents: Vec<AgentState>,
     background: Vec<BackgroundFlow>,
+    /// Scheduled environment events, sorted by time; `next_event` indexes
+    /// the first one that has not fired yet.
+    events: Vec<EnvironmentEvent>,
+    next_event: usize,
+    /// Scripted floor on the end-to-end loss rate (see
+    /// [`EventAction::LossFloor`]).
+    loss_floor: f64,
     time_s: f64,
     current_loss: f64,
     rng: StdRng,
@@ -156,9 +167,13 @@ impl Simulation {
     /// Create a simulation of `env`, seeded deterministically.
     pub fn new(env: Environment, seed: u64) -> Self {
         Simulation {
+            baseline_env: env.clone(),
             env,
             agents: Vec::new(),
             background: Vec::new(),
+            events: Vec::new(),
+            next_event: 0,
+            loss_floor: 0.0,
             time_s: 0.0,
             current_loss: 0.0,
             rng: StdRng::seed_from_u64(seed),
@@ -204,6 +219,19 @@ impl Simulation {
     /// start from zero rate (connection-establishment transient); removed
     /// connections disappear immediately.
     pub fn set_settings(&mut self, h: AgentHandle, settings: AgentSettings) {
+        assert!(
+            self.try_set_settings(h, settings),
+            "set_settings on dead agent {}: it was removed or killed; use \
+             try_set_settings (or revive_agent) if the agent may be gone",
+            h.0
+        );
+    }
+
+    /// Apply settings if the agent is still alive; returns whether it was.
+    /// The non-panicking form of [`Simulation::set_settings`] for callers
+    /// racing against completion, departure, or a scripted kill.
+    #[must_use]
+    pub fn try_set_settings(&mut self, h: AgentHandle, settings: AgentSettings) -> bool {
         assert!(settings.concurrency >= 1, "concurrency must be >= 1");
         assert!(settings.parallelism >= 1, "parallelism must be >= 1");
         assert!(
@@ -213,12 +241,18 @@ impl Simulation {
         assert!(settings.share_weight > 0.0, "share weight must be positive");
         let rtt = self.env.rtt_s;
         let st = &mut self.agents[h.0];
+        // Settings are remembered even for a dead agent (a revive rebuilds
+        // the pool from them), but the caller is told the agent is gone.
+        st.settings = settings;
+        if !st.alive {
+            return false;
+        }
         let want = settings.total_connections() as usize;
         while st.ramps.len() < want {
             st.ramps.push(RateRamp::new(rtt));
         }
         st.ramps.truncate(want);
-        st.settings = settings;
+        true
     }
 
     /// Current settings of an agent.
@@ -229,6 +263,119 @@ impl Simulation {
     /// Script a background cross-traffic flow.
     pub fn add_background_flow(&mut self, flow: BackgroundFlow) {
         self.background.push(flow);
+    }
+
+    /// Schedule an environment event. Events may be added in any order;
+    /// they fire at the first `step` whose start time has reached `at_s`.
+    pub fn add_event(&mut self, event: EnvironmentEvent) {
+        assert!(
+            self.next_event == 0 || self.events[self.next_event - 1].at_s <= event.at_s,
+            "cannot schedule an event at {}s: events up to {}s already fired",
+            event.at_s,
+            self.events[self.next_event - 1].at_s
+        );
+        self.events.push(event);
+        self.events[self.next_event..].sort_by(|a, b| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .expect("event time must not be NaN")
+        });
+    }
+
+    /// Schedule several events at once.
+    pub fn add_events(&mut self, events: impl IntoIterator<Item = EnvironmentEvent>) {
+        for e in events {
+            self.add_event(e);
+        }
+    }
+
+    /// The scripted events that have not fired yet.
+    pub fn pending_events(&self) -> &[EnvironmentEvent] {
+        &self.events[self.next_event..]
+    }
+
+    /// Fire all events due at or before the current time.
+    fn apply_due_events(&mut self) {
+        while self.next_event < self.events.len()
+            && self.events[self.next_event].at_s <= self.time_s
+        {
+            let action = self.events[self.next_event].action;
+            self.next_event += 1;
+            self.apply_event_action(action);
+        }
+    }
+
+    fn apply_event_action(&mut self, action: EventAction) {
+        match action {
+            EventAction::LinkCapacityFactor { resource, factor } => {
+                assert!(factor > 0.0, "capacity factor must be positive");
+                let idx = resource.unwrap_or(self.env.bottleneck_link);
+                let base = &self.baseline_env.resources[idx];
+                let r = &mut self.env.resources[idx];
+                r.capacity_mbps = base.capacity_mbps * factor;
+                r.per_stream_cap_mbps = base.per_stream_cap_mbps.map(|c| c * factor);
+            }
+            EventAction::LossFloor { rate } => {
+                assert!((0.0..1.0).contains(&rate), "loss floor must be in [0, 1)");
+                self.loss_floor = rate;
+            }
+            EventAction::DiskThrottleFactor { factor } => {
+                assert!(factor > 0.0, "disk throttle factor must be positive");
+                for (r, base) in self
+                    .env
+                    .resources
+                    .iter_mut()
+                    .zip(self.baseline_env.resources.iter())
+                    .filter(|(r, _)| r.kind.is_disk())
+                {
+                    r.per_stream_cap_mbps = base.per_stream_cap_mbps.map(|c| c * factor);
+                }
+            }
+            EventAction::RttShift { rtt_s } => {
+                assert!(rtt_s > 0.0, "RTT must be positive");
+                self.env.rtt_s = rtt_s;
+            }
+            EventAction::KillAgent { agent } => {
+                if agent < self.agents.len() {
+                    self.kill_agent(AgentHandle(agent));
+                }
+            }
+            EventAction::ReviveAgent { agent } => {
+                if agent < self.agents.len() {
+                    self.revive_agent(AgentHandle(agent));
+                }
+            }
+        }
+    }
+
+    /// Kill an agent's transfer process: it stops moving bytes but keeps
+    /// its registration and settings, so [`Simulation::revive_agent`] can
+    /// bring it back. Idempotent.
+    pub fn kill_agent(&mut self, h: AgentHandle) {
+        let a = &mut self.agents[h.0];
+        a.alive = false;
+        a.ramps.clear();
+        a.instant_mbps = 0.0;
+    }
+
+    /// Revive a killed agent: its connection pool is rebuilt from its
+    /// registered settings, each connection ramping up from zero rate as a
+    /// freshly opened socket would. Idempotent for agents already alive.
+    pub fn revive_agent(&mut self, h: AgentHandle) {
+        let rtt = self.env.rtt_s;
+        let a = &mut self.agents[h.0];
+        if a.alive {
+            return;
+        }
+        a.alive = true;
+        a.ramps = (0..a.settings.total_connections())
+            .map(|_| RateRamp::new(rtt))
+            .collect();
+        // A fresh process starts a fresh measurement interval: drop
+        // whatever partial accounting the dead period accumulated.
+        a.delivered_mb = 0.0;
+        a.loss_integral = 0.0;
+        a.sample_clock_s = 0.0;
     }
 
     /// Current packet-loss rate at the bottleneck link.
@@ -246,13 +393,31 @@ impl Simulation {
     }
 
     /// Instantaneous aggregate goodput of an agent (Mbps), noise-free.
+    ///
+    /// Panics if the agent was removed or killed; use
+    /// [`Simulation::try_instantaneous_rate_mbps`] when it may be gone.
     pub fn instantaneous_rate_mbps(&self, h: AgentHandle) -> f64 {
-        self.agents[h.0].instant_mbps
+        self.try_instantaneous_rate_mbps(h).unwrap_or_else(|| {
+            panic!(
+                "instantaneous_rate_mbps on dead agent {}: it was removed or \
+                 killed; use try_instantaneous_rate_mbps if the agent may be \
+                 gone",
+                h.0
+            )
+        })
+    }
+
+    /// [`Simulation::instantaneous_rate_mbps`] that returns `None` for a
+    /// dead agent instead of panicking.
+    pub fn try_instantaneous_rate_mbps(&self, h: AgentHandle) -> Option<f64> {
+        let a = &self.agents[h.0];
+        a.alive.then_some(a.instant_mbps)
     }
 
     /// Advance the simulation by `dt_s` seconds.
     pub fn step(&mut self, dt_s: f64) {
         assert!(dt_s > 0.0);
+        self.apply_due_events();
         let t = self.time_s;
         let bottleneck = self.env.bottleneck_link;
         let link_capacity = self.env.resources[bottleneck].capacity_mbps;
@@ -367,7 +532,7 @@ impl Simulation {
             );
             survival *= 1.0 - l;
         }
-        let loss = (1.0 - survival).clamp(0.0, 1.0);
+        let loss = (1.0 - survival).clamp(0.0, 1.0).max(self.loss_floor);
         self.current_loss = loss;
 
         // --- 3. Congestion-control caps. --------------------------------------
@@ -421,7 +586,27 @@ impl Simulation {
     /// Consume and return the interval metrics accumulated since the last
     /// call (or since the agent joined). Applies multiplicative Gaussian
     /// measurement noise to throughput.
+    ///
+    /// Panics if the agent was removed or killed — a dead process produces
+    /// no measurements, and silently returning zeros would poison an
+    /// optimizer's utility estimate. Use [`Simulation::try_take_sample`]
+    /// when the agent may legitimately be gone.
     pub fn take_sample(&mut self, h: AgentHandle) -> AgentSample {
+        self.try_take_sample(h).unwrap_or_else(|| {
+            panic!(
+                "take_sample on dead agent {}: it was removed or killed; use \
+                 try_take_sample if the agent may be gone",
+                h.0
+            )
+        })
+    }
+
+    /// [`Simulation::take_sample`] that returns `None` for a dead agent
+    /// instead of panicking.
+    pub fn try_take_sample(&mut self, h: AgentHandle) -> Option<AgentSample> {
+        if !self.agents[h.0].alive {
+            return None;
+        }
         let noise = self.sample_noise();
         let a = &mut self.agents[h.0];
         let dt = a.sample_clock_s.max(1e-9);
@@ -440,7 +625,7 @@ impl Simulation {
         a.delivered_mb = 0.0;
         a.loss_integral = 0.0;
         a.sample_clock_s = 0.0;
-        sample
+        Some(sample)
     }
 
     /// One multiplicative noise factor `1 + σ·Z` (Box–Muller).
@@ -457,10 +642,23 @@ impl Simulation {
 
     /// Run the simulation for `duration_s` at the given tick, without
     /// touching settings. Convenience for tests and warm-up phases.
+    ///
+    /// The duration is honored exactly: after whole ticks of `dt_s`, any
+    /// fractional remainder is simulated as one shorter final step (it used
+    /// to be rounded away, so `run_for(1.25, 0.5)` advanced only 1.0s or
+    /// 1.5s depending on rounding).
     pub fn run_for(&mut self, duration_s: f64, dt_s: f64) {
-        let steps = (duration_s / dt_s).round() as u64;
-        for _ in 0..steps {
+        assert!(dt_s > 0.0, "dt_s must be positive");
+        assert!(duration_s >= 0.0, "duration_s must be non-negative");
+        let ticks = duration_s / dt_s;
+        let whole = ticks.floor();
+        for _ in 0..whole as u64 {
             self.step(dt_s);
+        }
+        let remainder_s = (ticks - whole) * dt_s;
+        // Skip float dust from durations meant as exact multiples of dt_s.
+        if remainder_s > dt_s * 1e-9 {
+            self.step(remainder_s);
         }
     }
 }
@@ -666,10 +864,7 @@ mod tests {
         );
         sim.run_for(40.0, DT);
         let half = sim.take_sample(a);
-        sim.set_settings(
-            a,
-            AgentSettings::with_concurrency(4),
-        );
+        sim.set_settings(a, AgentSettings::with_concurrency(4));
         sim.run_for(40.0, DT);
         let full = sim.take_sample(a);
         let ratio = half.throughput_mbps / full.throughput_mbps;
@@ -754,7 +949,10 @@ mod tests {
             double > 1.5 * single,
             "two hops should compound: {double} vs {single}"
         );
-        assert!(double < 2.0 * single + 0.01, "more than compounding: {double}");
+        assert!(
+            double < 2.0 * single + 0.01,
+            "more than compounding: {double}"
+        );
     }
 
     #[test]
@@ -790,5 +988,127 @@ mod tests {
         let s2 = sim.take_sample(a);
         assert!(s1.throughput_mbps > 0.0);
         assert_eq!(s2.interval_s, 0.0);
+    }
+
+    #[test]
+    fn run_for_honors_fractional_remainder() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 1);
+        sim.run_for(1.25, 0.5); // used to round to 1.0s
+        assert!((sim.time_s() - 1.25).abs() < 1e-9, "t = {}", sim.time_s());
+        sim.run_for(0.9, 0.3); // exact multiple: no dust step
+        assert!((sim.time_s() - 2.15).abs() < 1e-9, "t = {}", sim.time_s());
+    }
+
+    #[test]
+    fn capacity_drop_event_caps_throughput_and_restore_recovers() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 2);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.add_events([
+            EnvironmentEvent::at(
+                60.0,
+                EventAction::LinkCapacityFactor {
+                    resource: None,
+                    factor: 0.3,
+                },
+            ),
+            EnvironmentEvent::at(
+                120.0,
+                EventAction::LinkCapacityFactor {
+                    resource: None,
+                    factor: 1.0,
+                },
+            ),
+        ]);
+        sim.run_for(60.0, DT);
+        let before = sim.take_sample(a).throughput_mbps;
+        sim.run_for(60.0, DT);
+        let during = sim.take_sample(a).throughput_mbps;
+        sim.run_for(60.0, DT);
+        let after = sim.take_sample(a).throughput_mbps;
+        // 1 Gbps link, 10×100 Mbps processes: ~1000 before, ~300 during.
+        assert!(before > 900.0, "before drop: {before}");
+        assert!(during < 350.0, "during drop: {during}");
+        assert!(after > 850.0, "after restore: {after}");
+    }
+
+    #[test]
+    fn loss_floor_event_raises_measured_loss() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 3);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(2));
+        sim.add_event(EnvironmentEvent::at(
+            30.0,
+            EventAction::LossFloor { rate: 0.02 },
+        ));
+        sim.run_for(30.0, DT);
+        let clean = sim.take_sample(a).loss_rate;
+        sim.run_for(30.0, DT);
+        let dirty = sim.take_sample(a).loss_rate;
+        assert!(clean < 0.005, "clean loss {clean}");
+        assert!(dirty >= 0.019, "floored loss {dirty}");
+    }
+
+    #[test]
+    fn kill_event_zeroes_agent_and_revive_ramps_back() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 4);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.add_events([
+            EnvironmentEvent::at(30.0, EventAction::KillAgent { agent: 0 }),
+            EnvironmentEvent::at(60.0, EventAction::ReviveAgent { agent: 0 }),
+        ]);
+        sim.run_for(45.0, DT);
+        assert!(!sim.is_alive(a));
+        assert_eq!(sim.try_instantaneous_rate_mbps(a), None);
+        assert!(sim.try_take_sample(a).is_none());
+        sim.run_for(45.0, DT);
+        assert!(sim.is_alive(a));
+        let s = sim.take_sample(a);
+        assert!(
+            s.throughput_mbps > 60.0,
+            "revived agent should ramp back: {}",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn disk_throttle_event_scales_per_process_cap() {
+        // Fig 4 topology: 1 process reads at 10 Mbps; halving the throttle
+        // should halve it.
+        let mut sim = Simulation::new(Environment::emulab_fig4().without_noise(), 5);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(1));
+        sim.add_event(EnvironmentEvent::at(
+            30.0,
+            EventAction::DiskThrottleFactor { factor: 0.5 },
+        ));
+        sim.run_for(30.0, DT);
+        let before = sim.take_sample(a).throughput_mbps;
+        sim.run_for(30.0, DT);
+        let after = sim.take_sample(a).throughput_mbps;
+        assert!((before - 10.0).abs() < 1.0, "before {before}");
+        assert!((after - 5.0).abs() < 1.0, "after {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dead agent")]
+    fn take_sample_on_removed_agent_panics_clearly() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 6);
+        let a = sim.add_agent();
+        sim.remove_agent(a);
+        let _ = sim.take_sample(a);
+    }
+
+    #[test]
+    fn try_set_settings_reports_dead_agent_but_keeps_settings() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 7);
+        let a = sim.add_agent();
+        sim.kill_agent(a);
+        assert!(!sim.try_set_settings(a, AgentSettings::with_concurrency(8)));
+        sim.revive_agent(a);
+        assert_eq!(sim.settings(a).concurrency, 8);
+        sim.run_for(30.0, DT);
+        assert!(sim.instantaneous_rate_mbps(a) > 0.0);
     }
 }

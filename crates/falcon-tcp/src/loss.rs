@@ -147,7 +147,10 @@ mod tests {
         // Paper: "packet loss is below 2% when concurrency is smaller than 10".
         let l = fig4_loss(10);
         assert!(l < 0.02, "loss at n=10 was {l}");
-        assert!(l > 0.005, "loss at saturation should be noticeable, got {l}");
+        assert!(
+            l > 0.005,
+            "loss at saturation should be noticeable, got {l}"
+        );
     }
 
     #[test]

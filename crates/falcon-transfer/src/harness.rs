@@ -43,6 +43,21 @@ pub trait TransferHarness {
 
     /// Upper bound of the concurrency search space.
     fn max_concurrency(&self) -> u32;
+
+    /// Whether the task's transfer process is still attached and able to
+    /// move bytes. `false` means the process died mid-transfer (crash,
+    /// scripted kill) and the runner may attempt [`TransferHarness::restart`].
+    /// Substrates without process failure keep the default (always `true`).
+    fn is_attached(&self, _agent: usize) -> bool {
+        true
+    }
+
+    /// Attempt to restart a detached transfer process, preserving whatever
+    /// bytes it already delivered. Returns whether a restart was initiated
+    /// (or the process was already running). Default: unsupported.
+    fn restart(&mut self, _agent: usize) -> bool {
+        false
+    }
 }
 
 struct Slot {
@@ -151,7 +166,8 @@ impl TransferHarness for SimHarness {
         if !slot.complete {
             let s = self.to_agent_settings(&self.slots[agent]);
             let h = self.slots[agent].handle;
-            self.sim.set_settings(h, s);
+            // A killed agent remembers the settings for its next revive.
+            let _ = self.sim.try_set_settings(h, s);
         }
     }
 
@@ -161,7 +177,11 @@ impl TransferHarness for SimHarness {
             if slot.complete {
                 continue;
             }
-            let rate = self.sim.instantaneous_rate_mbps(slot.handle);
+            // Killed agents deliver nothing until revived.
+            let rate = self
+                .sim
+                .try_instantaneous_rate_mbps(slot.handle)
+                .unwrap_or(0.0);
             slot.job.deliver_mbits(rate * dt_s);
             if slot.job.is_complete() {
                 slot.complete = true;
@@ -173,13 +193,23 @@ impl TransferHarness for SimHarness {
     fn sample(&mut self, agent: usize) -> ProbeMetrics {
         let slot = &self.slots[agent];
         let settings = slot.settings;
-        let s = self.sim.take_sample(slot.handle);
-        ProbeMetrics {
-            settings,
-            aggregate_mbps: s.throughput_mbps,
-            per_thread_mbps: s.throughput_mbps / f64::from(settings.concurrency.max(1)),
-            loss_rate: s.loss_rate,
-            interval_s: s.interval_s,
+        match self.sim.try_take_sample(slot.handle) {
+            Some(s) => ProbeMetrics {
+                settings,
+                aggregate_mbps: s.throughput_mbps,
+                per_thread_mbps: s.throughput_mbps / f64::from(settings.concurrency.max(1)),
+                loss_rate: s.loss_rate,
+                interval_s: s.interval_s,
+            },
+            // A dead process measures nothing; the runner's watchdog is
+            // expected to notice via `is_attached` and discard this.
+            None => ProbeMetrics {
+                settings,
+                aggregate_mbps: 0.0,
+                per_thread_mbps: 0.0,
+                loss_rate: 0.0,
+                interval_s: 0.0,
+            },
         }
     }
 
@@ -188,7 +218,9 @@ impl TransferHarness for SimHarness {
         if slot.complete {
             0.0
         } else {
-            self.sim.instantaneous_rate_mbps(slot.handle)
+            self.sim
+                .try_instantaneous_rate_mbps(slot.handle)
+                .unwrap_or(0.0)
         }
     }
 
@@ -218,6 +250,27 @@ impl TransferHarness for SimHarness {
 
     fn max_concurrency(&self) -> u32 {
         self.sim.env().max_concurrency
+    }
+
+    fn is_attached(&self, agent: usize) -> bool {
+        let slot = &self.slots[agent];
+        slot.complete || self.sim.is_alive(slot.handle)
+    }
+
+    fn restart(&mut self, agent: usize) -> bool {
+        let slot = &self.slots[agent];
+        if slot.complete {
+            return false;
+        }
+        if !self.sim.is_alive(slot.handle) {
+            self.sim.revive_agent(slot.handle);
+            // Re-push the slot's settings so the revived pool matches what
+            // the tuner last chose.
+            let s = self.to_agent_settings(&self.slots[agent]);
+            let h = self.slots[agent].handle;
+            let _ = self.sim.try_set_settings(h, s);
+        }
+        true
     }
 }
 
@@ -251,7 +304,12 @@ mod tests {
         let mut h = harness(Environment::emulab(100.0));
         let tiny = Dataset {
             name: "tiny",
-            files: vec![FileSpec { size_bytes: 50 * KIB }; 2],
+            files: vec![
+                FileSpec {
+                    size_bytes: 50 * KIB
+                };
+                2
+            ],
         };
         let a = h.join(tiny);
         h.apply(a, TransferSettings::with_concurrency(4));

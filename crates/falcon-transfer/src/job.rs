@@ -88,7 +88,9 @@ mod tests {
             name: "three",
             files: vec![
                 FileSpec { size_bytes: MIB },
-                FileSpec { size_bytes: 2 * MIB },
+                FileSpec {
+                    size_bytes: 2 * MIB,
+                },
                 FileSpec { size_bytes: MIB },
             ],
         }

@@ -83,7 +83,12 @@ mod tests {
         // Mean ~ hundreds of KiB at WAN RTT: gap dominates.
         let d = Dataset {
             name: "tiny",
-            files: vec![FileSpec { size_bytes: 100 * KIB }; 1000],
+            files: vec![
+                FileSpec {
+                    size_bytes: 100 * KIB
+                };
+                1000
+            ],
         };
         let e1 = thread_efficiency(&d, settings(1), 0.060, 1000.0);
         assert!(e1 < 0.05, "e1 = {e1}");

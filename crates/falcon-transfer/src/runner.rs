@@ -98,6 +98,40 @@ impl AgentPlan {
     }
 }
 
+/// What the runner's watchdog did about a fault (see [`RecoveryEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryKind {
+    /// The agent's transfer process was found dead mid-transfer.
+    Detached,
+    /// A restart was attempted; if it fails, the next attempt waits
+    /// `next_backoff_s`.
+    RestartAttempt {
+        /// Delay before the next attempt, should this one fail.
+        next_backoff_s: f64,
+    },
+    /// The process is moving bytes again; probing resumed with a fresh
+    /// measurement epoch.
+    Restarted,
+    /// A probe interval measured (near-)zero throughput on an attached
+    /// transfer; the sample was discarded instead of being fed to the
+    /// tuner, and the interval re-probed.
+    StalledProbe,
+}
+
+/// One fault-recovery action taken during a run. The paper's online
+/// optimizers assume every sample reflects the network; the watchdog's job
+/// is to keep that assumption true when processes die or stall, without
+/// resetting the optimizer state that was learned before the fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Wall-clock time (seconds).
+    pub t_s: f64,
+    /// Agent index in plan order.
+    pub agent: usize,
+    /// What happened.
+    pub kind: RecoveryKind,
+}
+
 /// One recorded point of an agent's trace.
 #[derive(Debug, Clone)]
 pub struct TracePoint {
@@ -121,6 +155,8 @@ pub struct RunTrace {
     pub points: Vec<TracePoint>,
     /// Completion time per agent (`None` if still running at the end).
     pub completed_at: Vec<Option<f64>>,
+    /// Fault-recovery actions taken by the watchdog, time-ordered.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl RunTrace {
@@ -183,8 +219,7 @@ impl RunTrace {
     /// parallelism,pipelining`), ready for external plotting of the paper's
     /// time-series figures.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("t_s,agent,label,mbps,concurrency,parallelism,pipelining\n");
+        let mut out = String::from("t_s,agent,label,mbps,concurrency,parallelism,pipelining\n");
         for p in &self.points {
             out.push_str(&format!(
                 "{:.1},{},{},{:.1},{},{},{}\n",
@@ -261,6 +296,32 @@ impl RunTrace {
             .count()
     }
 
+    /// Recovery events of one agent, time-ordered.
+    pub fn recovery_events(&self, agent: usize) -> Vec<RecoveryEvent> {
+        self.recovery
+            .iter()
+            .filter(|e| e.agent == agent)
+            .copied()
+            .collect()
+    }
+
+    /// How many times an agent's process was restarted successfully.
+    pub fn restarts(&self, agent: usize) -> usize {
+        self.recovery
+            .iter()
+            .filter(|e| e.agent == agent && e.kind == RecoveryKind::Restarted)
+            .count()
+    }
+
+    /// How many poisoned (stalled/zero-throughput) probe samples were
+    /// discarded for an agent instead of reaching its tuner.
+    pub fn discarded_probes(&self, agent: usize) -> usize {
+        self.recovery
+            .iter()
+            .filter(|e| e.agent == agent && e.kind == RecoveryKind::StalledProbe)
+            .count()
+    }
+
     /// Jain's fairness index of agent goodputs over a window.
     pub fn fairness(&self, agents: &[usize], from_s: f64, to_s: f64) -> f64 {
         let xs: Vec<f64> = agents
@@ -299,6 +360,15 @@ pub struct Runner {
     pub dt_s: f64,
     /// Trace recording resolution (seconds).
     pub trace_every_s: f64,
+    /// Initial delay before the first restart attempt on a dead process;
+    /// doubles after each failed attempt (exponential backoff).
+    pub restart_backoff_s: f64,
+    /// Backoff ceiling for restart attempts.
+    pub restart_backoff_max_s: f64,
+    /// Probe samples below this goodput on an *attached* transfer are
+    /// treated as stalled/poisoned: discarded (not shown to the tuner) and
+    /// the interval re-probed. Real transfers always clear ~1 Mbps.
+    pub stall_mbps: f64,
 }
 
 impl Default for Runner {
@@ -306,6 +376,9 @@ impl Default for Runner {
         Runner {
             dt_s: 0.1,
             trace_every_s: 1.0,
+            restart_backoff_s: 1.0,
+            restart_backoff_max_s: 30.0,
+            stall_mbps: 1.0,
         }
     }
 }
@@ -317,6 +390,12 @@ struct Live {
     discard_at_s: Option<f64>,
     joined: bool,
     done: bool,
+    /// Watchdog state: the process is currently dead.
+    detached: bool,
+    /// Next restart attempt (valid while `detached`).
+    retry_at_s: f64,
+    /// Delay before the attempt after the next one (exponential).
+    backoff_s: f64,
 }
 
 impl Runner {
@@ -338,10 +417,14 @@ impl Runner {
                 discard_at_s: None,
                 joined: false,
                 done: false,
+                detached: false,
+                retry_at_s: 0.0,
+                backoff_s: 0.0,
             })
             .collect();
         let mut points = Vec::new();
         let mut completed_at: Vec<Option<f64>> = vec![None; plans.len()];
+        let mut recovery: Vec<RecoveryEvent> = Vec::new();
 
         let steps = (duration_s / self.dt_s).round() as u64;
         let trace_every = (self.trace_every_s / self.dt_s).round().max(1.0) as u64;
@@ -392,6 +475,51 @@ impl Runner {
                     completed_at[i] = Some(harness.time_s());
                     continue;
                 }
+                // Watchdog: a dead process moves no bytes and any sample it
+                // "produces" is poison. Stop probing (preserving the tuner's
+                // learned state), and retry restarts under exponential
+                // backoff until the process is back.
+                if !harness.is_attached(slot) {
+                    let now = harness.time_s();
+                    if !live[i].detached {
+                        live[i].detached = true;
+                        live[i].backoff_s = self.restart_backoff_s;
+                        live[i].retry_at_s = now + live[i].backoff_s;
+                        recovery.push(RecoveryEvent {
+                            t_s: now,
+                            agent: i,
+                            kind: RecoveryKind::Detached,
+                        });
+                    } else if now >= live[i].retry_at_s {
+                        live[i].backoff_s =
+                            (live[i].backoff_s * 2.0).min(self.restart_backoff_max_s);
+                        live[i].retry_at_s = now + live[i].backoff_s;
+                        recovery.push(RecoveryEvent {
+                            t_s: now,
+                            agent: i,
+                            kind: RecoveryKind::RestartAttempt {
+                                next_backoff_s: live[i].backoff_s,
+                            },
+                        });
+                        harness.restart(slot);
+                    }
+                    continue;
+                }
+                if live[i].detached {
+                    // Back among the living (our restart, or the substrate
+                    // recovered on its own). Start a clean measurement
+                    // epoch; the tuner resumes exactly where it left off.
+                    live[i].detached = false;
+                    let now = harness.time_s();
+                    recovery.push(RecoveryEvent {
+                        t_s: now,
+                        agent: i,
+                        kind: RecoveryKind::Restarted,
+                    });
+                    let _ = harness.sample(slot); // drop dead-period metrics
+                    live[i].next_probe_s = now + interval;
+                    live[i].discard_at_s = Some(now + warmup);
+                }
                 if let Some(discard_at) = live[i].discard_at_s {
                     if harness.time_s() >= discard_at {
                         let _ = harness.sample(slot); // drop warm-up metrics
@@ -400,8 +528,20 @@ impl Runner {
                 }
                 if harness.time_s() >= live[i].next_probe_s {
                     let metrics = harness.sample(slot);
-                    let settings = plan.tuner.on_sample(&metrics);
-                    harness.apply(slot, settings);
+                    if metrics.interval_s <= 0.0 || metrics.aggregate_mbps < self.stall_mbps {
+                        // Stalled interval on an attached transfer: the
+                        // sample says nothing about the chosen setting, so
+                        // discard it and re-probe rather than letting the
+                        // tuner chase a phantom utility collapse.
+                        recovery.push(RecoveryEvent {
+                            t_s: harness.time_s(),
+                            agent: i,
+                            kind: RecoveryKind::StalledProbe,
+                        });
+                    } else {
+                        let settings = plan.tuner.on_sample(&metrics);
+                        harness.apply(slot, settings);
+                    }
                     live[i].next_probe_s += interval;
                     live[i].discard_at_s = Some(harness.time_s() + warmup);
                 }
@@ -427,6 +567,7 @@ impl Runner {
             labels,
             points,
             completed_at,
+            recovery,
         }
     }
 }
@@ -615,6 +756,104 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_restarts_killed_agent_and_it_reconverges() {
+        use falcon_sim::{EnvironmentEvent, EventAction};
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 9);
+        h.sim_mut().add_event(EnvironmentEvent::at(
+            100.0,
+            EventAction::KillAgent { agent: 0 },
+        ));
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(100_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 300.0);
+        let events = trace.recovery_events(0);
+        assert!(
+            events.iter().any(|e| e.kind == RecoveryKind::Detached),
+            "no Detached event: {events:?}"
+        );
+        assert_eq!(trace.restarts(0), 1, "events: {events:?}");
+        // Tuner state survived the crash: converged again to ~1 Gbps.
+        let avg = trace.avg_mbps(0, 220.0, 300.0);
+        assert!(avg > 850.0, "post-restart avg {avg}");
+    }
+
+    #[test]
+    fn restart_attempts_back_off_exponentially() {
+        use falcon_sim::{EnvironmentEvent, EventAction};
+        // SimHarness restarts always succeed, so fake a persistent outage:
+        // re-kill the agent every 50 ms for 8 s. Each restart attempt is
+        // immediately undone, and the watchdog's backoff must grow.
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 9);
+        let mut t = 100.0;
+        while t < 108.0 {
+            h.sim_mut()
+                .add_event(EnvironmentEvent::at(t, EventAction::KillAgent { agent: 0 }));
+            t += 0.05;
+        }
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(100_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 300.0);
+        let attempts: Vec<f64> = trace
+            .recovery_events(0)
+            .iter()
+            .filter_map(|e| match e.kind {
+                RecoveryKind::RestartAttempt { next_backoff_s } => Some(next_backoff_s),
+                _ => None,
+            })
+            .collect();
+        assert!(attempts.len() >= 2, "attempts: {attempts:?}");
+        // Backoff doubles between consecutive failed attempts of one
+        // outage (2.0 after the first try, then 4.0).
+        assert!(attempts.windows(2).any(|w| w[1] > w[0]), "{attempts:?}");
+        // And the transfer still ends up healthy.
+        let avg = trace.avg_mbps(0, 220.0, 300.0);
+        assert!(avg > 850.0, "post-restart avg {avg}");
+    }
+
+    #[test]
+    fn stalled_probes_are_discarded_not_fed_to_tuner() {
+        use falcon_sim::{EnvironmentEvent, EventAction};
+        // Blackhole the link (0.01% capacity) for 60 s mid-run. The GD
+        // tuner must not see the zero samples, so its concurrency holds
+        // and throughput snaps back on restore.
+        let mut h = harness(Environment::emulab(100.0).without_noise(), 9);
+        h.sim_mut().add_events([
+            EnvironmentEvent::at(
+                150.0,
+                EventAction::LinkCapacityFactor {
+                    resource: None,
+                    factor: 0.0001,
+                },
+            ),
+            EnvironmentEvent::at(
+                210.0,
+                EventAction::LinkCapacityFactor {
+                    resource: None,
+                    factor: 1.0,
+                },
+            ),
+        ]);
+        let plan = AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(32)),
+            Dataset::uniform_1gb(100_000),
+        );
+        let trace = Runner::default().run(&mut h, vec![plan], 300.0);
+        assert!(
+            trace.discarded_probes(0) >= 5,
+            "{}",
+            trace.discarded_probes(0)
+        );
+        let cc_during = trace.avg_concurrency(0, 160.0, 210.0);
+        assert!(cc_during > 5.0, "concurrency collapsed to {cc_during}");
+        let after = trace.avg_mbps(0, 240.0, 300.0);
+        assert!(after > 850.0, "post-outage avg {after}");
+    }
+
+    #[test]
     fn two_gd_agents_share_fairly() {
         // The headline fairness property (Figure 11): competing Falcon-GD
         // agents end with near-identical throughput.
@@ -634,8 +873,7 @@ mod tests {
         let fair = trace.fairness(&[0, 1], 300.0, 420.0);
         assert!(fair > 0.93, "Jain index {fair}");
         // And the pair still uses most of the link.
-        let total =
-            trace.avg_mbps(0, 300.0, 420.0) + trace.avg_mbps(1, 300.0, 420.0);
+        let total = trace.avg_mbps(0, 300.0, 420.0) + trace.avg_mbps(1, 300.0, 420.0);
         assert!(total > 700.0, "aggregate {total}");
     }
 }

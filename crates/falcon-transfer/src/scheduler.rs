@@ -91,11 +91,14 @@ pub fn simulate(
     }
     let makespan = finish.iter().cloned().fold(0.0, f64::max);
     let first_idle = finish.iter().cloned().fold(f64::INFINITY, f64::min);
-    let ideal =
-        dataset.total_bytes() as f64 * 8.0 / (per_thread_mbps * 1e6 * f64::from(threads));
+    let ideal = dataset.total_bytes() as f64 * 8.0 / (per_thread_mbps * 1e6 * f64::from(threads));
     ScheduleOutcome {
         makespan_s: makespan,
-        first_idle_s: if first_idle.is_finite() { first_idle } else { 0.0 },
+        first_idle_s: if first_idle.is_finite() {
+            first_idle
+        } else {
+            0.0
+        },
         imbalance: if ideal > 0.0 { makespan / ideal } else { 1.0 },
     }
 }
@@ -109,8 +112,15 @@ mod tests {
         // One 2 GiB whale plus many minnows (16 GiB of them): the whale is
         // under the per-thread ideal share, so a good schedule can hide it
         // while a bad one leaves it as a straggler.
-        let mut files = vec![FileSpec { size_bytes: 2 * GIB }];
-        files.extend(vec![FileSpec { size_bytes: 64 * MIB }; 256]);
+        let mut files = vec![FileSpec {
+            size_bytes: 2 * GIB,
+        }];
+        files.extend(vec![
+            FileSpec {
+                size_bytes: 64 * MIB
+            };
+            256
+        ]);
         Dataset {
             name: "skewed",
             files,
@@ -123,7 +133,11 @@ mod tests {
         let base = simulate(&d, SchedulePolicy::Fifo, 8, 100.0);
         for p in SchedulePolicy::all() {
             let o = simulate(&d, p, 8, 100.0);
-            assert!((o.makespan_s - base.makespan_s).abs() < 1e-6, "{}", p.name());
+            assert!(
+                (o.makespan_s - base.makespan_s).abs() < 1e-6,
+                "{}",
+                p.name()
+            );
             assert!((o.imbalance - 1.0).abs() < 1e-9);
         }
     }

@@ -44,7 +44,11 @@ impl Summary {
             p5: percentile_sorted(&sorted, 5.0),
             p95: percentile_sorted(&sorted, 95.0),
             std_dev,
-            cv: if mean.abs() > 1e-12 { std_dev / mean } else { 0.0 },
+            cv: if mean.abs() > 1e-12 {
+                std_dev / mean
+            } else {
+                0.0
+            },
         })
     }
 }

@@ -21,8 +21,16 @@ fn main() {
     let dataset = || Dataset::uniform_1gb(1_000_000);
     let plans = vec![
         AgentPlan::at_start(Box::new(FalconAgent::gradient_descent(64)), dataset()),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), dataset(), 120.0),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), dataset(), 240.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            dataset(),
+            120.0,
+        ),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            dataset(),
+            240.0,
+        ),
     ];
     let trace = Runner::default().run(&mut harness, plans, 480.0);
 
@@ -33,7 +41,9 @@ fn main() {
         ("three agents[360,480)", 360.0, 480.0, vec![0, 1, 2]),
     ];
     for (name, from, to, agents) in phases {
-        let gbps: Vec<f64> = (0..3).map(|a| trace.avg_mbps(a, from, to) / 1000.0).collect();
+        let gbps: Vec<f64> = (0..3)
+            .map(|a| trace.avg_mbps(a, from, to) / 1000.0)
+            .collect();
         let shares: Vec<f64> = agents.iter().map(|&a| gbps[a] * 1000.0).collect();
         println!(
             "{name}   {:>6.2}   {:>6.2}   {:>6.2}   {:.3}",

@@ -30,7 +30,10 @@ fn main() {
 
     let interval = harness.sample_interval_s();
     let mut next_probe = interval;
-    println!("{:>8}  {:>12}  {:>12}  {:>9}", "time_s", "setting", "gbps", "progress");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>9}",
+        "time_s", "setting", "gbps", "progress"
+    );
     while !harness.is_complete(slot) && harness.time_s() < 600.0 {
         harness.advance(0.1);
         if harness.time_s() >= next_probe {

@@ -24,21 +24,22 @@ fn main() -> std::io::Result<()> {
         per_worker_mbps: 60.0,
         total_bytes: u64::MAX,
         max_workers: 24,
-    })?;
+    });
     let mut agent = FalconAgent::gradient_descent(24);
-    transfer
-        .apply_settings(agent.initial_settings())
-        .expect("apply settings");
+    transfer.apply_settings(agent.initial_settings());
 
     let interval = std::time::Duration::from_millis(1200);
-    println!("{:>6}  {:>6}  {:>12}  {:>10}", "probe", "cc", "mbps", "utility");
+    println!(
+        "{:>6}  {:>6}  {:>12}  {:>10}",
+        "probe", "cc", "mbps", "utility"
+    );
     transfer.sample(); // reset the interval counter
     for probe in 0..20 {
         std::thread::sleep(interval);
         let metrics = transfer.sample();
         let utility = agent.utility().evaluate(&metrics);
         let settings = agent.observe(metrics);
-        transfer.apply_settings(settings).expect("apply settings");
+        transfer.apply_settings(settings);
         println!(
             "{probe:>6}  {:>6}  {:>12.1}  {:>10.1}",
             metrics.settings.concurrency, metrics.aggregate_mbps, utility

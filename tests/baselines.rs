@@ -14,11 +14,7 @@ fn endless() -> Dataset {
 
 fn solo(env: Environment, tuner: Box<dyn Tuner>, seed: u64) -> f64 {
     let mut h = SimHarness::new(Simulation::new(env, seed));
-    let trace = Runner::default().run(
-        &mut h,
-        vec![AgentPlan::at_start(tuner, endless())],
-        300.0,
-    );
+    let trace = Runner::default().run(&mut h, vec![AgentPlan::at_start(tuner, endless())], 300.0);
     trace.avg_mbps(0, 180.0, 300.0)
 }
 
@@ -103,7 +99,11 @@ fn falcon_gd_is_friendly_to_incumbents() {
             endless(),
             60.0,
         ),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), endless(), 120.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            endless(),
+            120.0,
+        ),
     ];
     let trace = Runner::default().run(&mut h, plans, 450.0);
     let harp_before = trace.avg_mbps(1, 100.0, 120.0);

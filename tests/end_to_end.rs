@@ -103,7 +103,11 @@ fn multi_parameter_agent_respects_bounds_end_to_end() {
         300.0,
     );
     for p in &trace.points {
-        assert!(bounds.contains(p.settings), "escaped bounds: {}", p.settings);
+        assert!(
+            bounds.contains(p.settings),
+            "escaped bounds: {}",
+            p.settings
+        );
     }
     // And it should be moving meaningful traffic by the end.
     assert!(trace.avg_mbps(0, 200.0, 300.0) > 5_000.0);
@@ -129,12 +133,13 @@ fn hill_climbing_works_end_to_end() {
 #[test]
 fn adapts_to_background_traffic() {
     let mut h = SimHarness::new(Simulation::new(Environment::emulab(100.0), 19));
-    h.sim_mut().add_background_flow(falcon_repro::sim::BackgroundFlow {
-        start_s: 150.0,
-        end_s: 300.0,
-        demand_mbps: 600.0,
-        connections: 6,
-    });
+    h.sim_mut()
+        .add_background_flow(falcon_repro::sim::BackgroundFlow {
+            start_s: 150.0,
+            end_s: 300.0,
+            demand_mbps: 600.0,
+            connections: 6,
+        });
     let trace = Runner::default().run(
         &mut h,
         vec![AgentPlan::at_start(
@@ -147,6 +152,9 @@ fn adapts_to_background_traffic() {
     let during = trace.avg_mbps(0, 220.0, 300.0);
     let after = trace.avg_mbps(0, 380.0, 450.0);
     assert!(before > 850.0, "before {before:.0}");
-    assert!(during < 0.75 * before, "during {during:.0} vs before {before:.0}");
+    assert!(
+        during < 0.75 * before,
+        "during {during:.0} vs before {before:.0}"
+    );
     assert!(after > 0.85 * before, "after {after:.0} did not recover");
 }

@@ -6,9 +6,7 @@
 //! two and three agents, and check the converse — that throughput-only
 //! objectives do *not* provide it.
 
-use falcon_repro::core::{
-    FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction,
-};
+use falcon_repro::core::{FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction};
 use falcon_repro::sim::{Environment, Simulation};
 use falcon_repro::transfer::dataset::Dataset;
 use falcon_repro::transfer::harness::SimHarness;
@@ -71,8 +69,16 @@ fn three_gd_agents_share_three_ways() {
     let mut h = SimHarness::new(Simulation::new(Environment::hpclab(), 5));
     let plans = vec![
         AgentPlan::at_start(Box::new(FalconAgent::gradient_descent(64)), endless()),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), endless(), 120.0),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), endless(), 240.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            endless(),
+            120.0,
+        ),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            endless(),
+            240.0,
+        ),
     ];
     // The three-agent Nash equilibrium sits at a much higher per-agent
     // concurrency than the two-agent one (each agent's share-stealing
@@ -97,8 +103,12 @@ fn departure_returns_capacity_to_survivor() {
     let mut h = SimHarness::new(Simulation::new(Environment::hpclab(), 7));
     let plans = vec![
         AgentPlan::at_start(Box::new(FalconAgent::gradient_descent(64)), endless()),
-        AgentPlan::joining_at(Box::new(FalconAgent::gradient_descent(64)), endless(), 100.0)
-            .leaving_at(400.0),
+        AgentPlan::joining_at(
+            Box::new(FalconAgent::gradient_descent(64)),
+            endless(),
+            100.0,
+        )
+        .leaving_at(400.0),
     ];
     let trace = Runner::default().run(&mut h, plans, 650.0);
     let shared = trace.avg_mbps(0, 300.0, 400.0);

@@ -14,18 +14,15 @@ fn drive_real(agent: &mut FalconAgent, per_worker_mbps: f64, probes: usize) -> V
         per_worker_mbps,
         total_bytes: u64::MAX,
         max_workers: 16,
-    })
-    .expect("transfer");
-    transfer
-        .apply_settings(agent.initial_settings())
-        .expect("apply");
+    });
+    transfer.apply_settings(agent.initial_settings());
     let mut trace = Vec::new();
     transfer.sample();
     for _ in 0..probes {
         std::thread::sleep(std::time::Duration::from_millis(400));
         let metrics = transfer.sample();
         let settings = agent.observe(metrics);
-        transfer.apply_settings(settings).expect("apply");
+        transfer.apply_settings(settings);
         trace.push(settings.concurrency);
     }
     transfer.shutdown();
@@ -64,11 +61,8 @@ fn write_limited_destination_backpressures_real_transfer() {
         per_worker_mbps: 200.0, // sender could go much faster
         total_bytes: u64::MAX,
         max_workers: 4,
-    })
-    .expect("transfer");
-    transfer
-        .apply_settings(falcon_repro::core::TransferSettings::with_concurrency(2))
-        .expect("apply");
+    });
+    transfer.apply_settings(falcon_repro::core::TransferSettings::with_concurrency(2));
     std::thread::sleep(std::time::Duration::from_millis(500));
     transfer.sample();
     std::thread::sleep(std::time::Duration::from_millis(1000));
@@ -92,12 +86,10 @@ fn real_transfer_moves_more_bytes_with_more_workers() {
             per_worker_mbps: 40.0,
             total_bytes: u64::MAX,
             max_workers: 16,
-        })
-        .expect("transfer");
+        });
         t.apply_settings(falcon_repro::core::TransferSettings::with_concurrency(
             workers,
-        ))
-        .expect("apply");
+        ));
         std::thread::sleep(std::time::Duration::from_millis(300));
         t.sample();
         std::thread::sleep(std::time::Duration::from_millis(700));

@@ -1,0 +1,103 @@
+//! Fault injection and recovery: every Falcon optimizer must follow a
+//! mid-transfer link flap (the paper's §4.5 argument for *online*
+//! optimization), and the runner's watchdog must carry a transfer across a
+//! killed agent process.
+
+use falcon_repro::core::FalconAgent;
+use falcon_repro::sim::{Environment, EnvironmentEvent, EventAction, Simulation};
+use falcon_repro::transfer::dataset::Dataset;
+use falcon_repro::transfer::harness::SimHarness;
+use falcon_repro::transfer::runner::{AgentPlan, RunTrace, Runner, Tuner};
+
+fn endless() -> Dataset {
+    Dataset::uniform_1gb(1_000_000)
+}
+
+const DROP_S: f64 = 300.0;
+const RESTORE_S: f64 = 500.0;
+const END_S: f64 = 800.0;
+
+/// Run one optimizer solo through a bottleneck flap: 1 Gbps → 300 Mbps at
+/// `DROP_S`, restored at `RESTORE_S`.
+fn flap_run(tuner: Box<dyn Tuner>, seed: u64) -> (RunTrace, f64) {
+    let env = Environment::emulab(100.0);
+    let interval = env.sample_interval_s;
+    let mut h = SimHarness::new(Simulation::new(env, seed));
+    h.sim_mut().add_events([
+        EnvironmentEvent::at(
+            DROP_S,
+            EventAction::LinkCapacityFactor {
+                resource: None,
+                factor: 0.3,
+            },
+        ),
+        EnvironmentEvent::at(
+            RESTORE_S,
+            EventAction::LinkCapacityFactor {
+                resource: None,
+                factor: 1.0,
+            },
+        ),
+    ]);
+    let trace = Runner::default().run(&mut h, vec![AgentPlan::at_start(tuner, endless())], END_S);
+    (trace, interval)
+}
+
+/// HC, GD, and BO each re-converge to ≥80% of the achievable rate within 15
+/// probe intervals of both edges of a link flap.
+#[test]
+fn every_optimizer_reconverges_after_link_flap() {
+    type MakeAgent = fn(u32, u64) -> FalconAgent;
+    let optimizers: [(&str, MakeAgent); 3] = [
+        ("hc", |cc, _| FalconAgent::hill_climbing(cc)),
+        ("gd", |cc, _| FalconAgent::gradient_descent(cc)),
+        ("bo", FalconAgent::bayesian),
+    ];
+    for (name, make) in optimizers {
+        let (trace, interval) = flap_run(Box::new(make(64, 7)), 7);
+        let window = 15.0 * interval;
+
+        // Converged before the fault.
+        let before = trace.avg_mbps(0, DROP_S - window, DROP_S);
+        assert!(before > 800.0, "{name}: pre-drop {before:.0} Mbps");
+
+        // Tracks the degraded link: ≥80% of the new 300 Mbps achievable
+        // rate by the back half of the 15-probe re-convergence window.
+        let during = trace.avg_mbps(0, DROP_S + window / 2.0, DROP_S + window);
+        assert!(
+            during > 0.8 * 300.0,
+            "{name}: during-drop {during:.0} Mbps (achievable 300)"
+        );
+
+        // Climbs back after the restore: ≥80% of the recovered 1 Gbps
+        // within 15 probes.
+        let after = trace.avg_mbps(0, RESTORE_S + window / 2.0, RESTORE_S + window);
+        assert!(
+            after > 0.8 * 1000.0,
+            "{name}: post-restore {after:.0} Mbps (achievable 1000)"
+        );
+    }
+}
+
+/// A killed agent is detected, restarted by the watchdog, and finishes its
+/// re-convergence with its optimizer state intact.
+#[test]
+fn watchdog_recovers_killed_agent_across_the_stack() {
+    let env = Environment::emulab(100.0);
+    let mut h = SimHarness::new(Simulation::new(env, 11));
+    h.sim_mut().add_event(EnvironmentEvent::at(
+        200.0,
+        EventAction::KillAgent { agent: 0 },
+    ));
+    let trace = Runner::default().run(
+        &mut h,
+        vec![AgentPlan::at_start(
+            Box::new(FalconAgent::gradient_descent(64)),
+            endless(),
+        )],
+        400.0,
+    );
+    assert!(trace.restarts(0) >= 1, "no restart recorded");
+    let after = trace.avg_mbps(0, 320.0, 400.0);
+    assert!(after > 800.0, "post-restart {after:.0} Mbps");
+}

@@ -1,0 +1,290 @@
+//! Offline vendored miniature of the `proptest` property-testing crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the slice of proptest its test suites use: the [`proptest!`] macro with
+//! optional `#![proptest_config(...)]`, numeric range strategies,
+//! [`collection::vec`], and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for a hermetic test bed:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   assertion message; it is not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name (FNV-1a), so failures reproduce exactly across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Why a generated test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: the inputs are outside the property's
+    /// domain; the case is discarded, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result alias used by property bodies (enables `?` on helper functions).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, settable per block via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many rejects (`prop_assume!`) in a row relative
+    /// to `cases`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seed = FNV-1a of the test name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Run one property under the given config. Called by the [`proptest!`]
+/// expansion; public so the macro can reach it from other crates.
+pub fn run_property<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = test_rng(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_no = 0u64;
+    while passed < config.cases {
+        case_no += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case #{case_no}: {msg}");
+            }
+        }
+    }
+}
+
+/// The property-test block macro. Supports the upstream surface used by
+/// this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]  // optional
+///
+///     /// Doc comments survive.
+///     #[test]
+///     fn name(x in 0u32..10, ys in proptest::collection::vec(0f64..1.0, 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__proptest_rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                let __proptest_outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                __proptest_outcome
+            });
+        }
+    )*};
+}
+
+/// Assert a property inside a proptest body; failure fails the case with
+/// the generated inputs visible in the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (inputs outside the property's domain).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u32..40, y in -2.0f64..2.0, z in 0usize..7) {
+            prop_assert!((1..40).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z < 7);
+        }
+
+        #[test]
+        fn vec_sizes_respected(
+            xs in crate::collection::vec(0u64..100, 1..30),
+            fixed in crate::collection::vec(0.0f64..1.0, 16),
+        ) {
+            prop_assert!((1..30).contains(&xs.len()), "len {}", xs.len());
+            prop_assert_eq!(fixed.len(), 16);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn question_mark_on_helpers_works(x in 0u32..10) {
+            fn helper(x: u32) -> crate::TestCaseResult {
+                crate::prop_assert!(x < 10);
+                Ok(())
+            }
+            helper(x)?;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::run_property(
+            "failing_property",
+            &crate::ProptestConfig::with_cases(8),
+            |rng| {
+                let x: u64 = crate::Strategy::sample(&(0u64..100), rng);
+                crate::prop_assert!(x > 1_000, "x was {x}");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        let xs: Vec<u64> = (0..8)
+            .map(|_| crate::Strategy::sample(&(0u64..1000), &mut a))
+            .collect();
+        let ys: Vec<u64> = (0..8)
+            .map(|_| crate::Strategy::sample(&(0u64..1000), &mut b))
+            .collect();
+        assert_eq!(xs, ys);
+    }
+}

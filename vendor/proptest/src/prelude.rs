@@ -1,0 +1,8 @@
+//! The usual `use proptest::prelude::*` surface.
+
+pub use crate::collection::SizeRange;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+    TestCaseResult, TestRng,
+};

@@ -1,0 +1,238 @@
+//! Offline vendored subset of the `rand` crate API.
+//!
+//! The build environment for this reproduction has no network access to
+//! crates.io, so the workspace ships the small slice of `rand` it actually
+//! uses: a seedable [`rngs::StdRng`] plus the [`Rng`] conveniences
+//! `gen`, `gen_range` and `gen_bool`. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic, fast, and of far higher
+//! quality than these simulations need. The stream differs from upstream
+//! `StdRng` (ChaCha12); every consumer in this workspace only relies on
+//! determinism per seed, not on a specific stream.
+
+pub mod rngs;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable from uniform bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Types with uniform sampling over a bounded range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                assert!(span > 0, "cannot sample empty range {lo:?}..{hi:?}");
+                // Modulo bias is ~span/2^64 — irrelevant for simulation use.
+                let draw = (rng.next_u64() as i128).rem_euclid(span);
+                (lo_w + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(lo <= hi, "cannot sample empty range {lo}..{hi}");
+        let u = f64::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(lo <= hi, "cannot sample empty range {lo}..{hi}");
+        let u = f32::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Draw a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(5i64..=9);
+            assert!((5..=9).contains(&j));
+            let x = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&x));
+            let k = rng.gen_range(0usize..1);
+            assert_eq!(k, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
