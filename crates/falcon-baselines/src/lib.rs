@@ -14,6 +14,8 @@
 //!   grabs more than its fair share from incumbents that tuned while alone
 //!   (Figure 2b).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod globus;
 pub mod harp;
 

@@ -125,7 +125,7 @@ fn take_pairs(args: &[String]) -> Result<Vec<(&str, &str)>, ParseError> {
     if !args.len().is_multiple_of(2) {
         return Err(ParseError(format!(
             "expected --key value pairs, got a dangling {:?}",
-            args.last().unwrap()
+            args.last().map_or("", String::as_str)
         )));
     }
     let mut pairs = Vec::new();

@@ -14,6 +14,8 @@
 //! the offline dependency set; [`args`] holds the parser, [`run`] the
 //! command implementations.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod args;
 pub mod run;
 pub mod scenario;

@@ -261,7 +261,9 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 other => return Err(err(line_no, format!("unknown key {other:?}"))),
             },
             Section::Agent => {
-                let a = sc.agents.last_mut().expect("section pushed an agent");
+                let Some(a) = sc.agents.last_mut() else {
+                    return Err(err(line_no, "agent key outside an [agent] section".into()));
+                };
                 match key {
                     "tuner" => a.tuner = value.to_string(),
                     "start" => a.start_s = num(value)?,
@@ -355,7 +357,10 @@ fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, Pars
 
 /// Run a parsed scenario; returns the rendered report (and writes the trace
 /// CSV if requested).
-pub fn run(sc: &Scenario) -> Result<String, ParseError> {
+/// Execute a scenario and return the raw run trace. This is the seam the
+/// determinism regression test drives: same scenario + same seed must yield
+/// a byte-identical serialized trace.
+pub fn run_trace(sc: &Scenario) -> Result<falcon_transfer::runner::RunTrace, ParseError> {
     let env = resolve_env(&sc.env)
         .ok_or_else(|| ParseError(format!("unknown environment {:?}", sc.env)))?;
     let max_cc = env.max_concurrency;
@@ -374,7 +379,11 @@ pub fn run(sc: &Scenario) -> Result<String, ParseError> {
         }
         plans.push(plan);
     }
-    let trace = Runner::default().run(&mut harness, plans, sc.duration_s);
+    Ok(Runner::default().run(&mut harness, plans, sc.duration_s))
+}
+
+pub fn run(sc: &Scenario) -> Result<String, ParseError> {
+    let trace = run_trace(sc)?;
 
     let mut out = format!(
         "# scenario env={} duration={:.0}s agents={}\n{:<4} {:<26} {:>12} {:>10} {:>10}\n",

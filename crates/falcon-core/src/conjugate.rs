@@ -197,6 +197,7 @@ impl ConjugateGradientOptimizer {
 
         let mut next = self.center;
         for d in 0..3 {
+            // falcon-lint::allow(float-cmp, reason = "exact-zero sentinel: a direction component is either computed or exactly 0.0")
             if direction[d] == 0.0 {
                 continue;
             }

@@ -25,6 +25,9 @@
 //!   suite can demonstrate their adaptivity and convergence-speed gaps.
 //! - [`agent`] — the controller loop gluing a utility to an optimizer.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod agent;
 pub mod bayesian;
 pub mod bayesian_mp;

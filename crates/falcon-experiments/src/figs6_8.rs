@@ -144,9 +144,9 @@ pub fn best_response_equilibrium(utility: UtilityFunction) -> (u32, u32) {
             .max_by(|&a, &b| {
                 let ua = utility.evaluate(&emulab48_game_metrics(a, m));
                 let ub = utility.evaluate(&emulab48_game_metrics(b, m));
-                ua.partial_cmp(&ub).unwrap()
+                ua.total_cmp(&ub)
             })
-            .unwrap()
+            .unwrap_or(1)
     };
     let (mut n1, mut n2) = (2u32, 2u32);
     for _ in 0..200 {

@@ -9,6 +9,8 @@
 //!
 //! All experiments are deterministic (fixed seeds).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod ablations;
 pub mod extensions;
 pub mod figs14_16;

@@ -1,7 +1,7 @@
 //! Gaussian-process regression.
 
 use crate::kernel::{Kernel, Matern52};
-use crate::linalg::{dot, Matrix};
+use crate::linalg::{dot, LinalgError, Matrix};
 
 /// Errors from GP fitting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,8 +88,9 @@ impl GpRegressor {
         let mut jitter = 1e-10 * kernel.diag();
         let chol = loop {
             match k.cholesky() {
-                Some(l) => break l,
-                None => {
+                Ok(l) => break l,
+                Err(LinalgError::DimensionMismatch) => return Err(GpError::DimensionMismatch),
+                Err(LinalgError::NotPositiveDefinite) => {
                     if jitter > 1e3 * kernel.diag() {
                         return Err(GpError::NotPositiveDefinite);
                     }
@@ -100,8 +101,12 @@ impl GpRegressor {
                 }
             }
         };
-        let tmp = chol.solve_lower(&y_centered);
-        let alpha = chol.solve_lower_transpose(&tmp);
+        let tmp = chol
+            .solve_lower(&y_centered)
+            .map_err(|_| GpError::DimensionMismatch)?;
+        let alpha = chol
+            .solve_lower_transpose(&tmp)
+            .map_err(|_| GpError::DimensionMismatch)?;
         Ok(GpRegressor {
             x: x.to_vec(),
             y_centered,
@@ -167,8 +172,13 @@ impl GpRegressor {
             k_star[i] = self.kernel.eval(xi, xq);
         }
         let mean = self.y_mean + dot(&k_star, &self.alpha);
-        let v = self.chol.solve_lower(&k_star);
-        let var = self.kernel.diag() + self.noise_variance - dot(&v, &v);
+        // A solve failure cannot happen for a factor built by `fit`, but if
+        // it ever did the GP degrades to the prior variance instead of
+        // panicking mid-transfer.
+        let var = match self.chol.solve_lower(&k_star) {
+            Ok(v) => self.kernel.diag() + self.noise_variance - dot(&v, &v),
+            Err(_) => self.kernel.diag() + self.noise_variance,
+        };
         (mean, var.max(1e-12))
     }
 

@@ -16,6 +16,9 @@
 //! and pipelining), and the training set is ≤ 20 points, so dense
 //! factorizations are the right tool — no BLAS needed.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod acquisition;
 pub mod gp;
 pub mod hedge;
@@ -27,4 +30,4 @@ pub use acquisition::{Acquisition, AcquisitionKind};
 pub use gp::{GpError, GpRegressor};
 pub use hedge::GpHedge;
 pub use kernel::{Kernel, Matern52, Rbf};
-pub use linalg::Matrix;
+pub use linalg::{LinalgError, Matrix};

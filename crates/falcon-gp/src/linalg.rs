@@ -4,6 +4,27 @@
 //! solves. Training sets are ≤ 20 points (the paper's observation window),
 //! so everything here is `O(20³)` at worst — microseconds.
 
+/// Errors from the dense linear-algebra kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes do not agree (non-square factorization input, or a
+    /// vector whose length does not match the matrix dimension).
+    DimensionMismatch,
+    /// The matrix is not positive definite (within jitter tolerance).
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch => write!(f, "operand dimensions do not agree"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix not positive definite"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
 /// Dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -33,6 +54,7 @@ impl Matrix {
 
     /// Build from a row-major slice.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        // falcon-lint::allow(panic-safety, reason = "constructor input validation; every call site passes a literal-shaped slice")
         assert_eq!(data.len(), rows * cols, "data length mismatch");
         Matrix {
             rows,
@@ -54,6 +76,7 @@ impl Matrix {
     /// Matrix–vector product.
     #[allow(clippy::needless_range_loop)] // row-slice indexing is the clear form here
     pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
+        // falcon-lint::allow(panic-safety, reason = "input validation; a short vector would otherwise silently zero-fill the product")
         assert_eq!(v.len(), self.cols);
         let mut out = vec![0.0; self.rows];
         for i in 0..self.rows {
@@ -64,10 +87,15 @@ impl Matrix {
     }
 
     /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
-    /// matrix; returns lower-triangular `L`, or `None` if the matrix is not
-    /// positive definite (within jitter tolerance).
-    pub fn cholesky(&self) -> Option<Matrix> {
-        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+    /// matrix; returns lower-triangular `L`. Errors with
+    /// [`LinalgError::NotPositiveDefinite`] when the matrix is not positive
+    /// definite (within jitter tolerance) and
+    /// [`LinalgError::DimensionMismatch`] when it is not square — callers
+    /// degrade (jitter-retry or skip the probe) instead of panicking.
+    pub fn cholesky(&self) -> Result<Matrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
@@ -78,7 +106,7 @@ impl Matrix {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return None;
+                        return Err(LinalgError::NotPositiveDefinite);
                     }
                     l[(i, j)] = sum.sqrt();
                 } else {
@@ -86,13 +114,15 @@ impl Matrix {
                 }
             }
         }
-        Some(l)
+        Ok(l)
     }
 
     /// Solve `L·x = b` for lower-triangular `L` (forward substitution).
-    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.rows;
-        assert_eq!(b.len(), n);
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
         let mut x = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
@@ -101,14 +131,16 @@ impl Matrix {
             }
             x[i] = sum / self[(i, i)];
         }
-        x
+        Ok(x)
     }
 
     /// Solve `Lᵀ·x = b` for lower-triangular `L` (back substitution on the
     /// transpose).
-    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.rows;
-        assert_eq!(b.len(), n);
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
@@ -117,7 +149,7 @@ impl Matrix {
             }
             x[i] = sum / self[(i, i)];
         }
-        x
+        Ok(x)
     }
 
     /// Log-determinant of `A = L·Lᵀ` given its Cholesky factor `self = L`:
@@ -184,7 +216,23 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
-        assert!(m.cholesky().is_none());
+        assert_eq!(m.cholesky(), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.cholesky(), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn solves_reject_wrong_length() {
+        let l = Matrix::identity(3);
+        assert_eq!(l.solve_lower(&[1.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            l.solve_lower_transpose(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
     }
 
     #[test]
@@ -193,8 +241,8 @@ mod tests {
         let a = spd3();
         let l = a.cholesky().unwrap();
         let b = [1.0, -2.0, 0.5];
-        let y = l.solve_lower(&b);
-        let x = l.solve_lower_transpose(&y);
+        let y = l.solve_lower(&b).unwrap();
+        let x = l.solve_lower_transpose(&y).unwrap();
         let back = a.mat_vec(&x);
         for (u, v) in back.iter().zip(b.iter()) {
             assert!((u - v).abs() < 1e-10, "{u} vs {v}");

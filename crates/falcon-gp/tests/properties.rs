@@ -36,8 +36,8 @@ proptest! {
     ) {
         let a = spd(&vals, 4);
         let l = a.cholesky().expect("SPD by construction");
-        let y = l.solve_lower(&b);
-        let x = l.solve_lower_transpose(&y);
+        let y = l.solve_lower(&b).expect("matching dimension");
+        let x = l.solve_lower_transpose(&y).expect("matching dimension");
         let back = a.mat_vec(&x);
         for (u, v) in back.iter().zip(&b) {
             prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");

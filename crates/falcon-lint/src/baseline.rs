@@ -1,0 +1,259 @@
+//! The ratchet: a checked-in `lint-baseline.toml` of pre-existing findings.
+//!
+//! The baseline records, per `(rule, file)`, how many findings are
+//! grandfathered. The linter fails only when a file *exceeds* its allowance
+//! — new debt cannot land — and reports when a file has improved so the
+//! allowance can be ratcheted down with `--fix-baseline`. Entries never
+//! grow silently: regenerating the file is an explicit, reviewable act.
+//!
+//! The format is a hand-parsed TOML subset (array-of-tables with string and
+//! integer values only), because the workspace builds with no external
+//! dependencies.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Finding, Rule};
+
+/// Grandfathered finding counts, keyed by `(rule name, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (everything is a new finding).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Allowed count for a `(rule, file)` pair.
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.entries
+            .get(&(rule.name().to_string(), file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of grandfathered findings.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Number of distinct `(rule, file)` allowance entries.
+    pub fn pairs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Parse the baseline file contents. Unknown keys and malformed lines
+    /// are errors: a silently misread baseline would un-ratchet the repo.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>|
+         -> Result<(), String> {
+            if let Some((rule, file, count)) = cur.take() {
+                let rule = rule.ok_or("[[allow]] entry missing `rule`")?;
+                let file = file.ok_or("[[allow]] entry missing `file`")?;
+                let count = count.ok_or("[[allow]] entry missing `count`")?;
+                if Rule::from_name(&rule).is_none() {
+                    return Err(format!("unknown rule {rule:?} in baseline"));
+                }
+                *entries.entry((rule, file)).or_insert(0) += count;
+            }
+            Ok(())
+        };
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut current)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("baseline line {}: expected key = value", no + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(cur) = current.as_mut() else {
+                return Err(format!(
+                    "baseline line {}: key outside an [[allow]] entry",
+                    no + 1
+                ));
+            };
+            match key {
+                "rule" => cur.0 = Some(parse_string(value, no)?),
+                "file" => cur.1 = Some(parse_string(value, no)?),
+                "count" => {
+                    cur.2 = Some(value.parse().map_err(|_| {
+                        format!("baseline line {}: count must be an integer", no + 1)
+                    })?)
+                }
+                other => {
+                    return Err(format!("baseline line {}: unknown key {other:?}", no + 1));
+                }
+            }
+        }
+        flush(&mut current)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Build a baseline that grandfathers exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.name().to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Render as `lint-baseline.toml` contents.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# falcon-lint baseline: grandfathered findings, ratcheted down over time.\n\
+             # Regenerate with `cargo run -p falcon-lint -- --fix-baseline` after\n\
+             # burning findings down; the linter fails if any (rule, file) pair\n\
+             # exceeds its allowance here.\n",
+        );
+        for ((rule, file), count) in &self.entries {
+            out.push_str(&format!(
+                "\n[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Split findings into (new, grandfathered). For a `(rule, file)` group
+    /// within its allowance every finding is grandfathered; one over budget
+    /// and the whole group is reported (the linter cannot know which of the
+    /// N+1 findings is the new one).
+    pub fn partition<'a>(&self, findings: &'a [Finding]) -> (Vec<&'a Finding>, Vec<&'a Finding>) {
+        let mut groups: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            groups
+                .entry((f.rule.name().to_string(), f.file.clone()))
+                .or_default()
+                .push(f);
+        }
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for ((rule, file), group) in groups {
+            let allowed = self.entries.get(&(rule, file)).copied().unwrap_or(0);
+            if group.len() > allowed {
+                fresh.extend(group);
+            } else {
+                old.extend(group);
+            }
+        }
+        (fresh, old)
+    }
+
+    /// `(rule, file)` allowances that exceed the current finding count —
+    /// the debt was paid down and the baseline can be ratcheted.
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<(String, String, usize, usize)> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.name().to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        self.entries
+            .iter()
+            .filter_map(|((rule, file), &allowed)| {
+                let actual = counts
+                    .get(&(rule.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                (actual < allowed).then(|| (rule.clone(), file.clone(), allowed, actual))
+            })
+            .collect()
+    }
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or(format!(
+            "baseline line {}: expected a quoted string",
+            line_no + 1
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let findings = vec![
+            finding(Rule::PanicSafety, "a.rs", 1),
+            finding(Rule::PanicSafety, "a.rs", 9),
+            finding(Rule::FloatCmp, "b.rs", 2),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let b2 = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, b2);
+        assert_eq!(b2.allowed(Rule::PanicSafety, "a.rs"), 2);
+        assert_eq!(b2.allowed(Rule::FloatCmp, "b.rs"), 1);
+        assert_eq!(b2.allowed(Rule::Determinism, "a.rs"), 0);
+    }
+
+    #[test]
+    fn partition_respects_allowance() {
+        let old = vec![
+            finding(Rule::PanicSafety, "a.rs", 1),
+            finding(Rule::PanicSafety, "a.rs", 9),
+        ];
+        let b = Baseline::from_findings(&old);
+        // Same count: all grandfathered.
+        let (fresh, grand) = b.partition(&old);
+        assert!(fresh.is_empty());
+        assert_eq!(grand.len(), 2);
+        // One more in the same file: the whole group is reported.
+        let mut more = old.clone();
+        more.push(finding(Rule::PanicSafety, "a.rs", 40));
+        let (fresh, _) = b.partition(&more);
+        assert_eq!(fresh.len(), 3);
+        // A different rule in the same file is new.
+        let other = vec![finding(Rule::FloatCmp, "a.rs", 4)];
+        let (fresh, _) = b.partition(&other);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_detect_paydown() {
+        let b = Baseline::from_findings(&[
+            finding(Rule::PanicSafety, "a.rs", 1),
+            finding(Rule::PanicSafety, "a.rs", 2),
+        ]);
+        let stale = b.stale_entries(&[finding(Rule::PanicSafety, "a.rs", 1)]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].2, 2);
+        assert_eq!(stale[0].3, 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Baseline::parse("count = 1\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"nope\"\nfile = \"a\"\ncount = 1\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"float-cmp\"\n").is_err());
+        assert!(
+            Baseline::parse("[[allow]]\nrule = \"float-cmp\"\nfile = \"a\"\ncount = x\n").is_err()
+        );
+        assert!(Baseline::parse("").is_ok());
+    }
+}

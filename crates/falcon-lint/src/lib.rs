@@ -1,0 +1,47 @@
+//! `falcon-lint`: the workspace invariant checker.
+//!
+//! The Falcon reproduction rests on two invariants the Rust compiler cannot
+//! check: the fluid-flow simulator must be **deterministic under a seed**
+//! (rerunning any figure with the same scenario must be bit-identical), and
+//! the optimizer/transfer layers must **degrade instead of panic** (a
+//! single `unwrap()` on a probe path defeats the whole fault-recovery
+//! design). This crate encodes those invariants — plus lock hygiene and
+//! float discipline — as an enforced static-analysis pass:
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `determinism` | `Instant`/`SystemTime`, `thread_rng`/`from_entropy`, `HashMap`/`HashSet` in `falcon-sim`/`falcon-core`/`falcon-gp`/`falcon-tcp` |
+//! | `panic-safety` | `unwrap`/`expect`/`panic!`/`unreachable!`/`assert!`-family in non-test library code |
+//! | `lock-across-blocking` | a `Mutex` guard held across `sleep`/`join`/channel ops/blocking I/O |
+//! | `float-cmp` | exact `==`/`!=` against a float literal |
+//!
+//! Implementation: a hand-written lexer ([`lexer`]) strips comments and
+//! string literals and tokenizes; the rule engine ([`rules`], [`engine`])
+//! pattern-matches the token stream with test-region masking. No syn, no
+//! regex, no external dependencies — the container builds offline.
+//!
+//! Escape hatches, in preference order:
+//!
+//! 1. fix the code;
+//! 2. inline `// falcon-lint::allow(rule, reason = "...")` on or above the
+//!    offending line (the reason is mandatory);
+//! 3. the checked-in [`baseline::Baseline`] (`lint-baseline.toml`), a
+//!    ratchet for pre-existing findings: counts may only go down.
+//!
+//! Run it three ways: `cargo run -p falcon-lint`, the tier-1 integration
+//! test `tests/lint.rs` at the workspace root, and the CI `falcon-lint`
+//! job.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{lint_source, lint_workspace};
+pub use rules::{Finding, Rule, DETERMINISM_CRATES};
+
+/// Name of the checked-in baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";

@@ -1,0 +1,122 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p falcon-lint                  # lint, enforce the baseline
+//! cargo run -p falcon-lint -- --fix-baseline  # regenerate lint-baseline.toml
+//! cargo run -p falcon-lint -- --no-baseline   # show every finding
+//! cargo run -p falcon-lint -- --root <dir>    # lint another checkout
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use falcon_lint::{Baseline, BASELINE_FILE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fix_baseline = false;
+    let mut no_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fix-baseline" => fix_baseline = true,
+            "--no-baseline" => no_baseline = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "falcon-lint: workspace invariant checker\n\
+                     \n\
+                     USAGE: falcon-lint [--fix-baseline] [--no-baseline] [--root <dir>]\n\
+                     \n\
+                     Rules: determinism, panic-safety, lock-across-blocking, float-cmp.\n\
+                     Suppress inline with: // falcon-lint::allow(rule, reason = \"...\")"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let findings = match falcon_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("falcon-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if fix_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("falcon-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} grandfathered finding(s) across {} rule/file pair(s))",
+            baseline_path.display(),
+            findings.len(),
+            baseline.pairs()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if no_baseline {
+        Baseline::empty()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("falcon-lint: bad {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Baseline::empty(),
+        }
+    };
+
+    let (fresh, grandfathered) = baseline.partition(&findings);
+    for f in &fresh {
+        println!("{f}");
+    }
+    let stale = baseline.stale_entries(&findings);
+    for (rule, file, allowed, actual) in &stale {
+        println!(
+            "note: baseline allows {allowed} [{rule}] finding(s) in {file}, found {actual} — \
+             ratchet down with --fix-baseline"
+        );
+    }
+    println!(
+        "falcon-lint: {} new finding(s), {} grandfathered, {} stale baseline entr(ies)",
+        fresh.len(),
+        grandfathered.len(),
+        stale.len()
+    );
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,459 @@
+//! The rule families and their token-stream implementations.
+//!
+//! Every rule is a linear scan over the lexed token stream with a
+//! test-region mask (tokens inside `#[cfg(test)]` modules and `#[test]`
+//! functions are exempt — test code may unwrap and compare floats freely).
+//! The rules are deliberately heuristic: they trade soundness for zero
+//! dependencies and zero configuration, and every false positive has an
+//! escape hatch (`// falcon-lint::allow(rule, reason = "...")`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// The rule families falcon-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Wall-clock time, ambient RNG, or iteration-order-dependent
+    /// containers in the deterministic crates.
+    Determinism,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/asserts in non-test
+    /// library code.
+    PanicSafety,
+    /// A mutex guard held across a blocking operation.
+    LockAcrossBlocking,
+    /// `==`/`!=` against a floating-point literal.
+    FloatCmp,
+    /// A malformed `falcon-lint::allow(...)` directive.
+    BadSuppression,
+}
+
+impl Rule {
+    /// Stable rule name used in suppressions and the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic-safety",
+            Rule::LockAcrossBlocking => "lock-across-blocking",
+            Rule::FloatCmp => "float-cmp",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parse a rule name (as written in suppressions/baseline).
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Some(match s {
+            "determinism" => Rule::Determinism,
+            "panic-safety" => Rule::PanicSafety,
+            "lock-across-blocking" => Rule::LockAcrossBlocking,
+            "float-cmp" => Rule::FloatCmp,
+            "bad-suppression" => Rule::BadSuppression,
+            _ => return None,
+        })
+    }
+
+    /// All enforceable rule families (excludes the internal
+    /// [`Rule::BadSuppression`]).
+    pub const FAMILIES: [Rule; 4] = [
+        Rule::Determinism,
+        Rule::PanicSafety,
+        Rule::LockAcrossBlocking,
+        Rule::FloatCmp,
+    ];
+}
+
+/// One lint finding, pre- or post-suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Crates whose library code must be deterministic under a seed (the
+/// paper's figures are rerun-comparable only if these never read ambient
+/// entropy or wall-clock time). Wall-clock time is legal only in
+/// `falcon-net`/`falcon-transfer`/`falcon-cli`, behind the harness seam.
+pub const DETERMINISM_CRATES: [&str; 4] = ["falcon-sim", "falcon-core", "falcon-gp", "falcon-tcp"];
+
+/// Identifiers that read wall-clock time.
+const WALL_CLOCK: [&str; 2] = ["Instant", "SystemTime"];
+/// Identifiers that read ambient entropy.
+const AMBIENT_RNG: [&str; 3] = ["thread_rng", "from_entropy", "random"];
+/// Containers whose iteration order is nondeterministic across runs.
+const ORDER_HAZARD: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Method names that block the calling thread (used by
+/// [`Rule::LockAcrossBlocking`]).
+const BLOCKING_METHODS: [&str; 10] = [
+    "sleep",
+    "join",
+    "recv",
+    "recv_timeout",
+    "send",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "accept",
+    "wait",
+];
+/// Free/associated functions that block (matched as `ident (`).
+const BLOCKING_CALLS: [&str; 2] = ["sleep", "connect"];
+
+/// Scan context shared by all rules for one file.
+pub struct FileInput<'a> {
+    /// Tokens of the file, comments and strings stripped.
+    pub tokens: &'a [Token],
+    /// `test_mask[i]` is true when token `i` is inside a test region.
+    pub test_mask: &'a [bool],
+    /// Name of the crate the file belongs to (e.g. `falcon-sim`).
+    pub crate_name: &'a str,
+    /// Repo-relative path.
+    pub file: &'a str,
+}
+
+impl FileInput<'_> {
+    fn finding(&self, rule: Rule, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Run every rule family over one file.
+pub fn check_file(input: &FileInput<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_determinism(input, &mut out);
+    check_panic_safety(input, &mut out);
+    check_lock_across_blocking(input, &mut out);
+    check_float_cmp(input, &mut out);
+    out
+}
+
+/// Rule 1: determinism. The seeded crates must not read wall-clock time or
+/// ambient entropy, and must not use iteration-order-dependent containers.
+fn check_determinism(input: &FileInput<'_>, out: &mut Vec<Finding>) {
+    if !DETERMINISM_CRATES.contains(&input.crate_name) {
+        return;
+    }
+    for (i, tok) in input.tokens.iter().enumerate() {
+        if input.test_mask[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if WALL_CLOCK.contains(&name) {
+            out.push(input.finding(
+                Rule::Determinism,
+                tok.line,
+                format!(
+                    "`{name}` reads wall-clock time; {} must be deterministic under a seed \
+                     (route time through the harness, or move this to falcon-net/falcon-transfer)",
+                    input.crate_name
+                ),
+            ));
+        } else if AMBIENT_RNG.contains(&name) {
+            // `random` is only a hazard as a call (`random()`), not as a
+            // field or module name.
+            if name == "random" && !next_is(input.tokens, i, "(") {
+                continue;
+            }
+            out.push(input.finding(
+                Rule::Determinism,
+                tok.line,
+                format!(
+                    "`{name}` draws ambient entropy; use an explicitly seeded `StdRng` \
+                     so reruns are bit-identical"
+                ),
+            ));
+        } else if ORDER_HAZARD.contains(&name) {
+            out.push(input.finding(
+                Rule::Determinism,
+                tok.line,
+                format!(
+                    "`{name}` iterates in a nondeterministic order; use `BTreeMap`/`BTreeSet` \
+                     or a `Vec` so traces are rerun-stable"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 2: panic-safety. Library code on the probe/transfer path must
+/// degrade, not abort: no `unwrap`, `expect`, `panic!`, `unreachable!`,
+/// `todo!`, `unimplemented!`, or `assert!`-family macros outside tests.
+/// (`debug_assert!` is fine: it vanishes in release builds.)
+fn check_panic_safety(input: &FileInput<'_>, out: &mut Vec<Finding>) {
+    for (i, tok) in input.tokens.iter().enumerate() {
+        if input.test_mask[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let is_method = matches!(name, "unwrap" | "expect")
+            && prev_is(input.tokens, i, ".")
+            && next_is(input.tokens, i, "(");
+        let is_macro = matches!(
+            name,
+            "panic"
+                | "unreachable"
+                | "todo"
+                | "unimplemented"
+                | "assert"
+                | "assert_eq"
+                | "assert_ne"
+        ) && next_is(input.tokens, i, "!");
+        if is_method {
+            out.push(input.finding(
+                Rule::PanicSafety,
+                tok.line,
+                format!(
+                    "`.{name}()` aborts the transfer on failure; return a `Result`, \
+                     provide a fallback, or suppress with a reason"
+                ),
+            ));
+        } else if is_macro {
+            out.push(input.finding(
+                Rule::PanicSafety,
+                tok.line,
+                format!(
+                    "`{name}!` panics in library code; prefer `debug_assert!` for internal \
+                     invariants or an error return for input validation"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 3: concurrency hygiene. A mutex guard held across a blocking
+/// operation (sleep, join, channel send/recv, blocking I/O) serializes
+/// every other path through that lock — in falcon-net that means probe
+/// sampling stalls behind worker reconnects.
+///
+/// Heuristic: a `let g = ....lock();` binding keeps its guard alive until
+/// the end of the enclosing block or an explicit `drop(g)`; a temporary
+/// `....lock().method(...)` holds it to the end of the statement. Any
+/// blocking call inside the live range fires.
+fn check_lock_across_blocking(input: &FileInput<'_>, out: &mut Vec<Finding>) {
+    let toks = input.tokens;
+    for i in 0..toks.len() {
+        if input.test_mask[i] {
+            continue;
+        }
+        // Match `.lock()`.
+        if !(toks[i].is_ident("lock")
+            && prev_is(toks, i, ".")
+            && next_is(toks, i, "(")
+            && i + 2 < toks.len()
+            && toks[i + 2].is_punct(")"))
+        {
+            continue;
+        }
+        // The binding is only the guard itself when `.lock()` (modulo
+        // `.unwrap()`/`.expect(...)`) is the whole initializer; in
+        // `let v = x.lock().drain(..).collect();` the guard is a temporary
+        // that dies at the `;`.
+        let guard = binding_name(toks, i).filter(|_| binds_guard_directly(toks, i + 2));
+        let range_end = match &guard {
+            Some(name) => guard_block_end(toks, i, name),
+            None => statement_end(toks, i),
+        };
+        let mut j = i + 3;
+        while j < range_end.min(toks.len()) {
+            let t = &toks[j];
+            if t.kind == TokenKind::Ident {
+                let blocking_method = BLOCKING_METHODS.contains(&t.text.as_str())
+                    && prev_is(toks, j, ".")
+                    && next_is(toks, j, "(");
+                let blocking_call = BLOCKING_CALLS.contains(&t.text.as_str())
+                    && !prev_is(toks, j, ".")
+                    && next_is(toks, j, "(");
+                if blocking_method || blocking_call {
+                    let held = guard.as_deref().unwrap_or("<temporary>");
+                    out.push(input.finding(
+                        Rule::LockAcrossBlocking,
+                        t.line,
+                        format!(
+                            "blocking `{}` while mutex guard `{held}` (locked on line {}) is \
+                             held; drop the guard first so other threads are not serialized \
+                             behind the block",
+                            t.text, toks[i].line
+                        ),
+                    ));
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Rule 4: float discipline. Exact `==`/`!=` against a float literal is
+/// almost always a latent bug on a measured quantity; use a tolerance
+/// helper. (Comparisons between two float *variables* are out of reach for
+/// a lexer — this catches the literal form, which is the common one.)
+fn check_float_cmp(input: &FileInput<'_>, out: &mut Vec<Finding>) {
+    for (i, tok) in input.tokens.iter().enumerate() {
+        if input.test_mask[i] || tok.kind != TokenKind::Punct {
+            continue;
+        }
+        if tok.text != "==" && tok.text != "!=" {
+            continue;
+        }
+        let prev_float = i > 0 && input.tokens[i - 1].kind == TokenKind::Float;
+        let next_float = input
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Float);
+        if prev_float || next_float {
+            out.push(input.finding(
+                Rule::FloatCmp,
+                tok.line,
+                format!(
+                    "exact `{}` against a float literal; compare with a tolerance \
+                     (e.g. `(a - b).abs() < EPS`) or suppress with a reason",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Previous non-trivial token is the punct `p`.
+fn prev_is(toks: &[Token], i: usize, p: &str) -> bool {
+    i > 0 && toks[i - 1].is_punct(p)
+}
+
+/// Next token is the punct `p`.
+fn next_is(toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(p))
+}
+
+/// True when the `.lock()` call whose closing paren sits at `close` is the
+/// entire initializer expression, optionally chained through `.unwrap()` or
+/// `.expect(...)` — i.e. the `let` binds the guard itself. Any other
+/// trailing method call consumes a temporary guard instead.
+fn binds_guard_directly(toks: &[Token], close: usize) -> bool {
+    let mut j = close + 1;
+    loop {
+        match toks.get(j) {
+            Some(t) if t.is_punct(";") => return true,
+            Some(t) if t.is_punct(".") => {
+                let chains_guard = toks
+                    .get(j + 1)
+                    .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"));
+                if !chains_guard || !toks.get(j + 2).is_some_and(|t| t.is_punct("(")) {
+                    return false;
+                }
+                let mut depth = 0i32;
+                let mut k = j + 2;
+                loop {
+                    match toks.get(k) {
+                        Some(t) if t.is_punct("(") => depth += 1,
+                        Some(t) if t.is_punct(")") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => return false,
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// If the statement containing the `.lock()` at `i` is a `let` binding,
+/// return the bound identifier. Scans backwards to the statement start.
+fn binding_name(toks: &[Token], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return None;
+        }
+        if t.is_ident("let") {
+            // `let [mut] name = ...`
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            return toks
+                .get(k)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+        }
+    }
+    None
+}
+
+/// Token index just past the end of the guard's live range for a `let`
+/// binding at `.lock()` token `i`: the close of the enclosing block, or an
+/// explicit `drop(name)`, whichever comes first.
+fn guard_block_end(toks: &[Token], i: usize, name: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if depth == 0
+            && t.is_ident("drop")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(j + 2).is_some_and(|t| t.is_ident(name))
+        {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Token index just past the end of the current statement (next `;` at the
+/// current nesting depth).
+fn statement_end(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_punct(";") && depth <= 0 {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len()
+}

@@ -1,0 +1,27 @@
+//! Fixture: a determinism-scoped crate reaching for wall clocks, ambient
+//! randomness, and iteration-order-dependent containers. Linted as if it
+//! lived in `falcon-sim`.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

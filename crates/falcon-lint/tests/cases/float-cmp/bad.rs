@@ -1,0 +1,9 @@
+//! Fixture: exact floating-point equality against literals.
+
+pub fn is_done(progress: f64) -> bool {
+    progress == 1.0
+}
+
+pub fn is_stalled(rate_mbps: f64) -> bool {
+    rate_mbps != 0.0
+}

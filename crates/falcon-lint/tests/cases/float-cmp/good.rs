@@ -1,0 +1,21 @@
+//! Fixture: tolerance comparisons, integer equality, and a justified
+//! sentinel check.
+
+const EPS: f64 = 1e-9;
+
+pub fn is_done(progress: f64) -> bool {
+    (progress - 1.0).abs() < EPS
+}
+
+pub fn is_stalled(rate_mbps: f64) -> bool {
+    rate_mbps.abs() < EPS
+}
+
+pub fn same_count(a: u32, b: u32) -> bool {
+    a == b
+}
+
+pub fn noise_disabled(sigma: f64) -> bool {
+    // falcon-lint::allow(float-cmp, reason = "fixture: exact-zero sentinel, never the result of arithmetic")
+    sigma == 0.0
+}

@@ -1,0 +1,33 @@
+//! Fixture: mutex guards held across blocking operations. Uses the
+//! workspace's non-poisoning `sync::Mutex` idiom (`.lock()` returns the
+//! guard directly).
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::sync::Mutex;
+
+pub struct Pool {
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    inbox: Mutex<std::sync::mpsc::Receiver<u64>>,
+}
+
+impl Pool {
+    pub fn drain(&self) {
+        let mut guard = self.workers.lock();
+        for w in guard.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    pub fn nap(&self) {
+        let guard = self.workers.lock();
+        std::thread::sleep(Duration::from_millis(5));
+        drop(guard);
+    }
+
+    pub fn poll(&self) -> Option<u64> {
+        let rx = self.inbox.lock();
+        rx.recv().ok()
+    }
+}

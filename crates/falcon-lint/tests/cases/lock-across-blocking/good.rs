@@ -1,0 +1,41 @@
+//! Fixture: the lock-hygienic counterparts — retire under the lock, block
+//! outside it.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::sync::Mutex;
+
+pub struct Pool {
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    inbox: Mutex<std::sync::mpsc::Receiver<u64>>,
+}
+
+impl Pool {
+    pub fn drain(&self) {
+        let retired: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock();
+            guard.drain(..).collect()
+        };
+        for w in retired {
+            let _ = w.join();
+        }
+    }
+
+    pub fn nap(&self) {
+        let n = {
+            let guard = self.workers.lock();
+            guard.len()
+        };
+        if n == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    pub fn poll(&self) -> Option<u64> {
+        let guard = self.inbox.lock();
+        let probe = guard.try_recv().ok();
+        drop(guard);
+        probe
+    }
+}

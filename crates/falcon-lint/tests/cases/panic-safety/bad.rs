@@ -1,0 +1,24 @@
+//! Fixture: library code that aborts instead of degrading.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("numeric")
+}
+
+pub fn pick(kind: u8) -> &'static str {
+    match kind {
+        0 => "hill-climbing",
+        1 => "bayesian",
+        _ => unreachable!("unknown optimizer kind"),
+    }
+}
+
+pub fn validate(concurrency: u32) {
+    assert!(concurrency >= 1, "need at least one worker");
+    if concurrency > 100 {
+        panic!("concurrency cap exceeded");
+    }
+}

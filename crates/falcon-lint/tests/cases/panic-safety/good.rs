@@ -1,0 +1,37 @@
+//! Fixture: the graceful counterparts — Results, fallbacks, debug_asserts,
+//! and unwraps confined to test code.
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn pick(kind: u8) -> &'static str {
+    match kind {
+        0 => "hill-climbing",
+        1 => "bayesian",
+        _ => "unknown",
+    }
+}
+
+pub fn validate(concurrency: u32) -> u32 {
+    debug_assert!(concurrency <= 100, "suspicious concurrency");
+    concurrency.clamp(1, 100)
+}
+
+// falcon-lint::allow(panic-safety, reason = "fixture: demonstrates a justified inline suppression")
+pub fn sanctioned(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_idiomatic_here() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

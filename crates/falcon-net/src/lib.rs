@@ -19,6 +19,8 @@
 //! time, so the same [`falcon_transfer::Runner`] drives simulated and real
 //! experiments.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod harness;
 pub mod receiver;
 pub mod sender;

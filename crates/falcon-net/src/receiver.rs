@@ -38,7 +38,12 @@ impl Receiver {
     /// than `per_conn_mbps` — the per-process write cap of a parallel file
     /// system, live.
     pub fn start_throttled(per_conn_mbps: f64) -> std::io::Result<Self> {
-        assert!(per_conn_mbps > 0.0);
+        if per_conn_mbps <= 0.0 || per_conn_mbps.is_nan() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("per-connection cap must be positive, got {per_conn_mbps}"),
+            ));
+        }
         Self::start_inner(Some(per_conn_mbps))
     }
 

@@ -141,19 +141,24 @@ impl LoopbackTransfer {
         *current = settings;
         drop(current);
 
-        if reconnect {
-            for w in workers.drain(..) {
-                w.stop.store(true, Ordering::Relaxed);
-                let _ = w.handle.join();
-            }
-        }
+        // Retire under the lock, join outside it: joining while holding the
+        // pool mutex would serialize samplers and respawns behind worker
+        // shutdown.
+        let mut retired: Vec<Worker> = if reconnect {
+            workers.drain(..).collect()
+        } else {
+            Vec::new()
+        };
         while workers.len() > target {
-            let w = workers.pop().expect("len checked");
-            w.stop.store(true, Ordering::Relaxed);
-            let _ = w.handle.join();
+            retired.extend(workers.pop());
         }
         while workers.len() < target {
             workers.push(self.spawn_worker(parallelism));
+        }
+        drop(workers);
+        for w in retired {
+            w.stop.store(true, Ordering::Relaxed);
+            let _ = w.handle.join();
         }
     }
 
@@ -185,9 +190,10 @@ impl LoopbackTransfer {
         let parallelism = settings.parallelism.max(1);
         let mut workers = self.workers.lock();
         let old: Vec<Worker> = std::mem::take(&mut *workers);
+        let mut dead = Vec::new();
         for w in old {
             if w.handle.is_finished() {
-                let _ = w.handle.join();
+                dead.push(w);
             } else {
                 workers.push(w);
             }
@@ -196,6 +202,12 @@ impl LoopbackTransfer {
         while workers.len() < target {
             workers.push(self.spawn_worker(parallelism));
             respawned += 1;
+        }
+        drop(workers);
+        // The handles are finished, but join still synchronizes with thread
+        // teardown — keep it off the pool lock.
+        for w in dead {
+            let _ = w.handle.join();
         }
         respawned
     }
@@ -344,8 +356,8 @@ impl LoopbackTransfer {
     /// Stop all workers.
     pub fn shutdown(&self) {
         self.shared.stop_all.store(true, Ordering::Relaxed);
-        let mut workers = self.workers.lock();
-        for w in workers.drain(..) {
+        let retired: Vec<Worker> = self.workers.lock().drain(..).collect();
+        for w in retired {
             w.stop.store(true, Ordering::Relaxed);
             let _ = w.handle.join();
         }

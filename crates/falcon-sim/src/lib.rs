@@ -26,6 +26,8 @@
 //!
 //! The simulator is deterministic given a seed.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod alloc;
 pub mod env;
 pub mod events;

@@ -275,11 +275,7 @@ impl Simulation {
             self.events[self.next_event - 1].at_s
         );
         self.events.push(event);
-        self.events[self.next_event..].sort_by(|a, b| {
-            a.at_s
-                .partial_cmp(&b.at_s)
-                .expect("event time must not be NaN")
-        });
+        self.events[self.next_event..].sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
     }
 
     /// Schedule several events at once.
@@ -631,6 +627,7 @@ impl Simulation {
     /// One multiplicative noise factor `1 + σ·Z` (Box–Muller).
     fn sample_noise(&mut self) -> f64 {
         let sigma = self.env.noise_std_frac;
+        // falcon-lint::allow(float-cmp, reason = "exact-zero sentinel means noise disabled; never the result of arithmetic")
         if sigma == 0.0 {
             return 1.0;
         }

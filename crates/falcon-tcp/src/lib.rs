@@ -20,6 +20,9 @@
 //! All are steady-state *fluid* models; transient convergence (slow start,
 //! AIMD ramp) is approximated by [`ramp::RateRamp`].
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cca;
 pub mod loss;
 pub mod ramp;

@@ -22,6 +22,8 @@
 //!   straggler analysis on heterogeneous datasets.
 //! - [`stats`] — summary statistics and resampling for trace analysis.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod dataset;
 pub mod harness;
 pub mod job;

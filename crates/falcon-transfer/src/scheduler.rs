@@ -82,11 +82,11 @@ pub fn simulate(
     let mut finish = vec![0.0f64; threads as usize];
     for size in &order {
         // Next free worker takes the file.
-        let (idx, _) = finish
+        let idx = finish
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .expect("at least one thread");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         finish[idx] += *size as f64 * 8.0 / (per_thread_mbps * 1e6);
     }
     let makespan = finish.iter().cloned().fold(0.0, f64::max);

@@ -32,7 +32,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
