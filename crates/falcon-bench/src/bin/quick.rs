@@ -1,0 +1,286 @@
+//! Reduced-iteration benchmark pass over the six bench groups, writing a
+//! machine-readable `BENCH.json` perf trajectory.
+//!
+//! ```text
+//! quick [output-path]     # default: BENCH.json in the current directory
+//! ```
+//!
+//! The criterion benches in `benches/` remain the statistically careful
+//! runs; this binary exists so CI (and the PR log) can archive numbers
+//! without parsing stdout. Each benchmark takes ~25 ms, the whole pass a
+//! few seconds.
+
+use std::hint::black_box;
+
+use falcon_bench::QuickBench;
+use falcon_core::{
+    BayesianMpOptimizer, BayesianOptimizer, BoMpParams, BoParams, CgdParams,
+    ConjugateGradientOptimizer, FalconAgent, GdParams, GradientDescentOptimizer, HcParams,
+    HillClimbingOptimizer, Observation, OnlineOptimizer, ProbeMetrics, SearchBounds,
+    TransferSettings, UtilityFunction,
+};
+use falcon_gp::{Acquisition, AcquisitionKind, GpRegressor, Matern52};
+use falcon_sim::alloc::{max_min_allocate, StreamDemand};
+use falcon_sim::{AgentSettings, Environment, Simulation};
+use falcon_tcp::BottleneckLossModel;
+
+fn observation(cc: u32) -> Observation {
+    let m = ProbeMetrics::from_aggregate(
+        TransferSettings::with_concurrency(cc),
+        f64::from(cc.min(48)) * 21.0,
+        0.001,
+        5.0,
+    );
+    Observation {
+        settings: m.settings,
+        utility: UtilityFunction::falcon_default().evaluate(&m),
+        metrics: m,
+    }
+}
+
+fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 64) as f64]).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let n = x[0];
+            n * 21.0f64.min(1008.0 / n.max(1.0)) / 1.02f64.powf(n)
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Emulab-48 synthetic aggregate throughput.
+fn landscape(cc: u32) -> f64 {
+    f64::from(cc) * 21.0f64.min(1008.0 / f64::from(cc))
+}
+
+/// Drive an agent until its proposal enters [44, 52]; returns probe count.
+fn probes_to_converge(mut agent: FalconAgent, limit: usize) -> usize {
+    let mut cc = agent.initial_settings().concurrency;
+    for i in 0..limit {
+        if (44..=52).contains(&cc) {
+            return i;
+        }
+        let m = ProbeMetrics::from_aggregate(
+            TransferSettings::with_concurrency(cc),
+            landscape(cc),
+            0.0,
+            5.0,
+        );
+        cc = agent.observe(m).concurrency;
+    }
+    limit
+}
+
+fn bench_utility(q: &mut QuickBench) {
+    let m = ProbeMetrics::from_aggregate(
+        TransferSettings {
+            concurrency: 24,
+            parallelism: 4,
+            pipelining: 8,
+        },
+        9_600.0,
+        0.004,
+        5.0,
+    );
+    for (name, u) in [
+        ("eq1_throughput", UtilityFunction::Throughput),
+        ("eq4_nonlinear_regret", UtilityFunction::falcon_default()),
+        ("eq7_multi_param", UtilityFunction::falcon_multi_param()),
+    ] {
+        q.bench("utility", name, || black_box(u.evaluate(black_box(&m))));
+    }
+    let u = UtilityFunction::falcon_default();
+    q.bench("utility", "estimated_curve_64", || {
+        black_box(u.estimated_curve(64, |n| f64::from(n.min(48)) * 21.0))
+    });
+}
+
+fn bench_gp(q: &mut QuickBench) {
+    let (xs, ys) = training_set(20);
+    q.bench("gp", "fit_n20", || {
+        black_box(GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3))
+    });
+    // The incremental path at the same window size: clone a 19-point model
+    // and append the 20th observation — the clone is part of the measured
+    // cost, so the fit/extend ratio below is a *lower* bound on the
+    // algorithmic speedup.
+    let base = match GpRegressor::fit(&xs[..19], &ys[..19], Matern52::new(1.0, 10.0), 1e-3) {
+        Ok(gp) => gp,
+        Err(e) => {
+            eprintln!("gp fit failed during bench setup: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    q.bench("gp", "clone_n19_baseline", || black_box(base.clone()));
+    q.bench("gp", "extend_to_n20_incl_clone", || {
+        let mut gp = base.clone();
+        if gp.extend(xs[19].clone(), ys[19]).is_err() {
+            std::process::exit(1);
+        }
+        black_box(gp)
+    });
+    q.bench("gp", "fit_auto_window20", || {
+        black_box(GpRegressor::fit_auto(&xs, &ys, 0.02))
+    });
+    let full = match GpRegressor::fit(&xs, &ys, Matern52::new(1.0, 10.0), 1e-3) {
+        Ok(gp) => gp,
+        Err(e) => {
+            eprintln!("gp fit failed during bench setup: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    q.bench("gp", "predict_window20", || {
+        black_box(full.predict(black_box(&[31.0])))
+    });
+    let mut scratch = falcon_gp::PredictScratch::default();
+    q.bench("gp", "predict_into_window20", || {
+        black_box(full.predict_into(black_box(&[31.0]), &mut scratch))
+    });
+    let candidates: Vec<Vec<f64>> = (1..=100).map(|i| vec![f64::from(i)]).collect();
+    let acq = Acquisition::with_defaults(AcquisitionKind::ExpectedImprovement);
+    q.bench("gp", "acquisition_argmax_100_candidates", || {
+        black_box(acq.argmax(&full, &candidates, 300.0))
+    });
+}
+
+fn bench_simulator(q: &mut QuickBench) {
+    // Steady state: settings fixed across steps, so after the first step
+    // the demand fingerprint never changes and the allocator is skipped.
+    let mut sim = Simulation::new(Environment::emulab(21.0), 1);
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(100));
+    q.bench("simulator", "step_100conn_steady", || {
+        sim.step(black_box(0.1))
+    });
+    // Churn: concurrency flips every step, so every step pays the full
+    // allocation; the steady/churn gap is the allocation-skip win.
+    let mut sim = Simulation::new(Environment::emulab(21.0), 1);
+    let a = sim.add_agent();
+    let mut flip = false;
+    q.bench("simulator", "step_100conn_churn", || {
+        flip = !flip;
+        sim.set_settings(
+            a,
+            AgentSettings::with_concurrency(if flip { 100 } else { 99 }),
+        );
+        sim.step(black_box(0.1))
+    });
+    let mut sim = Simulation::new(Environment::hpclab(), 1);
+    for _ in 0..3 {
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(16));
+    }
+    q.bench("simulator", "step_three_agents_steady", || {
+        sim.step(black_box(0.1))
+    });
+    let m = BottleneckLossModel::default();
+    q.bench("simulator", "loss_model_eval", || {
+        black_box(m.loss_rate(
+            black_box(320.0),
+            black_box(100.0),
+            black_box(32),
+            black_box(0.03),
+            black_box(1460.0),
+        ))
+    });
+    let streams: Vec<StreamDemand> = (0..100)
+        .map(|i| StreamDemand {
+            cap_mbps: 10.0 + (i % 7) as f64,
+            resource_mask: 0b11111,
+        })
+        .collect();
+    let caps = [4000.0, 10_000.0, 1000.0, 10_000.0, 4000.0];
+    q.bench("simulator", "max_min_allocate_100", || {
+        black_box(max_min_allocate(&streams, &caps))
+    });
+}
+
+fn bench_optimizers(q: &mut QuickBench) {
+    let mut opt = HillClimbingOptimizer::new(HcParams::new(100));
+    let mut cc = opt.initial().concurrency;
+    q.bench("optimizers", "decision_hill_climbing", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
+    let mut cc = opt.initial().concurrency;
+    q.bench("optimizers", "decision_gradient_descent", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    let mut opt = BayesianOptimizer::new(BoParams::new(100));
+    let mut cc = opt.initial().concurrency;
+    for _ in 0..25 {
+        cc = opt.next(&observation(cc)).concurrency;
+    }
+    q.bench("optimizers", "decision_bayesian_window20", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    let mut opt = BayesianMpOptimizer::new(BoMpParams::new(32, 8));
+    let mut s = opt.initial();
+    for _ in 0..25 {
+        s = opt.next(&observation(s.concurrency));
+    }
+    q.bench("optimizers", "decision_bayesian_mp_32x8", || {
+        let next = opt.next(black_box(&observation(s.concurrency)));
+        s = next;
+        black_box(next)
+    });
+    let mut opt =
+        ConjugateGradientOptimizer::new(CgdParams::new(SearchBounds::multi_parameter(64, 8, 32)));
+    let mut s = opt.initial();
+    q.bench("optimizers", "decision_conjugate_gradient", || {
+        let next = opt.next(black_box(&observation(s.concurrency)));
+        s = next;
+        black_box(next)
+    });
+}
+
+fn bench_convergence(q: &mut QuickBench) {
+    q.bench("convergence", "converge_gradient_descent", || {
+        black_box(probes_to_converge(FalconAgent::gradient_descent(100), 400))
+    });
+    q.bench("convergence", "converge_bayesian", || {
+        black_box(probes_to_converge(FalconAgent::bayesian(100, 7), 400))
+    });
+}
+
+fn bench_figures(q: &mut QuickBench) {
+    q.bench("figures", "table1", || {
+        black_box(falcon_experiments::table1())
+    });
+    q.bench("figures", "fig6a_analytic", || {
+        black_box(falcon_experiments::figs6_8::fig6a())
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH.json".to_string());
+    let mut q = QuickBench::new();
+    bench_utility(&mut q);
+    bench_gp(&mut q);
+    bench_simulator(&mut q);
+    bench_optimizers(&mut q);
+    bench_convergence(&mut q);
+    bench_figures(&mut q);
+
+    for r in q.results() {
+        println!(
+            "{:<12} {:<36} median {:>12.1} ns  ({:.2e}/s)",
+            r.group, r.name, r.median_ns, r.throughput_per_s
+        );
+    }
+    if let Err(e) = std::fs::write(&out_path, q.to_json()) {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

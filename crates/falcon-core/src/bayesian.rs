@@ -16,10 +16,11 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use falcon_gp::{GpHedge, GpRegressor};
+use falcon_gp::{GpHedge, PredictScratch};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
+use crate::surrogate::CachedSurrogate;
 
 /// Bayesian Optimization parameters.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +81,14 @@ pub struct BayesianOptimizer {
     current_hi: u32,
     /// Consecutive surrogate decisions that landed near the ceiling.
     near_max_streak: u32,
+    /// GP surrogate reused across probes (`None` until the first full fit,
+    /// or after a fit failure).
+    surrogate: Option<CachedSurrogate>,
+    /// Candidate grid `lo..=candidates_hi`, rebuilt only when the ceiling
+    /// moves.
+    candidates: Vec<Vec<f64>>,
+    candidates_hi: u32,
+    predict_scratch: PredictScratch,
 }
 
 impl BayesianOptimizer {
@@ -98,6 +107,10 @@ impl BayesianOptimizer {
             probes_issued: 1,
             current_hi,
             near_max_streak: 0,
+            surrogate: None,
+            candidates: Vec::new(),
+            candidates_hi: 0,
+            predict_scratch: PredictScratch::default(),
         }
     }
 
@@ -140,31 +153,53 @@ impl BayesianOptimizer {
         }
     }
 
-    fn surrogate_probe(&mut self) -> u32 {
-        let (lo, _) = self.params.bounds.concurrency;
-        let hi = self.current_hi;
-        // Normalize utilities to zero mean / unit variance so kernel
-        // hyper-grids and the noise variance are scale-free.
-        let ys_raw: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
-        let mean = ys_raw.iter().sum::<f64>() / ys_raw.len() as f64;
-        let var = ys_raw.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys_raw.len() as f64;
-        let std = var.sqrt().max(1e-9);
+    /// Full `fit_auto` over the current window; replaces the cached
+    /// surrogate (or clears it on fit failure).
+    fn refit_surrogate(&mut self) {
         let xs: Vec<Vec<f64>> = self
             .history
             .iter()
             .map(|&(n, _)| vec![f64::from(n)])
             .collect();
-        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
+        let ys: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
+        self.surrogate = CachedSurrogate::fit(&xs, &ys, self.params.noise_variance);
+    }
 
-        let Ok(gp) = GpRegressor::fit_auto(&xs, &ys, self.params.noise_variance) else {
+    fn surrogate_probe(&mut self) -> u32 {
+        let (lo, _) = self.params.bounds.concurrency;
+        let hi = self.current_hi;
+
+        // Keep the surrogate current: a full refit every `REFIT_EVERY`
+        // probes (re-windowing and re-normalizing), an O(n²) append of the
+        // newest observation in between.
+        let due_for_refit = self
+            .surrogate
+            .as_ref()
+            .is_none_or(CachedSurrogate::due_for_refit);
+        if due_for_refit {
+            self.refit_surrogate();
+        } else if let (Some(s), Some(&(n, u))) = (self.surrogate.as_mut(), self.history.back()) {
+            if !s.extend(vec![f64::from(n)], u) {
+                self.refit_surrogate();
+            }
+        }
+        let Some(s) = self.surrogate.as_ref() else {
             return self.random_probe();
         };
-        let candidates: Vec<Vec<f64>> = (lo..=hi).map(|n| vec![f64::from(n)]).collect();
-        let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let idx = self.hedge.choose(&gp, &candidates, best_y, &mut self.rng);
+
+        if self.candidates_hi != hi || self.candidates.is_empty() {
+            self.candidates = (lo..=hi).map(|n| vec![f64::from(n)]).collect();
+            self.candidates_hi = hi;
+        }
+        let idx = self
+            .hedge
+            .choose(&s.gp, &self.candidates, s.best_y, &mut self.rng);
         // Reward each portfolio member with the posterior mean of the point
         // it nominated (GP-Hedge update rule).
-        self.hedge.update(|i| gp.predict(&candidates[i]).0);
+        let scratch = &mut self.predict_scratch;
+        let candidates = &self.candidates;
+        self.hedge
+            .update(|i| s.gp.predict_into(&candidates[i], scratch).0);
         let chosen = lo + idx as u32;
         self.maybe_grow_space(chosen);
         chosen
@@ -202,6 +237,9 @@ impl OnlineOptimizer for BayesianOptimizer {
         let (lo, hi) = self.params.bounds.concurrency;
         self.current_hi = self.params.initial_space.map_or(hi, |s| s.clamp(lo, hi));
         self.near_max_streak = 0;
+        self.surrogate = None;
+        self.candidates.clear();
+        self.candidates_hi = 0;
         self.first_probe = self.random_probe();
     }
 }

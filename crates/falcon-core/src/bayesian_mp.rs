@@ -19,10 +19,11 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use falcon_gp::{GpHedge, GpRegressor};
+use falcon_gp::{GpHedge, PredictScratch};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
+use crate::surrogate::CachedSurrogate;
 
 /// Parameters of the 2-D Bayesian search.
 #[derive(Debug, Clone, Copy)]
@@ -74,30 +75,44 @@ pub struct BayesianMpOptimizer {
     params: BoMpParams,
     rng: StdRng,
     candidates: Vec<TransferSettings>,
+    /// Candidate grid as GP query points, precomputed once — the grid is
+    /// fixed for the optimizer's lifetime.
+    points: Vec<Vec<f64>>,
     history: VecDeque<(TransferSettings, f64)>,
     hedge: GpHedge,
     first_probe: TransferSettings,
     probes_issued: usize,
+    /// GP surrogate reused across probes.
+    surrogate: Option<CachedSurrogate>,
+    predict_scratch: PredictScratch,
 }
 
 impl BayesianMpOptimizer {
     /// New search over the candidate grid.
     pub fn new(params: BoMpParams) -> Self {
         let candidates = Self::build_grid(&params);
+        // falcon-lint::allow(panic-safety, reason = "constructor validation; with_connection_cap floors the cap at 1 so (1,1) always qualifies")
         assert!(
             !candidates.is_empty(),
             "connection cap excludes every candidate"
         );
+        let points = candidates
+            .iter()
+            .map(|s| vec![f64::from(s.concurrency), f64::from(s.parallelism)])
+            .collect();
         let mut rng = StdRng::seed_from_u64(params.seed);
         let first_probe = candidates[rng.gen_range(0..candidates.len())];
         BayesianMpOptimizer {
             params,
             rng,
             candidates,
+            points,
             history: VecDeque::new(),
             hedge: GpHedge::new(),
             first_probe,
             probes_issued: 1,
+            surrogate: None,
+            predict_scratch: PredictScratch::default(),
         }
     }
 
@@ -142,28 +157,42 @@ impl BayesianMpOptimizer {
         self.candidates[self.rng.gen_range(0..self.candidates.len())]
     }
 
-    fn surrogate_probe(&mut self) -> TransferSettings {
-        let ys_raw: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
-        let mean = ys_raw.iter().sum::<f64>() / ys_raw.len() as f64;
-        let var = ys_raw.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys_raw.len() as f64;
-        let std = var.sqrt().max(1e-9);
+    /// Full `fit_auto` over the current window; replaces the cached
+    /// surrogate (or clears it on fit failure).
+    fn refit_surrogate(&mut self) {
         let xs: Vec<Vec<f64>> = self
             .history
             .iter()
             .map(|&(s, _)| vec![f64::from(s.concurrency), f64::from(s.parallelism)])
             .collect();
-        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
-        let Ok(gp) = GpRegressor::fit_auto(&xs, &ys, self.params.noise_variance) else {
+        let ys: Vec<f64> = self.history.iter().map(|&(_, u)| u).collect();
+        self.surrogate = CachedSurrogate::fit(&xs, &ys, self.params.noise_variance);
+    }
+
+    fn surrogate_probe(&mut self) -> TransferSettings {
+        // Full refit every `REFIT_EVERY` probes, O(n²) append in between
+        // (see `crate::surrogate`).
+        let due_for_refit = self
+            .surrogate
+            .as_ref()
+            .is_none_or(CachedSurrogate::due_for_refit);
+        if due_for_refit {
+            self.refit_surrogate();
+        } else if let (Some(su), Some(&(s, u))) = (self.surrogate.as_mut(), self.history.back()) {
+            if !su.extend(vec![f64::from(s.concurrency), f64::from(s.parallelism)], u) {
+                self.refit_surrogate();
+            }
+        }
+        let Some(su) = self.surrogate.as_ref() else {
             return self.random_probe();
         };
-        let points: Vec<Vec<f64>> = self
-            .candidates
-            .iter()
-            .map(|s| vec![f64::from(s.concurrency), f64::from(s.parallelism)])
-            .collect();
-        let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let idx = self.hedge.choose(&gp, &points, best_y, &mut self.rng);
-        self.hedge.update(|i| gp.predict(&points[i]).0);
+        let idx = self
+            .hedge
+            .choose(&su.gp, &self.points, su.best_y, &mut self.rng);
+        let scratch = &mut self.predict_scratch;
+        let points = &self.points;
+        self.hedge
+            .update(|i| su.gp.predict_into(&points[i], scratch).0);
         self.candidates[idx]
     }
 }
@@ -195,6 +224,7 @@ impl OnlineOptimizer for BayesianMpOptimizer {
         self.history.clear();
         self.hedge = GpHedge::new();
         self.probes_issued = 1;
+        self.surrogate = None;
         self.first_probe = self.random_probe();
     }
 }

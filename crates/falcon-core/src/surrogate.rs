@@ -1,0 +1,71 @@
+//! Incremental GP surrogate cache shared by the Bayesian optimizers.
+//!
+//! A full `fit_auto` refit is an O(n³) factorization times a 12-point
+//! hyperparameter grid; appending one observation to an already-factored
+//! GP is O(n²) ([`GpRegressor::extend`]). The cache alternates the two:
+//! every [`REFIT_EVERY`]-th surrogate probe re-fits from scratch over the
+//! optimizer's (re-windowed) history, and the probes in between append the
+//! newest observation under the normalization constants frozen at the last
+//! refit — mixing constants would put the GP's targets on two different
+//! scales.
+
+use falcon_gp::GpRegressor;
+
+/// Full refits happen every this many surrogate probes; appends cover the
+/// rest. Window eviction is deferred to the refit, so the GP temporarily
+/// holds up to `window + REFIT_EVERY - 1` points.
+pub(crate) const REFIT_EVERY: usize = 5;
+
+/// A fitted GP plus the target-normalization constants it was built with.
+pub(crate) struct CachedSurrogate {
+    pub gp: GpRegressor,
+    /// Mean of the raw utilities at the last full refit.
+    y_mean: f64,
+    /// Standard deviation of the raw utilities at the last full refit.
+    y_std: f64,
+    /// Best normalized utility among the GP's training targets.
+    pub best_y: f64,
+    /// Incremental appends since the last full refit.
+    extends: usize,
+}
+
+impl CachedSurrogate {
+    /// Fit from scratch: normalize `ys_raw` to zero mean / unit variance
+    /// (so kernel hyper-grids and the noise variance are scale-free) and
+    /// run the `fit_auto` hyperparameter grid. `None` when fitting fails.
+    pub fn fit(xs: &[Vec<f64>], ys_raw: &[f64], noise_variance: f64) -> Option<Self> {
+        let n = ys_raw.len() as f64;
+        let mean = ys_raw.iter().sum::<f64>() / n;
+        let var = ys_raw.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - mean) / std).collect();
+        let gp = GpRegressor::fit_auto(xs, &ys, noise_variance).ok()?;
+        Some(CachedSurrogate {
+            gp,
+            y_mean: mean,
+            y_std: std,
+            best_y: ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            extends: 0,
+        })
+    }
+
+    /// Whether the next surrogate probe should re-fit from scratch instead
+    /// of appending.
+    pub fn due_for_refit(&self) -> bool {
+        self.extends + 1 >= REFIT_EVERY
+    }
+
+    /// Append one raw observation under the frozen normalization. Returns
+    /// `false` (model unchanged) if the rank-1 update failed; the caller
+    /// should fall back to a full refit.
+    pub fn extend(&mut self, x: Vec<f64>, y_raw: f64) -> bool {
+        let y = (y_raw - self.y_mean) / self.y_std;
+        if self.gp.extend(x, y).is_ok() {
+            self.extends += 1;
+            self.best_y = self.best_y.max(y);
+            true
+        } else {
+            false
+        }
+    }
+}

@@ -7,9 +7,21 @@
 //! ```
 //!
 //! Each experiment prints an aligned table to stdout and writes a CSV to
-//! `results/<name>.csv`.
+//! `results/<name>.csv`. Experiments run in parallel (all experiments are
+//! deterministic, so outputs are identical to a serial run; set
+//! `FALCON_THREADS=1` to force serial execution).
 
 use std::time::Instant;
+
+fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("FALCON_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+        eprintln!("warning: ignoring unparsable FALCON_THREADS={v:?}");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,18 +57,21 @@ fn main() {
     };
 
     std::fs::create_dir_all("results").ok();
-    for (name, f) in selected {
-        let t0 = Instant::now();
-        let table = f();
+    let selected: Vec<falcon_experiments::Experiment> = selected.into_iter().copied().collect();
+    let t0 = Instant::now();
+    let tables = falcon_experiments::run_parallel(&selected, thread_count());
+    for (name, table) in &tables {
         println!("{}", table.render());
         let path = format!("results/{name}.csv");
         if let Err(e) = std::fs::write(&path, table.to_csv()) {
             eprintln!("warning: could not write {path}: {e}");
         } else {
-            println!(
-                "[{name}] wrote {path} in {:.1}s\n",
-                t0.elapsed().as_secs_f64()
-            );
+            println!("[{name}] wrote {path}\n");
         }
     }
+    eprintln!(
+        "ran {} experiment(s) in {:.1}s",
+        tables.len(),
+        t0.elapsed().as_secs_f64()
+    );
 }

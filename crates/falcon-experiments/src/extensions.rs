@@ -28,7 +28,7 @@ fn endless() -> Dataset {
 /// Falcon's always-on searches re-expand — the adaptivity gap §5 holds
 /// against this family. Convergence time is measured after the release.
 pub fn shootout() -> Table {
-    type TunerFactory = Box<dyn Fn() -> Box<dyn Tuner>>;
+    type TunerFactory = Box<dyn Fn() -> Box<dyn Tuner> + Send + Sync>;
     let contenders: Vec<(&str, TunerFactory)> = vec![
         (
             "hill-climbing",
@@ -71,7 +71,8 @@ pub fn shootout() -> Table {
             "mbps_after_release",
         ],
     );
-    for (name, mk) in contenders {
+    // Each contender drives its own 1200 s simulation — fan them out.
+    let rows = falcon_par::fan_out(contenders, 5, |_, (name, mk)| {
         let mut h = SimHarness::new(Simulation::new(Environment::emulab(21.0), 131));
         // Background traffic holds 60% of the link until t = 600 s; the
         // searches converge against it, then it leaves and the optimum
@@ -103,12 +104,15 @@ pub fn shootout() -> Table {
             time_to_sustained(&sub, 0, 1000.0, 0.75, 620.0 + 20.0)
                 .map_or("none".to_string(), |v| format!("{:.0}", v - 600.0))
         };
-        t.push_row(&[
+        vec![
             name.to_string(),
             conv,
             format!("{steady:.0}"),
             format!("{released:.0}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(&row);
     }
     t
 }
@@ -199,7 +203,26 @@ pub fn bo_search_space() -> Table {
 /// the hazard without hurting steady throughput on a disk-limited path
 /// (where parallelism buys nothing and Eq 7 wants it low anyway).
 pub fn bo_mp() -> Table {
-    let run = |params: BoMpParams, label: &str, t: &mut Table| {
+    // Three seeds per variant: BO's random init makes a single seed's
+    // steady throughput noisy, and the table's claim ("the cap costs
+    // nothing") should not hinge on one lucky draw. The six runs are
+    // independent — fan them out and aggregate per variant.
+    const SEEDS: [u64; 3] = [4, 5, 6];
+    let variants = [
+        ("uncapped 32x32", None),
+        ("capped at 64 connections", Some(64u32)),
+    ];
+    let mut tasks: Vec<(usize, BoMpParams)> = Vec::new();
+    for (vi, &(_, cap)) in variants.iter().enumerate() {
+        for seed in SEEDS {
+            let mut params = BoMpParams::new(32, 32).with_seed(seed);
+            if let Some(c) = cap {
+                params = params.with_connection_cap(c);
+            }
+            tasks.push((vi, params));
+        }
+    }
+    let runs = falcon_par::fan_out(tasks, 6, |_, (vi, params)| {
         let utility = UtilityFunction::falcon_multi_param();
         let agent = FalconAgent::new(utility, Box::new(BayesianMpOptimizer::new(params)));
         let mut h = SimHarness::new(Simulation::new(Environment::xsede(), 151));
@@ -214,26 +237,23 @@ pub fn bo_mp() -> Table {
             .map(|p| p.settings.total_connections())
             .max()
             .unwrap_or(0);
+        (vi, max_conns, trace.avg_mbps(0, 250.0, 400.0) / 1000.0)
+    });
+
+    let mut t = Table::new(
+        "Extension: 2-D BO over (concurrency, parallelism) — §4.6 hazard (XSEDE, mean of 3 seeds)",
+        &["variant", "max_connections_probed", "steady_gbps"],
+    );
+    for (vi, &(label, _)) in variants.iter().enumerate() {
+        let mine: Vec<_> = runs.iter().filter(|r| r.0 == vi).collect();
+        let max_conns = mine.iter().map(|r| r.1).max().unwrap_or(0);
+        let mean_gbps = mine.iter().map(|r| r.2).sum::<f64>() / mine.len().max(1) as f64;
         t.push_row(&[
             label.to_string(),
             max_conns.to_string(),
-            format!("{:.2}", trace.avg_mbps(0, 250.0, 400.0) / 1000.0),
+            format!("{mean_gbps:.2}"),
         ]);
-    };
-    let mut t = Table::new(
-        "Extension: 2-D BO over (concurrency, parallelism) — §4.6 hazard (XSEDE)",
-        &["variant", "max_connections_probed", "steady_gbps"],
-    );
-    run(
-        BoMpParams::new(32, 32).with_seed(4),
-        "uncapped 32x32",
-        &mut t,
-    );
-    run(
-        BoMpParams::new(32, 32).with_seed(4).with_connection_cap(64),
-        "capped at 64 connections",
-        &mut t,
-    );
+    }
     t
 }
 
@@ -246,7 +266,7 @@ pub fn probe_interval() -> Table {
         "Extension: probe-interval ablation (Emulab, optimal cc = 10)",
         &["interval_s", "steady_mbps", "avg_concurrency"],
     );
-    for interval in [1.0, 2.0, 3.0, 5.0, 10.0] {
+    let rows = falcon_par::fan_out(vec![1.0, 2.0, 3.0, 5.0, 10.0], 5, |_, interval| {
         let mut env = Environment::emulab(100.0);
         env.sample_interval_s = interval;
         let mut h = SimHarness::new(Simulation::new(env, 149));
@@ -258,11 +278,14 @@ pub fn probe_interval() -> Table {
             )],
             400.0,
         );
-        t.push_row(&[
+        vec![
             format!("{interval:.0}"),
             format!("{:.0}", trace.avg_mbps(0, 250.0, 400.0)),
             format!("{:.1}", trace.avg_concurrency(0, 250.0, 400.0)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(&row);
     }
     t
 }
@@ -520,16 +543,21 @@ mod tests {
             "uncapped 2-D BO should probe aggressive corners: {uncapped}"
         );
         assert!(capped <= 64.0, "cap violated: {capped}");
-        // Throughput survives the cap on a disk-limited path: the capped
-        // search loses (almost) nothing against the uncapped one and still
-        // delivers multi-Gbps.
+        // Throughput survives the cap on a disk-limited path. Averaging
+        // over three seeds makes the absolute bar meaningful again (a
+        // single seed's steady Gbps swings with BO's random init): the
+        // capped search must hold most of the ~4.2 Gbps XSEDE disk limit,
+        // and must not trail the uncapped search.
         let thr_uncapped = t.cell_f64(0, 2);
         let thr_capped = t.cell_f64(1, 2);
+        assert!(
+            thr_capped > 3.8,
+            "capped steady {thr_capped} Gbps (expected most of the disk limit)"
+        );
         assert!(
             thr_capped > 0.95 * thr_uncapped,
             "cap hurt: {thr_capped} vs uncapped {thr_uncapped} Gbps"
         );
-        assert!(thr_capped > 3.0, "capped steady {thr_capped} Gbps");
     }
 
     #[test]

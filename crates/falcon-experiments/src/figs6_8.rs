@@ -238,28 +238,35 @@ pub fn time_to_sustained(
 /// Bayesian Optimization when the optimal concurrency is 48. Paper shape:
 /// HC takes ~7x longer than GD/BO (>250 s vs tens of seconds).
 pub fn fig7() -> Table {
-    let run = |agent: FalconAgent| -> (Option<f64>, f64) {
+    // Three independent single-agent runs — fan out, one per contender.
+    type AgentFactory = fn() -> FalconAgent;
+    let contenders: Vec<(&str, AgentFactory)> = vec![
+        ("hill-climbing", || FalconAgent::hill_climbing(100)),
+        ("gradient-descent", || FalconAgent::gradient_descent(100)),
+        ("bayesian-opt", || FalconAgent::bayesian(100, 77)),
+    ];
+    let rows = falcon_par::fan_out(contenders, 3, |_, (name, mk)| {
         let mut h = SimHarness::new(Simulation::new(Environment::emulab(21.0), 41));
         let trace = Runner::default().run(
             &mut h,
-            vec![AgentPlan::at_start(Box::new(agent), endless())],
+            vec![AgentPlan::at_start(Box::new(mk()), endless())],
             600.0,
         );
         let conv = time_to_sustained(&trace, 0, 1000.0, 0.75, 20.0);
-        (conv, trace.avg_mbps(0, 400.0, 600.0))
-    };
-    let (hc_t, hc_thr) = run(FalconAgent::hill_climbing(100));
-    let (gd_t, gd_thr) = run(FalconAgent::gradient_descent(100));
-    let (bo_t, bo_thr) = run(FalconAgent::bayesian(100, 77));
+        (name, conv, trace.avg_mbps(0, 400.0, 600.0))
+    });
 
-    let fmt = |t: Option<f64>| t.map_or("none".to_string(), |v| format!("{v:.0}"));
     let mut t = Table::new(
         "Figure 7: convergence comparison, optimal cc = 48 (Emulab)",
         &["algorithm", "convergence_time_s", "steady_throughput_mbps"],
     );
-    t.push_row(&["hill-climbing".into(), fmt(hc_t), format!("{hc_thr:.0}")]);
-    t.push_row(&["gradient-descent".into(), fmt(gd_t), format!("{gd_thr:.0}")]);
-    t.push_row(&["bayesian-opt".into(), fmt(bo_t), format!("{bo_thr:.0}")]);
+    for (name, conv, thr) in rows {
+        t.push_row(&[
+            name.into(),
+            conv.map_or("none".to_string(), |v| format!("{v:.0}")),
+            format!("{thr:.0}"),
+        ]);
+    }
     t
 }
 

@@ -35,7 +35,7 @@ fn downsample(trace: &RunTrace, agent: usize, every_s: f64) -> Vec<(f64, f64, u3
     out
 }
 
-fn single_agent_traces(mk: &dyn Fn(u64) -> FalconAgent, title: &str) -> Table {
+fn single_agent_traces(mk: &(dyn Fn(u64) -> FalconAgent + Sync), title: &str) -> Table {
     let mut t = Table::new(
         title,
         &[
@@ -50,16 +50,18 @@ fn single_agent_traces(mk: &dyn Fn(u64) -> FalconAgent, title: &str) -> Table {
             "campus_cc",
         ],
     );
-    let mut columns: Vec<Vec<(f64, f64, u32)>> = Vec::new();
-    for (i, (_, env)) in four_networks().into_iter().enumerate() {
-        let mut h = SimHarness::new(Simulation::new(env, 51 + i as u64));
-        let trace = Runner::default().run(
-            &mut h,
-            vec![AgentPlan::at_start(Box::new(mk(91 + i as u64)), endless())],
-            300.0,
-        );
-        columns.push(downsample(&trace, 0, 10.0));
-    }
+    // The four networks are independent runs with per-network seeds — fan
+    // them out (ordered results keep the columns in paper order).
+    let columns: Vec<Vec<(f64, f64, u32)>> =
+        falcon_par::fan_out(four_networks(), 4, |i, (_, env)| {
+            let mut h = SimHarness::new(Simulation::new(env, 51 + i as u64));
+            let trace = Runner::default().run(
+                &mut h,
+                vec![AgentPlan::at_start(Box::new(mk(91 + i as u64)), endless())],
+                300.0,
+            );
+            downsample(&trace, 0, 10.0)
+        });
     let rows = columns.iter().map(|c| c.len()).min().unwrap_or(0);
     for r in 0..rows {
         let mut row = vec![format!("{:.0}", columns[0][r].0)];

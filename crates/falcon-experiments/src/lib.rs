@@ -24,6 +24,16 @@ pub use table::Table;
 /// A named experiment: its CLI name and the function that runs it.
 pub type Experiment = (&'static str, fn() -> Table);
 
+/// Run the selected experiments across `threads` worker threads and return
+/// `(name, table)` pairs **in selection order**.
+///
+/// Every experiment is a pure function of its hard-coded seeds, so the
+/// tables are byte-identical to running them serially — parallelism only
+/// changes wall-clock time (see `falcon_par::fan_out`).
+pub fn run_parallel(selected: &[Experiment], threads: usize) -> Vec<(&'static str, Table)> {
+    falcon_par::fan_out(selected.to_vec(), threads, |_, (name, f)| (name, f()))
+}
+
 /// All experiment names accepted by the binary, with the function that
 /// runs each. Kept in paper order.
 pub fn registry() -> Vec<Experiment> {

@@ -1,0 +1,42 @@
+//! Determinism under parallelism: `run_parallel` must produce tables that
+//! are byte-identical to a serial run — thread count may change wall-clock
+//! time and nothing else.
+
+use falcon_experiments::{registry, run_parallel, Experiment};
+
+/// Cheap experiments only (no multi-minute simulations) — the contract is
+/// the same for every entry, the cost is not.
+fn cheap() -> Vec<Experiment> {
+    let wanted = ["table1", "fig6a", "makespan"];
+    registry()
+        .into_iter()
+        .filter(|(n, _)| wanted.contains(n))
+        .collect()
+}
+
+#[test]
+fn parallel_tables_are_byte_identical_to_serial() {
+    let selected = cheap();
+    assert_eq!(selected.len(), 3, "registry lost a cheap experiment");
+    let serial = run_parallel(&selected, 1);
+    let parallel = run_parallel(&selected, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((n1, t1), (n2, t2)) in serial.iter().zip(&parallel) {
+        assert_eq!(n1, n2, "result order must follow selection order");
+        assert_eq!(
+            t1.to_csv(),
+            t2.to_csv(),
+            "experiment {n1} diverged under parallelism"
+        );
+    }
+}
+
+#[test]
+fn results_follow_selection_order_not_completion_order() {
+    let mut selected = cheap();
+    selected.reverse();
+    let out = run_parallel(&selected, 4);
+    let names: Vec<&str> = out.iter().map(|(n, _)| *n).collect();
+    let expected: Vec<&str> = selected.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, expected);
+}

@@ -1,6 +1,6 @@
 //! Acquisition functions for Bayesian optimization (maximization form).
 
-use crate::gp::GpRegressor;
+use crate::gp::{GpRegressor, PredictScratch};
 use crate::normal;
 
 /// Which acquisition rule to evaluate.
@@ -56,7 +56,20 @@ impl Acquisition {
     /// Score a candidate point given the surrogate and the incumbent best
     /// observed value. Higher is better.
     pub fn score(&self, gp: &GpRegressor, x: &[f64], best_y: f64) -> f64 {
-        let (mu, var) = gp.predict(x);
+        let mut scratch = PredictScratch::default();
+        self.score_with(gp, x, best_y, &mut scratch)
+    }
+
+    /// [`Acquisition::score`] reusing caller-owned prediction buffers, so a
+    /// sweep over a candidate grid performs no per-point allocation.
+    pub fn score_with(
+        &self,
+        gp: &GpRegressor,
+        x: &[f64],
+        best_y: f64,
+        scratch: &mut PredictScratch,
+    ) -> f64 {
+        let (mu, var) = gp.predict_into(x, scratch);
         let sigma = var.sqrt();
         match self.kind {
             AcquisitionKind::UpperConfidenceBound => mu + self.exploration * sigma,
@@ -79,10 +92,11 @@ impl Acquisition {
     /// Argmax of the acquisition over a finite candidate set. Returns the
     /// index of the winning candidate (ties break toward the first).
     pub fn argmax(&self, gp: &GpRegressor, candidates: &[Vec<f64>], best_y: f64) -> usize {
+        let mut scratch = PredictScratch::default();
         let mut best_i = 0;
         let mut best_s = f64::NEG_INFINITY;
         for (i, c) in candidates.iter().enumerate() {
-            let s = self.score(gp, c, best_y);
+            let s = self.score_with(gp, c, best_y, &mut scratch);
             if s > best_s {
                 best_s = s;
                 best_i = i;

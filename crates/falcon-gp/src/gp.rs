@@ -48,12 +48,25 @@ impl std::error::Error for GpError {}
 #[derive(Debug, Clone)]
 pub struct GpRegressor {
     x: Vec<Vec<f64>>,
+    /// Raw (uncentred) targets: [`GpRegressor::extend`] recomputes the
+    /// mean over these so an incrementally-grown model centres exactly
+    /// like a from-scratch fit.
+    y_raw: Vec<f64>,
     y_centered: Vec<f64>,
     y_mean: f64,
     kernel: Matern52,
     noise_variance: f64,
     chol: Matrix,
     alpha: Vec<f64>,
+}
+
+/// Reusable buffers for [`GpRegressor::predict_into`]: holding one across
+/// calls makes repeated posterior queries (acquisition sweeps over a
+/// candidate grid) allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    k_star: Vec<f64>,
+    v: Vec<f64>,
 }
 
 impl GpRegressor {
@@ -109,6 +122,7 @@ impl GpRegressor {
             .map_err(|_| GpError::DimensionMismatch)?;
         Ok(GpRegressor {
             x: x.to_vec(),
+            y_raw: y.to_vec(),
             y_centered,
             y_mean,
             kernel,
@@ -116,6 +130,56 @@ impl GpRegressor {
             chol,
             alpha,
         })
+    }
+
+    /// Append one observation in `O(n²)` by bordering the Cholesky factor
+    /// ([`Matrix::cholesky_append_row`]) instead of refitting in `O(n³)`.
+    ///
+    /// Hyperparameters are kept as fitted; the target mean and `alpha` are
+    /// recomputed over all points, so when no jitter retry fires the
+    /// resulting model is bit-identical to `GpRegressor::fit` on the full
+    /// sequence with the same hyperparameters. On error the model is left
+    /// as it was.
+    pub fn extend(&mut self, x_new: Vec<f64>, y_new: f64) -> Result<(), GpError> {
+        let dim = self.x.first().map_or(x_new.len(), Vec::len);
+        if x_new.len() != dim {
+            return Err(GpError::DimensionMismatch);
+        }
+        let mut k = vec![0.0; self.x.len()];
+        for (ki, xi) in k.iter_mut().zip(self.x.iter()) {
+            *ki = self.kernel.eval(xi, &x_new);
+        }
+        let mut diag = self.kernel.eval(&x_new, &x_new) + self.noise_variance;
+        // Jitter escalation on the new diagonal entry only, mirroring `fit`.
+        let mut jitter = 1e-10 * self.kernel.diag();
+        loop {
+            match self.chol.cholesky_append_row(&k, diag) {
+                Ok(()) => break,
+                Err(LinalgError::DimensionMismatch) => return Err(GpError::DimensionMismatch),
+                Err(LinalgError::NotPositiveDefinite) => {
+                    if jitter > 1e3 * self.kernel.diag() {
+                        return Err(GpError::NotPositiveDefinite);
+                    }
+                    diag += jitter;
+                    jitter *= 10.0;
+                }
+            }
+        }
+        self.x.push(x_new);
+        self.y_raw.push(y_new);
+        self.y_mean = self.y_raw.iter().sum::<f64>() / self.y_raw.len() as f64;
+        self.y_centered.clear();
+        let mean = self.y_mean;
+        self.y_centered.extend(self.y_raw.iter().map(|v| v - mean));
+        let tmp = self
+            .chol
+            .solve_lower(&self.y_centered)
+            .map_err(|_| GpError::DimensionMismatch)?;
+        self.alpha = self
+            .chol
+            .solve_lower_transpose(&tmp)
+            .map_err(|_| GpError::DimensionMismatch)?;
+        Ok(())
     }
 
     /// Fit with hyperparameters selected by maximizing the log marginal
@@ -166,17 +230,25 @@ impl GpRegressor {
 
     /// Posterior mean and variance at a query point.
     pub fn predict(&self, xq: &[f64]) -> (f64, f64) {
+        let mut scratch = PredictScratch::default();
+        self.predict_into(xq, &mut scratch)
+    }
+
+    /// [`GpRegressor::predict`] using caller-owned buffers, so sweeping a
+    /// candidate grid performs no per-query allocation.
+    pub fn predict_into(&self, xq: &[f64], scratch: &mut PredictScratch) -> (f64, f64) {
         let n = self.x.len();
-        let mut k_star = vec![0.0; n];
-        for (i, xi) in self.x.iter().enumerate() {
-            k_star[i] = self.kernel.eval(xi, xq);
+        scratch.k_star.clear();
+        scratch.k_star.resize(n, 0.0);
+        for (ks, xi) in scratch.k_star.iter_mut().zip(self.x.iter()) {
+            *ks = self.kernel.eval(xi, xq);
         }
-        let mean = self.y_mean + dot(&k_star, &self.alpha);
+        let mean = self.y_mean + dot(&scratch.k_star, &self.alpha);
         // A solve failure cannot happen for a factor built by `fit`, but if
         // it ever did the GP degrades to the prior variance instead of
         // panicking mid-transfer.
-        let var = match self.chol.solve_lower(&k_star) {
-            Ok(v) => self.kernel.diag() + self.noise_variance - dot(&v, &v),
+        let var = match self.chol.solve_lower_into(&scratch.k_star, &mut scratch.v) {
+            Ok(()) => self.kernel.diag() + self.noise_variance - dot(&scratch.v, &scratch.v),
             Err(_) => self.kernel.diag() + self.noise_variance,
         };
         (mean, var.max(1e-12))
@@ -307,6 +379,52 @@ mod tests {
         let gp = GpRegressor::fit_auto(&x, &y, 1e-4).unwrap();
         let (m, _) = gp.predict(&[2.5]);
         assert!((m - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn extend_matches_full_refit_bitwise() {
+        let x = xs(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let y = [0.0, 1.0, 4.0, 9.0, 16.0];
+        let kernel = Matern52::new(10.0, 1.5);
+        let mut grown = GpRegressor::fit(&x[..3], &y[..3], kernel, 1e-4).unwrap();
+        grown.extend(x[3].clone(), y[3]).unwrap();
+        grown.extend(x[4].clone(), y[4]).unwrap();
+        let full = GpRegressor::fit(&x, &y, kernel, 1e-4).unwrap();
+        for q in [0.5, 2.5, 3.7, 10.0] {
+            let (gm, gv) = grown.predict(&[q]);
+            let (fm, fv) = full.predict(&[q]);
+            assert_eq!(gm, fm, "mean at {q}");
+            assert_eq!(gv, fv, "variance at {q}");
+        }
+        assert_eq!(
+            grown.log_marginal_likelihood(),
+            full.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn extend_rejects_dimension_mismatch_without_corrupting() {
+        let x = xs(&[0.0, 1.0]);
+        let y = [0.0, 1.0];
+        let mut gp = GpRegressor::fit(&x, &y, Matern52::new(1.0, 1.0), 1e-4).unwrap();
+        let before = gp.predict(&[0.5]);
+        assert_eq!(
+            gp.extend(vec![1.0, 2.0], 3.0).unwrap_err(),
+            GpError::DimensionMismatch
+        );
+        assert_eq!(gp.len(), 2);
+        assert_eq!(gp.predict(&[0.5]), before);
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let x = xs(&[0.0, 1.0, 2.0]);
+        let y = [1.0, -1.0, 2.0];
+        let gp = GpRegressor::fit(&x, &y, Matern52::new(2.0, 1.0), 1e-4).unwrap();
+        let mut scratch = PredictScratch::default();
+        for q in [-1.0, 0.5, 1.5, 4.0] {
+            assert_eq!(gp.predict_into(&[q], &mut scratch), gp.predict(&[q]));
+        }
     }
 
     #[test]

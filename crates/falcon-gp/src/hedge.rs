@@ -72,7 +72,7 @@ impl GpHedge {
         best_y: f64,
         rng: &mut R,
     ) -> usize {
-        assert!(!candidates.is_empty());
+        debug_assert!(!candidates.is_empty());
         self.last_nominations = self
             .members
             .iter()
@@ -96,7 +96,7 @@ impl GpHedge {
     /// rewarded with the posterior mean at the point *it* had nominated
     /// (the GP-Hedge reward rule — members get credit for what they would
     /// have chosen, evaluated under the updated surrogate).
-    pub fn update<F: Fn(usize) -> f64>(&mut self, posterior_mean_of_candidate: F) {
+    pub fn update<F: FnMut(usize) -> f64>(&mut self, mut posterior_mean_of_candidate: F) {
         for (i, &nom) in self.last_nominations.iter().enumerate() {
             self.gains[i] += posterior_mean_of_candidate(nom);
         }

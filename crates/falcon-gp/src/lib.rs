@@ -27,7 +27,7 @@ pub mod linalg;
 pub mod normal;
 
 pub use acquisition::{Acquisition, AcquisitionKind};
-pub use gp::{GpError, GpRegressor};
+pub use gp::{GpError, GpRegressor, PredictScratch};
 pub use hedge::GpHedge;
 pub use kernel::{Kernel, Matern52, Rbf};
 pub use linalg::{LinalgError, Matrix};

@@ -117,13 +117,74 @@ impl Matrix {
         Ok(l)
     }
 
+    /// Extend the Cholesky factor `self = L` of an SPD matrix `A` to the
+    /// factor of the bordered matrix `[[A, k], [kᵀ, diag]]` in `O(n²)`
+    /// instead of refactorizing in `O(n³)`.
+    ///
+    /// The new last row solves `L·l = k` by forward substitution and
+    /// `λ = √(diag − l·l)`; both recurrences perform the same operations in
+    /// the same order as [`Matrix::cholesky`] on the bordered matrix, so
+    /// the result is bit-identical to a from-scratch factorization. On
+    /// [`LinalgError::NotPositiveDefinite`] (the Schur complement
+    /// `diag − l·l` is not positive) `self` is left untouched so the
+    /// caller can retry with a jittered `diag`.
+    pub fn cholesky_append_row(&mut self, k: &[f64], diag: f64) -> Result<(), LinalgError> {
+        if self.rows != self.cols || k.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let m = n + 1;
+        // Compute the new row up front; only grow the factor on success.
+        let mut row = vec![0.0; m];
+        for j in 0..n {
+            let mut sum = k[j];
+            for t in 0..j {
+                sum -= row[t] * self[(j, t)];
+            }
+            row[j] = sum / self[(j, j)];
+        }
+        let mut sum = diag;
+        for &v in &row[..n] {
+            sum -= v * v;
+        }
+        if sum <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        row[n] = sum.sqrt();
+
+        // Grow the row-major storage from n×n to (n+1)×(n+1) in place:
+        // shift rows backwards, zero the new strictly-upper column, append
+        // the computed last row.
+        self.data.resize(m * m, 0.0);
+        for i in (1..n).rev() {
+            self.data.copy_within(i * n..(i + 1) * n, i * m);
+        }
+        for i in 0..n {
+            self.data[i * m + n] = 0.0;
+        }
+        self.data[n * m..m * m].copy_from_slice(&row);
+        self.rows = m;
+        self.cols = m;
+        Ok(())
+    }
+
     /// Solve `L·x = b` for lower-triangular `L` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = Vec::new();
+        self.solve_lower_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Matrix::solve_lower`] into a caller-owned buffer (cleared and
+    /// refilled), so repeated solves allocate nothing once the buffer has
+    /// grown to size.
+    pub fn solve_lower_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), LinalgError> {
         let n = self.rows;
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch);
         }
-        let mut x = vec![0.0; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -131,7 +192,7 @@ impl Matrix {
             }
             x[i] = sum / self[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solve `Lᵀ·x = b` for lower-triangular `L` (back substitution on the
@@ -256,6 +317,46 @@ mod tests {
         // det(A) for this 3x3:
         let det: f64 = 4.0 * (5.0 * 6.0 - 9.0) - 2.0 * (2.0 * 6.0 - 3.0) + 1.0 * (6.0 - 5.0);
         assert!((l.cholesky_log_det() - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn append_row_matches_full_factorization_bitwise() {
+        // Factor the 2×2 leading block, append the third row, and compare
+        // against factoring the full 3×3 directly: identical bits.
+        let a = spd3();
+        let full = a.cholesky().unwrap();
+        let lead = Matrix::from_rows(2, 2, &[a[(0, 0)], a[(0, 1)], a[(1, 0)], a[(1, 1)]]);
+        let mut grown = lead.cholesky().unwrap();
+        grown
+            .cholesky_append_row(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)])
+            .unwrap();
+        assert_eq!(grown, full);
+    }
+
+    #[test]
+    fn append_row_rejects_bad_inputs_without_mutating() {
+        let mut l = spd3().cholesky().unwrap();
+        let before = l.clone();
+        assert_eq!(
+            l.cholesky_append_row(&[1.0], 1.0),
+            Err(LinalgError::DimensionMismatch)
+        );
+        // A bordered matrix that is not SPD: new diagonal too small.
+        assert_eq!(
+            l.cholesky_append_row(&[1.0, 3.0, 6.0], 0.0),
+            Err(LinalgError::NotPositiveDefinite)
+        );
+        assert_eq!(l, before, "failed append must leave the factor intact");
+    }
+
+    #[test]
+    fn solve_lower_into_matches_allocating_form() {
+        let l = spd3().cholesky().unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let expect = l.solve_lower(&b).unwrap();
+        let mut buf = vec![9.0; 7]; // stale, over-sized: must be cleared
+        l.solve_lower_into(&b, &mut buf).unwrap();
+        assert_eq!(buf, expect);
     }
 
     #[test]

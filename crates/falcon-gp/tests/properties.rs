@@ -123,4 +123,59 @@ proptest! {
         let manual: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         prop_assert!((dot(&a, &b) - manual).abs() < 1e-9 * manual.abs().max(1.0));
     }
+
+    /// Incremental `extend` agrees with a from-scratch `fit` over random
+    /// observation sequences: posterior mean, variance, and the
+    /// log-marginal-likelihood all match to 1e-9 at every prefix split.
+    #[test]
+    fn extend_matches_refit_on_random_sequences(
+        ys in proptest::collection::vec(-100.0f64..100.0, 4..14),
+        split in 2usize..6,
+        q in -10.0f64..74.0,
+    ) {
+        let n = ys.len();
+        let split = split.min(n - 1);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i * 5 % 64) as f64]).collect();
+        let kernel = Matern52::new(1.0, 10.0);
+
+        let mut grown = GpRegressor::fit(&xs[..split], &ys[..split], kernel, 1e-3).unwrap();
+        for i in split..n {
+            grown.extend(xs[i].clone(), ys[i]).expect("extend must accept in-domain points");
+            let full = GpRegressor::fit(&xs[..=i], &ys[..=i], kernel, 1e-3).unwrap();
+            let (gm, gv) = grown.predict(&[q]);
+            let (fm, fv) = full.predict(&[q]);
+            prop_assert!((gm - fm).abs() < 1e-9, "mean {gm} vs {fm} at n={}", i + 1);
+            prop_assert!((gv - fv).abs() < 1e-9, "var {gv} vs {fv} at n={}", i + 1);
+            let (gl, fl) = (grown.log_marginal_likelihood(), full.log_marginal_likelihood());
+            prop_assert!((gl - fl).abs() < 1e-9 * fl.abs().max(1.0), "lml {gl} vs {fl}");
+        }
+    }
+
+    /// Appending a row to a Cholesky factor matches factoring the bordered
+    /// matrix from scratch, for random SPD matrices.
+    #[test]
+    fn cholesky_append_matches_bordered_factorization(
+        vals in proptest::collection::vec(-2.0f64..2.0, 25),
+    ) {
+        let a = spd(&vals, 5);
+        let full = a.cholesky().expect("SPD by construction");
+        // Factor the leading 4×4 block, then append A's last row.
+        let mut lead = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                lead[(i, j)] = a[(i, j)];
+            }
+        }
+        let mut grown = lead.cholesky().expect("leading block of SPD is SPD");
+        let k: Vec<f64> = (0..4).map(|j| a[(4, j)]).collect();
+        grown.cholesky_append_row(&k, a[(4, 4)]).expect("bordered matrix stays SPD");
+        for i in 0..5 {
+            for j in 0..=i {
+                prop_assert!(
+                    (grown[(i, j)] - full[(i, j)]).abs() < 1e-9,
+                    "L[({i},{j})]: {} vs {}", grown[(i, j)], full[(i, j)]
+                );
+            }
+        }
+    }
 }

@@ -247,7 +247,9 @@ fn parse_suppression(comment: &str) -> SuppressionParse {
         return SuppressionParse::None;
     };
     let rest = &comment[start + MARKER.len()..];
-    let Some(close) = rest.find(')') else {
+    // The closing paren must be outside the quoted reason — prose like
+    // `reason = "see foo() for details"` may legitimately contain parens.
+    let Some(close) = find_outside_quotes(rest, ')') else {
         return SuppressionParse::Malformed(
             "unclosed falcon-lint::allow(...) directive".to_string(),
         );
@@ -287,6 +289,21 @@ fn parse_suppression(comment: &str) -> SuppressionParse {
         );
     }
     SuppressionParse::Ok(rules)
+}
+
+/// Byte index of the first `needle` not inside a quoted string.
+fn find_outside_quotes(s: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (idx, c) in s.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            c if c == needle && !in_str => return Some(idx),
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    None
 }
 
 /// Split on commas that are not inside a quoted string (a reason may
@@ -368,6 +385,15 @@ mod tests {
     #[test]
     fn suppression_covers_trailing_comment_line() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // falcon-lint::allow(panic-safety, reason = \"demo\")\n";
+        assert!(rules_of(src, "falcon-core").is_empty());
+    }
+
+    #[test]
+    fn suppression_reason_may_contain_parens() {
+        let src = r#"
+            // falcon-lint::allow(panic-safety, reason = "validated by new() so (1,1) always qualifies")
+            fn lib(x: Option<u32>) -> u32 { x.unwrap() }
+        "#;
         assert!(rules_of(src, "falcon-core").is_empty());
     }
 

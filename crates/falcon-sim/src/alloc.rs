@@ -6,11 +6,16 @@
 //! (paper footnote 1); progressive filling computes exactly that fixed point
 //! for the fluid model, while honouring each stream's own rate cap (from
 //! per-process I/O throttles or the congestion-control response function).
+//!
+//! The progressive-filling loop exists once, in
+//! [`weighted_max_min_allocate_into`]; the unweighted [`max_min_allocate`]
+//! delegates with every weight set to 1.0, and the allocating entry points
+//! are thin wrappers for callers that do not hold scratch buffers.
 
 /// A stream to be allocated: an upper bound on its rate and the set of
 /// resources it crosses (bitmask over at most 64 resources — far more than
 /// any path in this suite needs).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamDemand {
     /// Maximum rate this stream can use (Mbps); `f64::INFINITY` if unbounded.
     pub cap_mbps: f64,
@@ -22,7 +27,7 @@ pub struct StreamDemand {
 /// resource a stream receives bandwidth proportional to its weight. Equal
 /// weights reduce to plain max-min; TCP's RTT bias can be modelled with
 /// weights ∝ 1/RTT.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedStreamDemand {
     /// Maximum rate this stream can use (Mbps).
     pub cap_mbps: f64,
@@ -32,124 +37,77 @@ pub struct WeightedStreamDemand {
     pub weight: f64,
 }
 
+/// Reusable working memory for [`weighted_max_min_allocate_into`]. Holding
+/// one of these across calls makes steady-state allocation allocation-free:
+/// the buffers are cleared and refilled, never shrunk.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    frozen: Vec<bool>,
+    active_weight: Vec<f64>,
+    remaining: Vec<f64>,
+}
+
 /// Compute the max-min fair allocation.
 ///
 /// Returns the per-stream allocated rate. `capacities[i]` is the capacity of
 /// resource `i`. Runs in `O(rounds * (streams + resources))` where rounds is
 /// bounded by the number of distinct freezing events (≤ streams + resources).
 pub fn max_min_allocate(streams: &[StreamDemand], capacities: &[f64]) -> Vec<f64> {
-    assert!(capacities.len() <= 64, "at most 64 resources supported");
-    let n = streams.len();
-    let mut rate = vec![0.0f64; n];
-    if n == 0 {
-        return rate;
-    }
-    let mut frozen = vec![false; n];
-    let mut remaining: Vec<f64> = capacities.to_vec();
-
-    loop {
-        // Count active streams on each resource.
-        let mut active_count = vec![0u32; capacities.len()];
-        let mut n_active = 0u32;
-        for (s, f) in streams.iter().zip(frozen.iter()) {
-            if !*f {
-                n_active += 1;
-                let mut mask = s.resource_mask;
-                while mask != 0 {
-                    let i = mask.trailing_zeros() as usize;
-                    active_count[i] += 1;
-                    mask &= mask - 1;
-                }
-            }
-        }
-        if n_active == 0 {
-            break;
-        }
-
-        // The uniform increment every active stream can still receive is
-        // bounded by the tightest resource and by each stream's own headroom.
-        let mut inc = f64::INFINITY;
-        for (i, &cnt) in active_count.iter().enumerate() {
-            if cnt > 0 {
-                inc = inc.min(remaining[i].max(0.0) / f64::from(cnt));
-            }
-        }
-        for (idx, s) in streams.iter().enumerate() {
-            if !frozen[idx] {
-                inc = inc.min(s.cap_mbps - rate[idx]);
-            }
-        }
-        if !inc.is_finite() {
-            // No stream crosses any resource and all caps are infinite:
-            // degenerate input; nothing more to allocate meaningfully.
-            break;
-        }
-        let inc = inc.max(0.0);
-
-        // Apply the increment and freeze streams that hit their cap or a
-        // saturated resource.
-        for (idx, s) in streams.iter().enumerate() {
-            if frozen[idx] {
-                continue;
-            }
-            rate[idx] += inc;
-            let mut mask = s.resource_mask;
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                remaining[i] -= inc;
-                mask &= mask - 1;
-            }
-        }
-        let mut any_frozen = false;
-        for (idx, s) in streams.iter().enumerate() {
-            if frozen[idx] {
-                continue;
-            }
-            let cap_hit = rate[idx] >= s.cap_mbps - 1e-9;
-            let mut res_hit = false;
-            let mut mask = s.resource_mask;
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                if remaining[i] <= 1e-9 {
-                    res_hit = true;
-                    break;
-                }
-                mask &= mask - 1;
-            }
-            if cap_hit || res_hit {
-                frozen[idx] = true;
-                any_frozen = true;
-            }
-        }
-        if !any_frozen {
-            // inc was limited only by numerical slack; terminate to be safe.
-            if inc <= 1e-12 {
-                break;
-            }
-        }
-    }
-    rate
+    let weighted: Vec<WeightedStreamDemand> = streams
+        .iter()
+        .map(|s| WeightedStreamDemand {
+            cap_mbps: s.cap_mbps,
+            resource_mask: s.resource_mask,
+            weight: 1.0,
+        })
+        .collect();
+    weighted_max_min_allocate(&weighted, capacities)
 }
 
 /// Weighted max-min fair allocation by progressive filling: every active
 /// stream's rate grows in proportion to its weight until it hits its own
 /// cap or saturates a resource.
 pub fn weighted_max_min_allocate(streams: &[WeightedStreamDemand], capacities: &[f64]) -> Vec<f64> {
-    assert!(capacities.len() <= 64, "at most 64 resources supported");
+    let mut rate = Vec::new();
+    let mut scratch = AllocScratch::default();
+    weighted_max_min_allocate_into(streams, capacities, &mut rate, &mut scratch);
+    rate
+}
+
+/// Allocation-free core of the progressive-filling allocator: writes the
+/// per-stream rates into `rate` (cleared and refilled) using `scratch` for
+/// working memory. Panics in debug builds if `capacities.len() > 64` or any
+/// weight is non-positive; release builds treat such input as degenerate.
+pub fn weighted_max_min_allocate_into(
+    streams: &[WeightedStreamDemand],
+    capacities: &[f64],
+    rate: &mut Vec<f64>,
+    scratch: &mut AllocScratch,
+) {
+    debug_assert!(capacities.len() <= 64, "at most 64 resources supported");
     let n = streams.len();
-    let mut rate = vec![0.0f64; n];
+    rate.clear();
+    rate.resize(n, 0.0);
     if n == 0 {
-        return rate;
+        return;
     }
     for s in streams {
-        assert!(s.weight > 0.0, "weights must be positive");
+        debug_assert!(s.weight > 0.0, "weights must be positive");
     }
-    let mut frozen = vec![false; n];
-    let mut remaining: Vec<f64> = capacities.to_vec();
+    scratch.frozen.clear();
+    scratch.frozen.resize(n, false);
+    scratch.remaining.clear();
+    scratch.remaining.extend_from_slice(capacities);
+    let AllocScratch {
+        frozen,
+        active_weight,
+        remaining,
+    } = scratch;
 
     loop {
         // Total active weight per resource.
-        let mut active_weight = vec![0.0f64; capacities.len()];
+        active_weight.clear();
+        active_weight.resize(capacities.len(), 0.0);
         let mut n_active = 0u32;
         for (s, f) in streams.iter().zip(frozen.iter()) {
             if !*f {
@@ -180,6 +138,8 @@ pub fn weighted_max_min_allocate(streams: &[WeightedStreamDemand], capacities: &
             }
         }
         if !inc.is_finite() {
+            // No stream crosses any resource and all caps are infinite:
+            // degenerate input; nothing more to allocate meaningfully.
             break;
         }
         let inc = inc.max(0.0);
@@ -218,10 +178,10 @@ pub fn weighted_max_min_allocate(streams: &[WeightedStreamDemand], capacities: &
             }
         }
         if !any_frozen && inc <= 1e-12 {
+            // inc was limited only by numerical slack; terminate to be safe.
             break;
         }
     }
-    rate
 }
 
 #[cfg(test)]
@@ -412,6 +372,26 @@ mod tests {
             weight: 0.0,
         }];
         weighted_max_min_allocate(&streams, &[100.0]);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let caps = [60.0, 80.0];
+        let streams: Vec<WeightedStreamDemand> = (0..6)
+            .map(|i| WeightedStreamDemand {
+                cap_mbps: 8.0 + f64::from(i),
+                resource_mask: 0b11,
+                weight: 1.0 + f64::from(i % 3),
+            })
+            .collect();
+        let expect = weighted_max_min_allocate(&streams, &caps);
+
+        let mut rate = Vec::new();
+        let mut scratch = AllocScratch::default();
+        for _ in 0..3 {
+            weighted_max_min_allocate_into(&streams, &caps, &mut rate, &mut scratch);
+            assert_eq!(rate, expect);
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use falcon_tcp::RateRamp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::alloc::{weighted_max_min_allocate, WeightedStreamDemand};
+use crate::alloc::{weighted_max_min_allocate_into, AllocScratch, WeightedStreamDemand};
 use crate::env::Environment;
 use crate::events::{EnvironmentEvent, EventAction};
 
@@ -106,6 +106,27 @@ pub struct AgentSample {
     pub interval_s: f64,
 }
 
+/// Reusable per-step working memory. `step` clears and refills these
+/// buffers instead of allocating fresh vectors each tick, so steady-state
+/// stepping performs no heap allocation. The `prev_*` copies of the last
+/// allocator inputs let `step` skip re-running progressive filling
+/// entirely when the demand/topology fingerprint is unchanged: allocation
+/// is a pure function of `(streams, capacities)`, so reusing `rates`
+/// verbatim is byte-identical to recomputing it.
+#[derive(Debug, Default)]
+struct StepScratch {
+    streams: Vec<WeightedStreamDemand>,
+    /// Agent index owning each agent stream (parallel to the prefix of
+    /// `streams` before background flows).
+    owners: Vec<usize>,
+    capacities: Vec<f64>,
+    rates: Vec<f64>,
+    alloc: AllocScratch,
+    prev_streams: Vec<WeightedStreamDemand>,
+    prev_capacities: Vec<f64>,
+    prev_valid: bool,
+}
+
 #[derive(Debug)]
 struct AgentState {
     alive: bool,
@@ -155,6 +176,7 @@ pub struct Simulation {
     time_s: f64,
     current_loss: f64,
     rng: StdRng,
+    scratch: StepScratch,
 }
 
 impl Simulation {
@@ -177,6 +199,7 @@ impl Simulation {
             time_s: 0.0,
             current_loss: 0.0,
             rng: StdRng::seed_from_u64(seed),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -219,6 +242,7 @@ impl Simulation {
     /// start from zero rate (connection-establishment transient); removed
     /// connections disappear immediately.
     pub fn set_settings(&mut self, h: AgentHandle, settings: AgentSettings) {
+        // falcon-lint::allow(panic-safety, reason = "documented panicking API; try_set_settings is the fallible form")
         assert!(
             self.try_set_settings(h, settings),
             "set_settings on dead agent {}: it was removed or killed; use \
@@ -232,13 +256,13 @@ impl Simulation {
     /// racing against completion, departure, or a scripted kill.
     #[must_use]
     pub fn try_set_settings(&mut self, h: AgentHandle, settings: AgentSettings) -> bool {
-        assert!(settings.concurrency >= 1, "concurrency must be >= 1");
-        assert!(settings.parallelism >= 1, "parallelism must be >= 1");
-        assert!(
+        debug_assert!(settings.concurrency >= 1, "concurrency must be >= 1");
+        debug_assert!(settings.parallelism >= 1, "parallelism must be >= 1");
+        debug_assert!(
             (0.0..=1.0).contains(&settings.efficiency),
             "efficiency must be in [0, 1]"
         );
-        assert!(settings.share_weight > 0.0, "share weight must be positive");
+        debug_assert!(settings.share_weight > 0.0, "share weight must be positive");
         let rtt = self.env.rtt_s;
         let st = &mut self.agents[h.0];
         // Settings are remembered even for a dead agent (a revive rebuilds
@@ -268,7 +292,7 @@ impl Simulation {
     /// Schedule an environment event. Events may be added in any order;
     /// they fire at the first `step` whose start time has reached `at_s`.
     pub fn add_event(&mut self, event: EnvironmentEvent) {
-        assert!(
+        debug_assert!(
             self.next_event == 0 || self.events[self.next_event - 1].at_s <= event.at_s,
             "cannot schedule an event at {}s: events up to {}s already fired",
             event.at_s,
@@ -304,7 +328,7 @@ impl Simulation {
     fn apply_event_action(&mut self, action: EventAction) {
         match action {
             EventAction::LinkCapacityFactor { resource, factor } => {
-                assert!(factor > 0.0, "capacity factor must be positive");
+                debug_assert!(factor > 0.0, "capacity factor must be positive");
                 let idx = resource.unwrap_or(self.env.bottleneck_link);
                 let base = &self.baseline_env.resources[idx];
                 let r = &mut self.env.resources[idx];
@@ -312,11 +336,11 @@ impl Simulation {
                 r.per_stream_cap_mbps = base.per_stream_cap_mbps.map(|c| c * factor);
             }
             EventAction::LossFloor { rate } => {
-                assert!((0.0..1.0).contains(&rate), "loss floor must be in [0, 1)");
+                debug_assert!((0.0..1.0).contains(&rate), "loss floor must be in [0, 1)");
                 self.loss_floor = rate;
             }
             EventAction::DiskThrottleFactor { factor } => {
-                assert!(factor > 0.0, "disk throttle factor must be positive");
+                debug_assert!(factor > 0.0, "disk throttle factor must be positive");
                 for (r, base) in self
                     .env
                     .resources
@@ -328,7 +352,7 @@ impl Simulation {
                 }
             }
             EventAction::RttShift { rtt_s } => {
-                assert!(rtt_s > 0.0, "RTT must be positive");
+                debug_assert!(rtt_s > 0.0, "RTT must be positive");
                 self.env.rtt_s = rtt_s;
             }
             EventAction::KillAgent { agent } => {
@@ -394,6 +418,7 @@ impl Simulation {
     /// [`Simulation::try_instantaneous_rate_mbps`] when it may be gone.
     pub fn instantaneous_rate_mbps(&self, h: AgentHandle) -> f64 {
         self.try_instantaneous_rate_mbps(h).unwrap_or_else(|| {
+            // falcon-lint::allow(panic-safety, reason = "documented panicking API; try_instantaneous_rate_mbps is the fallible form")
             panic!(
                 "instantaneous_rate_mbps on dead agent {}: it was removed or \
                  killed; use try_instantaneous_rate_mbps if the agent may be \
@@ -412,7 +437,7 @@ impl Simulation {
 
     /// Advance the simulation by `dt_s` seconds.
     pub fn step(&mut self, dt_s: f64) {
-        assert!(dt_s > 0.0);
+        debug_assert!(dt_s > 0.0);
         self.apply_due_events();
         let t = self.time_s;
         let bottleneck = self.env.bottleneck_link;
@@ -429,12 +454,14 @@ impl Simulation {
             .fold(f64::INFINITY, f64::min);
 
         // Streams are ordered: for each alive agent, its n*p connections;
-        // then one stream per active background flow.
+        // then one stream per active background flow. The vectors live in
+        // `self.scratch` and are cleared and refilled, so a steady-state
+        // step allocates nothing once the buffers have grown to size.
         let full_mask: u64 = (1u64 << self.env.resources.len()) - 1;
         let link_mask: u64 = 1u64 << bottleneck;
 
-        let mut streams: Vec<WeightedStreamDemand> = Vec::new();
-        let mut owners: Vec<usize> = Vec::new(); // agent index per agent stream
+        self.scratch.streams.clear();
+        self.scratch.owners.clear();
         let mut offered_mbps = 0.0;
         let mut n_conns_total: u32 = 0;
 
@@ -448,12 +475,12 @@ impl Simulation {
             // thread's usable demand.
             let per_conn_cap = per_proc_cap / f64::from(s.parallelism) * s.efficiency;
             for _ in 0..s.total_connections() {
-                streams.push(WeightedStreamDemand {
+                self.scratch.streams.push(WeightedStreamDemand {
                     cap_mbps: per_conn_cap,
                     resource_mask: full_mask,
                     weight: s.share_weight,
                 });
-                owners.push(idx);
+                self.scratch.owners.push(idx);
             }
             if per_conn_cap.is_finite() {
                 offered_mbps += per_conn_cap * f64::from(s.total_connections());
@@ -475,7 +502,7 @@ impl Simulation {
             .fold(f64::INFINITY, f64::min);
         offered_mbps = offered_mbps.min(upstream_cap);
 
-        let n_agent_streams = streams.len();
+        let n_agent_streams = self.scratch.streams.len();
         for bg in &self.background {
             if t >= bg.start_s && t < bg.end_s {
                 // Each background connection competes as its own max-min
@@ -483,7 +510,7 @@ impl Simulation {
                 let conns = bg.connections.max(1);
                 let per_conn = bg.demand_mbps / f64::from(conns);
                 for _ in 0..conns {
-                    streams.push(WeightedStreamDemand {
+                    self.scratch.streams.push(WeightedStreamDemand {
                         cap_mbps: per_conn,
                         resource_mask: link_mask,
                         weight: 1.0,
@@ -533,7 +560,7 @@ impl Simulation {
 
         // --- 3. Congestion-control caps. --------------------------------------
         let loss_event_rate = loss / Self::LOSS_EVENT_BURST;
-        let n_at_link = streams.len().max(1) as f64;
+        let n_at_link = self.scratch.streams.len().max(1) as f64;
         let fair_share = link_capacity / n_at_link;
         let cca_cap = self.env.cca.sustainable_rate_mbps(
             loss_event_rate,
@@ -542,19 +569,40 @@ impl Simulation {
             fair_share.max(link_capacity), // response-function cap only; share
                                            // enforcement happens in max-min
         );
-        for st in streams.iter_mut().take(n_agent_streams) {
+        for st in self.scratch.streams.iter_mut().take(n_agent_streams) {
             st.cap_mbps = st.cap_mbps.min(cca_cap);
         }
 
         // --- 4. Max-min allocation over contended capacities. -----------------
-        let stream_count = streams.len() as u32;
-        let capacities: Vec<f64> = self
-            .env
-            .resources
-            .iter()
-            .map(|r| r.effective_capacity_mbps(stream_count))
-            .collect();
-        let rates = weighted_max_min_allocate(&streams, &capacities);
+        let stream_count = self.scratch.streams.len() as u32;
+        self.scratch.capacities.clear();
+        self.scratch.capacities.extend(
+            self.env
+                .resources
+                .iter()
+                .map(|r| r.effective_capacity_mbps(stream_count)),
+        );
+        // Allocation is a pure function of (streams, capacities): if both
+        // match last tick's inputs exactly, last tick's rates are already
+        // the answer and progressive filling can be skipped. Exact (not
+        // hashed) comparison, so a skip can never produce different bytes
+        // than a recompute. Any NaN in the inputs compares unequal and
+        // falls through to a recompute — never a wrong skip.
+        let scratch = &mut self.scratch;
+        let unchanged = scratch.prev_valid
+            && scratch.streams == scratch.prev_streams
+            && scratch.capacities == scratch.prev_capacities;
+        if !unchanged {
+            weighted_max_min_allocate_into(
+                &scratch.streams,
+                &scratch.capacities,
+                &mut scratch.rates,
+                &mut scratch.alloc,
+            );
+            scratch.prev_streams.clone_from(&scratch.streams);
+            scratch.prev_capacities.clone_from(&scratch.capacities);
+            scratch.prev_valid = true;
+        }
 
         // --- 5. Ramp dynamics and accounting. ---------------------------------
         let mut cursor = 0usize;
@@ -564,8 +612,8 @@ impl Simulation {
             }
             let mut agg = 0.0;
             for ramp in a.ramps.iter_mut() {
-                debug_assert_eq!(owners[cursor], idx);
-                let target = rates[cursor];
+                debug_assert_eq!(self.scratch.owners[cursor], idx);
+                let target = self.scratch.rates[cursor];
                 let actual = ramp.advance(target, dt_s);
                 agg += actual * (1.0 - loss);
                 cursor += 1;
@@ -589,6 +637,7 @@ impl Simulation {
     /// when the agent may legitimately be gone.
     pub fn take_sample(&mut self, h: AgentHandle) -> AgentSample {
         self.try_take_sample(h).unwrap_or_else(|| {
+            // falcon-lint::allow(panic-safety, reason = "documented panicking API; try_take_sample is the fallible form")
             panic!(
                 "take_sample on dead agent {}: it was removed or killed; use \
                  try_take_sample if the agent may be gone",
@@ -645,8 +694,8 @@ impl Simulation {
     /// to be rounded away, so `run_for(1.25, 0.5)` advanced only 1.0s or
     /// 1.5s depending on rounding).
     pub fn run_for(&mut self, duration_s: f64, dt_s: f64) {
-        assert!(dt_s > 0.0, "dt_s must be positive");
-        assert!(duration_s >= 0.0, "duration_s must be non-negative");
+        debug_assert!(dt_s > 0.0, "dt_s must be positive");
+        debug_assert!(duration_s >= 0.0, "duration_s must be non-negative");
         let ticks = duration_s / dt_s;
         let whole = ticks.floor();
         for _ in 0..whole as u64 {
