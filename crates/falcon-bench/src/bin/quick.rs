@@ -1,4 +1,4 @@
-//! Reduced-iteration benchmark pass over the six bench groups, writing a
+//! Reduced-iteration benchmark pass over the bench groups, writing a
 //! machine-readable `BENCH.json` perf trajectory.
 //!
 //! ```text
@@ -197,6 +197,48 @@ fn bench_simulator(q: &mut QuickBench) {
     });
 }
 
+fn bench_trace(q: &mut QuickBench) {
+    use falcon_trace::{TraceEvent, Tracer};
+    // Disabled tracer: the no-op path threaded through every hot loop. A
+    // single branch on `Option::is_none` — the closure must never run.
+    let disabled = Tracer::default();
+    q.bench("trace", "emit_disabled", || {
+        disabled.emit(|| TraceEvent::SettingsChange {
+            concurrency: black_box(32),
+            parallelism: 1,
+            pipelining: 1,
+        });
+    });
+    let recording = Tracer::recording();
+    q.bench("trace", "emit_enabled", || {
+        recording.emit(|| TraceEvent::SettingsChange {
+            concurrency: black_box(32),
+            parallelism: 1,
+            pipelining: 1,
+        });
+    });
+    q.bench("trace", "counter_incr_enabled", || {
+        recording.incr(black_box("bench.counter"));
+    });
+    // The acceptance gate: a steady-state sim step with the default
+    // (disabled) tracer installed must sit within noise of
+    // simulator/step_100conn_steady above.
+    let mut sim = Simulation::new(Environment::emulab(21.0), 1);
+    sim.set_tracer(Tracer::default());
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(100));
+    q.bench("trace", "step_100conn_tracer_disabled", || {
+        sim.step(black_box(0.1))
+    });
+    let mut sim = Simulation::new(Environment::emulab(21.0), 1);
+    sim.set_tracer(Tracer::recording());
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(100));
+    q.bench("trace", "step_100conn_tracer_recording", || {
+        sim.step(black_box(0.1))
+    });
+}
+
 fn bench_optimizers(q: &mut QuickBench) {
     let mut opt = HillClimbingOptimizer::new(HcParams::new(100));
     let mut cc = opt.initial().concurrency;
@@ -268,6 +310,7 @@ fn main() {
     bench_utility(&mut q);
     bench_gp(&mut q);
     bench_simulator(&mut q);
+    bench_trace(&mut q);
     bench_optimizers(&mut q);
     bench_convergence(&mut q);
     bench_figures(&mut q);

@@ -94,6 +94,18 @@ impl Default for LoopbackArgs {
     }
 }
 
+/// Arguments of `falcon scenario`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioArgs {
+    /// Scenario file path.
+    pub path: String,
+    /// Optional JSONL structured-trace output path (`--trace`).
+    pub trace_out: Option<String>,
+    /// Print the structured-trace summary after the report
+    /// (`--trace-summary`).
+    pub trace_summary: bool,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -102,7 +114,7 @@ pub enum Command {
     /// Run against live loopback sockets.
     Loopback(LoopbackArgs),
     /// Run a declarative scenario file.
-    Scenario(String),
+    Scenario(ScenarioArgs),
     /// List environment presets.
     Envs,
     /// Print usage.
@@ -189,10 +201,36 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Loopback(a))
         }
         "scenario" => {
-            let [path] = rest else {
-                return Err(ParseError("scenario takes exactly one file path".into()));
-            };
-            Ok(Command::Scenario(path.clone()))
+            let mut path: Option<String> = None;
+            let mut trace_out = None;
+            let mut trace_summary = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--trace" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--trace requires a file path".into()))?;
+                        trace_out = Some(v.clone());
+                    }
+                    "--trace-summary" => trace_summary = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(ParseError(format!("unknown flag {flag}")))
+                    }
+                    p => {
+                        if path.replace(p.to_string()).is_some() {
+                            return Err(ParseError("scenario takes exactly one file path".into()));
+                        }
+                    }
+                }
+            }
+            let path =
+                path.ok_or_else(|| ParseError("scenario takes exactly one file path".into()))?;
+            Ok(Command::Scenario(ScenarioArgs {
+                path,
+                trace_out,
+                trace_summary,
+            }))
         }
         "envs" => Ok(Command::Envs),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -209,9 +247,14 @@ USAGE:
                   [--gigabytes N] [--seed N]
   falcon loopback [--optimizer gd|bo|hc] [--per-worker-mbps RATE]
                   [--interval SECS] [--probes N] [--max-workers N]
-  falcon scenario FILE
+  falcon scenario FILE [--trace OUT.jsonl] [--trace-summary]
   falcon envs
   falcon help
+
+  --trace OUT.jsonl   write the structured event trace (probes, decisions,
+                      settings changes, recovery, environment events,
+                      convergence markers) as JSON Lines
+  --trace-summary     print per-agent event counts and convergence times
 ";
 
 #[cfg(test)]
@@ -301,10 +344,37 @@ mod tests {
     fn scenario_takes_one_path() {
         assert_eq!(
             parse(&argv("scenario demo.ini")).unwrap(),
-            Command::Scenario("demo.ini".into())
+            Command::Scenario(ScenarioArgs {
+                path: "demo.ini".into(),
+                trace_out: None,
+                trace_summary: false,
+            })
         );
         assert!(parse(&argv("scenario")).is_err());
         assert!(parse(&argv("scenario a b")).is_err());
+    }
+
+    #[test]
+    fn scenario_trace_flags() {
+        let Command::Scenario(a) =
+            parse(&argv("scenario demo.ini --trace out.jsonl --trace-summary")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(a.path, "demo.ini");
+        assert_eq!(a.trace_out.as_deref(), Some("out.jsonl"));
+        assert!(a.trace_summary);
+        // Flag order does not matter; the path may come last.
+        let Command::Scenario(b) = parse(&argv("scenario --trace-summary demo.ini")).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(b.path, "demo.ini");
+        assert!(b.trace_summary);
+        assert_eq!(b.trace_out, None);
+        // --trace without a value is rejected, as are unknown flags.
+        assert!(parse(&argv("scenario demo.ini --trace")).is_err());
+        assert!(parse(&argv("scenario demo.ini --bogus")).is_err());
     }
 
     #[test]

@@ -1,7 +1,25 @@
 //! `falcon` binary entry point.
 
-use falcon_cli::args::{self, Command};
-use falcon_cli::run;
+use falcon_cli::args::{self, Command, ScenarioArgs};
+use falcon_cli::{run, scenario};
+
+fn scenario_cmd(a: &ScenarioArgs) -> Result<String, String> {
+    let text = std::fs::read_to_string(&a.path).map_err(|e| format!("reading {}: {e}", a.path))?;
+    let sc = scenario::parse(&text).map_err(|e| e.to_string())?;
+    if a.trace_out.is_none() && !a.trace_summary {
+        return scenario::run(&sc).map_err(|e| e.to_string());
+    }
+    let (trace, log) = scenario::run_traced(&sc).map_err(|e| e.to_string())?;
+    let mut out = scenario::render(&sc, &trace).map_err(|e| e.to_string())?;
+    if let Some(path) = &a.trace_out {
+        std::fs::write(path, log.to_jsonl()).map_err(|e| format!("writing trace {path}: {e}"))?;
+        out.push_str(&format!("structured trace written to {path}\n"));
+    }
+    if a.trace_summary {
+        out.push_str(&log.summary());
+    }
+    Ok(out)
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -23,12 +41,7 @@ fn main() {
         }
         Command::Simulate(a) => run::simulate(&a),
         Command::Loopback(a) => run::loopback(&a),
-        Command::Scenario(path) => std::fs::read_to_string(&path)
-            .map_err(|e| format!("reading {path}: {e}"))
-            .and_then(|text| {
-                let sc = falcon_cli::scenario::parse(&text).map_err(|e| e.to_string())?;
-                falcon_cli::scenario::run(&sc).map_err(|e| e.to_string())
-            }),
+        Command::Scenario(a) => scenario_cmd(&a),
     };
     match result {
         Ok(out) => print!("{out}"),

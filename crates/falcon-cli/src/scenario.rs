@@ -53,6 +53,7 @@
 use falcon_baselines::{GlobusTuner, HarpHistory, HarpTuner};
 use falcon_core::{FalconAgent, SearchBounds, TransferSettings};
 use falcon_sim::{BackgroundFlow, EnvironmentEvent, EventAction, Simulation};
+use falcon_trace::{TraceLog, Tracer};
 use falcon_transfer::dataset::Dataset;
 use falcon_transfer::harness::SimHarness;
 use falcon_transfer::runner::{AgentPlan, FixedTuner, Runner, Tuner};
@@ -355,16 +356,34 @@ fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, Pars
     })
 }
 
-/// Run a parsed scenario; returns the rendered report (and writes the trace
-/// CSV if requested).
 /// Execute a scenario and return the raw run trace. This is the seam the
 /// determinism regression test drives: same scenario + same seed must yield
 /// a byte-identical serialized trace.
 pub fn run_trace(sc: &Scenario) -> Result<falcon_transfer::runner::RunTrace, ParseError> {
+    run_with_tracer(sc, Tracer::default()).map(|(trace, _)| trace)
+}
+
+/// Execute a scenario with a recording tracer installed on the simulation
+/// (environment events, step counters) and the runner (probe, decision,
+/// settings-change, recovery, and convergence events). This is the seam the
+/// golden-trace regression suite drives: same scenario + same seed must
+/// yield a byte-identical JSONL export.
+pub fn run_traced(
+    sc: &Scenario,
+) -> Result<(falcon_transfer::runner::RunTrace, TraceLog), ParseError> {
+    run_with_tracer(sc, Tracer::recording())
+}
+
+fn run_with_tracer(
+    sc: &Scenario,
+    tracer: Tracer,
+) -> Result<(falcon_transfer::runner::RunTrace, TraceLog), ParseError> {
     let env = resolve_env(&sc.env)
         .ok_or_else(|| ParseError(format!("unknown environment {:?}", sc.env)))?;
     let max_cc = env.max_concurrency;
-    let mut harness = SimHarness::new(Simulation::new(env, sc.seed));
+    let mut sim = Simulation::new(env, sc.seed);
+    sim.set_tracer(tracer.clone());
+    let mut harness = SimHarness::new(sim);
     for bg in &sc.background {
         harness.sim_mut().add_background_flow(*bg);
     }
@@ -379,12 +398,27 @@ pub fn run_trace(sc: &Scenario) -> Result<falcon_transfer::runner::RunTrace, Par
         }
         plans.push(plan);
     }
-    Ok(Runner::default().run(&mut harness, plans, sc.duration_s))
+    let runner = Runner {
+        tracer: tracer.clone(),
+        ..Runner::default()
+    };
+    let trace = runner.run(&mut harness, plans, sc.duration_s);
+    Ok((trace, tracer.take_log()))
 }
 
+/// Run a parsed scenario; returns the rendered report (and writes the trace
+/// CSV if requested).
 pub fn run(sc: &Scenario) -> Result<String, ParseError> {
     let trace = run_trace(sc)?;
+    render(sc, &trace)
+}
 
+/// Render the human-readable report of a completed run (and write the trace
+/// CSV if the scenario requested one).
+pub fn render(
+    sc: &Scenario,
+    trace: &falcon_transfer::runner::RunTrace,
+) -> Result<String, ParseError> {
     let mut out = format!(
         "# scenario env={} duration={:.0}s agents={}\n{:<4} {:<26} {:>12} {:>10} {:>10}\n",
         sc.env,

@@ -133,6 +133,12 @@ impl FalconAgent {
         self.optimizer.reset();
         self.history.clear();
     }
+
+    /// Install a tracer on the underlying optimizer so its decision events
+    /// (per-candidate utility breakdowns) land in the trace log.
+    pub fn set_tracer(&mut self, tracer: falcon_trace::Tracer) {
+        self.optimizer.set_tracer(tracer);
+    }
 }
 
 #[cfg(test)]

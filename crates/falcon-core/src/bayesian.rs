@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use falcon_gp::{GpHedge, PredictScratch};
+use falcon_trace::{Candidate, TraceEvent, Tracer};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
@@ -89,6 +90,7 @@ pub struct BayesianOptimizer {
     candidates: Vec<Vec<f64>>,
     candidates_hi: u32,
     predict_scratch: PredictScratch,
+    tracer: Tracer,
 }
 
 impl BayesianOptimizer {
@@ -111,6 +113,7 @@ impl BayesianOptimizer {
             candidates: Vec::new(),
             candidates_hi: 0,
             predict_scratch: PredictScratch::default(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -201,6 +204,28 @@ impl BayesianOptimizer {
         self.hedge
             .update(|i| s.gp.predict_into(&candidates[i], scratch).0);
         let chosen = lo + idx as u32;
+        if self.tracer.is_enabled() {
+            if let Some(point) = self.candidates.get(idx) {
+                let (mean, var) = s.gp.predict_into(point, &mut self.predict_scratch);
+                let best_y = s.best_y;
+                self.tracer.emit(|| TraceEvent::Decision {
+                    optimizer: "bayesian-optimization".to_string(),
+                    concurrency: chosen,
+                    parallelism: 1,
+                    pipelining: 1,
+                    terms: vec![
+                        ("best_y".to_string(), best_y),
+                        ("posterior_mean".to_string(), mean),
+                        ("posterior_sd".to_string(), var.max(0.0).sqrt()),
+                    ],
+                    candidates: vec![Candidate {
+                        concurrency: chosen,
+                        parallelism: 1,
+                        utility: mean,
+                    }],
+                });
+            }
+        }
         self.maybe_grow_space(chosen);
         chosen
     }
@@ -222,7 +247,16 @@ impl OnlineOptimizer for BayesianOptimizer {
             self.history.pop_front();
         }
         let next_cc = if self.probes_issued < self.params.random_init {
-            self.random_probe()
+            let cc = self.random_probe();
+            self.tracer.emit(|| TraceEvent::Decision {
+                optimizer: "bayesian-optimization".to_string(),
+                concurrency: cc,
+                parallelism: 1,
+                pipelining: 1,
+                terms: vec![("random_phase".to_string(), 1.0)],
+                candidates: Vec::new(),
+            });
+            cc
         } else {
             self.surrogate_probe()
         };
@@ -241,6 +275,10 @@ impl OnlineOptimizer for BayesianOptimizer {
         self.candidates.clear();
         self.candidates_hi = 0;
         self.first_probe = self.random_probe();
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use falcon_gp::{GpHedge, PredictScratch};
+use falcon_trace::{Candidate, TraceEvent, Tracer};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
@@ -85,6 +86,7 @@ pub struct BayesianMpOptimizer {
     /// GP surrogate reused across probes.
     surrogate: Option<CachedSurrogate>,
     predict_scratch: PredictScratch,
+    tracer: Tracer,
 }
 
 impl BayesianMpOptimizer {
@@ -113,6 +115,7 @@ impl BayesianMpOptimizer {
             probes_issued: 1,
             surrogate: None,
             predict_scratch: PredictScratch::default(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -193,7 +196,30 @@ impl BayesianMpOptimizer {
         let points = &self.points;
         self.hedge
             .update(|i| su.gp.predict_into(&points[i], scratch).0);
-        self.candidates[idx]
+        let chosen = self.candidates[idx];
+        if self.tracer.is_enabled() {
+            if let Some(point) = self.points.get(idx) {
+                let (mean, var) = su.gp.predict_into(point, &mut self.predict_scratch);
+                let best_y = su.best_y;
+                self.tracer.emit(|| TraceEvent::Decision {
+                    optimizer: "bayesian-optimization-mp".to_string(),
+                    concurrency: chosen.concurrency,
+                    parallelism: chosen.parallelism,
+                    pipelining: chosen.pipelining,
+                    terms: vec![
+                        ("best_y".to_string(), best_y),
+                        ("posterior_mean".to_string(), mean),
+                        ("posterior_sd".to_string(), var.max(0.0).sqrt()),
+                    ],
+                    candidates: vec![Candidate {
+                        concurrency: chosen.concurrency,
+                        parallelism: chosen.parallelism,
+                        utility: mean,
+                    }],
+                });
+            }
+        }
+        chosen
     }
 }
 
@@ -226,6 +252,10 @@ impl OnlineOptimizer for BayesianMpOptimizer {
         self.probes_issued = 1;
         self.surrogate = None;
         self.first_probe = self.random_probe();
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

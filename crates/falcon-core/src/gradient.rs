@@ -9,6 +9,8 @@
 //! dynamic step-size policy. After convergence the search keeps probing
 //! `n±1` forever, which is the 9 ↔ 11 bounce visible in Figure 9(a).
 
+use falcon_trace::{Candidate, TraceEvent, Tracer};
+
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
 
@@ -92,6 +94,7 @@ pub struct GradientDescentOptimizer {
     /// from the fair equilibrium.
     order_flipped: bool,
     order_rng: u64,
+    tracer: Tracer,
 }
 
 impl GradientDescentOptimizer {
@@ -106,6 +109,7 @@ impl GradientDescentOptimizer {
             order_flipped: false,
             order_rng: 0x9E37_79B9_7F4A_7C15,
             params,
+            tracer: Tracer::default(),
         }
     }
 
@@ -201,8 +205,9 @@ impl OnlineOptimizer for GradientDescentOptimizer {
                 // The step itself uses the noise-averaged utilities at the
                 // two probe positions.
                 self.decay_cache();
-                let mean_low = self.record_utility(self.low_probe(), u_low);
-                let mean_high = self.record_utility(self.high_probe(), u_high);
+                let (probed_low, probed_high) = (self.low_probe(), self.high_probe());
+                let mean_low = self.record_utility(probed_low, u_low);
+                let mean_high = self.record_utility(probed_high, u_high);
                 let span = f64::from(self.high_probe().saturating_sub(self.low_probe()).max(1));
                 let mean_denom = mean_low.abs().max(1e-9);
                 let rel_slope = (mean_high - mean_low) / (span * mean_denom);
@@ -244,6 +249,29 @@ impl OnlineOptimizer for GradientDescentOptimizer {
                     self.theta = self.params.theta0;
                     self.last_direction = 0;
                 }
+                self.tracer.emit(|| TraceEvent::Decision {
+                    optimizer: "gradient-descent".to_string(),
+                    concurrency: self.center,
+                    parallelism: 1,
+                    pipelining: 1,
+                    terms: vec![
+                        ("raw_slope".to_string(), raw_slope),
+                        ("rel_slope".to_string(), rel_slope),
+                        ("theta".to_string(), self.theta),
+                    ],
+                    candidates: vec![
+                        Candidate {
+                            concurrency: probed_low,
+                            parallelism: 1,
+                            utility: mean_low,
+                        },
+                        Candidate {
+                            concurrency: probed_high,
+                            parallelism: 1,
+                            utility: mean_high,
+                        },
+                    ],
+                });
                 self.phase = Phase::First;
                 self.redraw_order();
                 self.initial()
@@ -258,6 +286,10 @@ impl OnlineOptimizer for GradientDescentOptimizer {
         self.last_direction = 0;
         self.u_cache.clear();
         self.order_flipped = false;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

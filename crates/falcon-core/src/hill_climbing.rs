@@ -15,6 +15,8 @@
 //! slower to converge than Gradient Descent or Bayesian Optimization
 //! (Figure 7) and too slow to reach fairness under competition (Figure 8).
 
+use falcon_trace::{Candidate, TraceEvent, Tracer};
+
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
 
@@ -49,6 +51,7 @@ pub struct HillClimbingOptimizer {
     /// Best utility observed since the last reversal.
     best_in_run: Option<f64>,
     current: u32,
+    tracer: Tracer,
 }
 
 impl HillClimbingOptimizer {
@@ -59,6 +62,7 @@ impl HillClimbingOptimizer {
             best_in_run: None,
             current: params.start,
             params,
+            tracer: Tracer::default(),
         }
     }
 
@@ -112,6 +116,21 @@ impl OnlineOptimizer for HillClimbingOptimizer {
         } else {
             self.current = next;
         }
+        self.tracer.emit(|| TraceEvent::Decision {
+            optimizer: "hill-climbing".to_string(),
+            concurrency: self.current,
+            parallelism: 1,
+            pipelining: 1,
+            terms: vec![
+                ("direction".to_string(), self.direction as f64),
+                ("best_in_run".to_string(), self.best_in_run.unwrap_or(u)),
+            ],
+            candidates: vec![Candidate {
+                concurrency: obs.settings.concurrency,
+                parallelism: obs.settings.parallelism,
+                utility: u,
+            }],
+        });
         TransferSettings::with_concurrency(self.current)
     }
 
@@ -119,6 +138,10 @@ impl OnlineOptimizer for HillClimbingOptimizer {
         self.direction = 1;
         self.best_in_run = None;
         self.current = self.params.start;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -1,5 +1,7 @@
 //! The online-optimizer interface shared by all search algorithms.
 
+use falcon_trace::Tracer;
+
 use crate::metrics::ProbeMetrics;
 use crate::settings::TransferSettings;
 
@@ -32,6 +34,10 @@ pub trait OnlineOptimizer: Send {
     /// Reset internal state (used when the environment changes abruptly and
     /// a caller wants a cold restart; optimizers also adapt on their own).
     fn reset(&mut self);
+
+    /// Install a tracer for decision events. Default: ignore (optimizers
+    /// that do not emit decision events need no storage for it).
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub mod figs14_16;
 pub mod figs1_4;
 pub mod figs6_8;
 pub mod figs9_13;
+pub mod observability;
 pub mod table;
 
 pub use table::Table;
@@ -69,6 +70,7 @@ pub fn registry() -> Vec<Experiment> {
         ("overhead", extensions::overhead),
         ("makespan", extensions::makespan),
         ("rtt_unfairness", extensions::rtt_unfairness),
+        ("observability", observability::observability),
     ]
 }
 

@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use falcon_core::{ProbeMetrics, TransferSettings};
+use falcon_trace::Tracer;
 use falcon_transfer::dataset::Dataset;
 use falcon_transfer::harness::TransferHarness;
 
@@ -19,6 +20,7 @@ pub struct NetHarness {
     max_workers: u32,
     sample_interval_s: f64,
     elapsed_s: f64,
+    tracer: Tracer,
 }
 
 impl NetHarness {
@@ -36,12 +38,20 @@ impl NetHarness {
             max_workers,
             sample_interval_s,
             elapsed_s: 0.0,
+            tracer: Tracer::default(),
         })
     }
 
     /// The port the shared receiver listens on.
     pub fn port(&self) -> u16 {
         self.receiver.port()
+    }
+
+    /// Install a tracer: each joining transfer gets an agent-scoped handle
+    /// for its connection-lifecycle events, and `advance` stamps harness
+    /// time on the shared clock.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -50,12 +60,13 @@ impl TransferHarness for NetHarness {
         // Never panics: workers establish their own connections with retry
         // and backoff, and a pool that cannot connect at all just reports
         // itself detached (the runner's watchdog then keeps retrying).
-        let t = LoopbackTransfer::start(LoopbackConfig {
+        let mut t = LoopbackTransfer::start(LoopbackConfig {
             port: self.receiver.port(),
             per_worker_mbps: self.per_worker_mbps,
             total_bytes: dataset.total_bytes(),
             max_workers: self.max_workers,
         });
+        t.set_tracer(self.tracer.for_agent(self.transfers.len() as u32));
         self.transfers.push(t);
         self.transfers.len() - 1
     }
@@ -67,6 +78,7 @@ impl TransferHarness for NetHarness {
     fn advance(&mut self, dt_s: f64) {
         std::thread::sleep(Duration::from_secs_f64(dt_s));
         self.elapsed_s += dt_s;
+        self.tracer.set_time(self.elapsed_s);
     }
 
     fn sample(&mut self, agent: usize) -> ProbeMetrics {

@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use falcon_core::{ProbeMetrics, TransferSettings};
+use falcon_trace::{TraceEvent, Tracer};
 
 use crate::sync::Mutex;
 
@@ -104,6 +105,7 @@ pub struct LoopbackTransfer {
     settings: Mutex<TransferSettings>,
     last_sample: Mutex<(Instant, u64)>,
     last_peek: Mutex<(Instant, u64)>,
+    tracer: Tracer,
 }
 
 impl LoopbackTransfer {
@@ -126,9 +128,16 @@ impl LoopbackTransfer {
             settings: Mutex::new(TransferSettings::with_concurrency(1)),
             last_sample: Mutex::new((Instant::now(), 0)),
             last_peek: Mutex::new((Instant::now(), 0)),
+            tracer: Tracer::default(),
         };
         t.apply_settings(TransferSettings::with_concurrency(1));
         t
+    }
+
+    /// Install a tracer for connection-lifecycle events (pool resizes,
+    /// respawns, shutdown).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Resize the worker pool to match `settings`.
@@ -156,6 +165,10 @@ impl LoopbackTransfer {
             workers.push(self.spawn_worker(parallelism));
         }
         drop(workers);
+        self.tracer.emit(|| TraceEvent::Connection {
+            action: "apply_settings".to_string(),
+            value: target as f64,
+        });
         for w in retired {
             w.stop.store(true, Ordering::Relaxed);
             let _ = w.handle.join();
@@ -204,6 +217,12 @@ impl LoopbackTransfer {
             respawned += 1;
         }
         drop(workers);
+        if respawned > 0 {
+            self.tracer.emit(|| TraceEvent::Connection {
+                action: "respawn".to_string(),
+                value: respawned as f64,
+            });
+        }
         // The handles are finished, but join still synchronizes with thread
         // teardown — keep it off the pool lock.
         for w in dead {
@@ -355,8 +374,15 @@ impl LoopbackTransfer {
 
     /// Stop all workers.
     pub fn shutdown(&self) {
-        self.shared.stop_all.store(true, Ordering::Relaxed);
+        let already_stopped = self.shared.stop_all.swap(true, Ordering::Relaxed);
         let retired: Vec<Worker> = self.workers.lock().drain(..).collect();
+        if !already_stopped {
+            let n = retired.len();
+            self.tracer.emit(|| TraceEvent::Connection {
+                action: "shutdown".to_string(),
+                value: n as f64,
+            });
+        }
         for w in retired {
             w.stop.store(true, Ordering::Relaxed);
             let _ = w.handle.join();

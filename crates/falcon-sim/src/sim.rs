@@ -24,6 +24,7 @@
 //! thread would observe on a real system.
 
 use falcon_tcp::RateRamp;
+use falcon_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -177,6 +178,7 @@ pub struct Simulation {
     current_loss: f64,
     rng: StdRng,
     scratch: StepScratch,
+    tracer: Tracer,
 }
 
 impl Simulation {
@@ -200,7 +202,14 @@ impl Simulation {
             current_loss: 0.0,
             rng: StdRng::seed_from_u64(seed),
             scratch: StepScratch::default(),
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Install a tracer. The simulation stamps sim time on it each step and
+    /// emits environment events, step counters, and a loss histogram.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The environment being simulated.
@@ -326,6 +335,22 @@ impl Simulation {
     }
 
     fn apply_event_action(&mut self, action: EventAction) {
+        // Mirror the scripted action into the trace before applying it, so
+        // a trace reader can line environment shifts up with decisions.
+        self.tracer.emit(|| {
+            let (label, value) = match action {
+                EventAction::LinkCapacityFactor { factor, .. } => ("link_capacity_factor", factor),
+                EventAction::LossFloor { rate } => ("loss_floor", rate),
+                EventAction::DiskThrottleFactor { factor } => ("disk_throttle_factor", factor),
+                EventAction::RttShift { rtt_s } => ("rtt_shift", rtt_s),
+                EventAction::KillAgent { agent } => ("kill_agent", agent as f64),
+                EventAction::ReviveAgent { agent } => ("revive_agent", agent as f64),
+            };
+            TraceEvent::Environment {
+                action: label.to_string(),
+                value,
+            }
+        });
         match action {
             EventAction::LinkCapacityFactor { resource, factor } => {
                 debug_assert!(factor > 0.0, "capacity factor must be positive");
@@ -438,6 +463,7 @@ impl Simulation {
     /// Advance the simulation by `dt_s` seconds.
     pub fn step(&mut self, dt_s: f64) {
         debug_assert!(dt_s > 0.0);
+        self.tracer.set_time(self.time_s);
         self.apply_due_events();
         let t = self.time_s;
         let bottleneck = self.env.bottleneck_link;
@@ -602,7 +628,12 @@ impl Simulation {
             scratch.prev_streams.clone_from(&scratch.streams);
             scratch.prev_capacities.clone_from(&scratch.capacities);
             scratch.prev_valid = true;
+            self.tracer.incr("sim.alloc_runs");
+        } else {
+            self.tracer.incr("sim.alloc_skips");
         }
+        self.tracer.incr("sim.steps");
+        self.tracer.observe("sim.loss_rate", loss);
 
         // --- 5. Ramp dynamics and accounting. ---------------------------------
         let mut cursor = 0usize;

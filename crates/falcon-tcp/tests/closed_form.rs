@@ -1,0 +1,137 @@
+//! Steady-state response functions against hand-computed closed-form
+//! values. Each constant below is derived on paper from the published
+//! formula, so a regression in the implementation (a misplaced constant,
+//! an inverted exponent) shows up as a numeric mismatch — not just a
+//! broken inequality.
+
+use falcon_tcp::response::MIN_LOSS;
+use falcon_tcp::{
+    bbr_rate_mbps, cubic_rate_mbps, hstcp_rate_mbps, mathis_rate_mbps, window_to_mbps,
+    DEFAULT_MSS_BYTES,
+};
+
+const MSS: f64 = DEFAULT_MSS_BYTES;
+
+fn assert_close(got: f64, want: f64, rel: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= rel * want.abs(),
+        "{what}: got {got}, want {want} (±{:.2}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn mathis_closed_form_values() {
+    // W = sqrt(1.5 / p) segments; rate = W * MSS * 8 / RTT / 1e6.
+    //
+    // p = 0.01, RTT = 100 ms:
+    //   W = sqrt(150) = 12.24745, rate = 12.24745 * 1460 * 8 / 0.1 / 1e6
+    //     = 1.43050 Mbps.
+    assert_close(
+        mathis_rate_mbps(0.01, 0.1, MSS),
+        1.430_50,
+        1e-4,
+        "mathis(1%, 100ms)",
+    );
+    // p = 1e-4, RTT = 30 ms: W = sqrt(15000) = 122.4745,
+    //   rate = 122.4745 * 1460 * 8 / 0.03 / 1e6 = 47.683 Mbps.
+    assert_close(
+        mathis_rate_mbps(1e-4, 0.03, MSS),
+        47.683,
+        1e-3,
+        "mathis(1e-4, 30ms)",
+    );
+    // Quartering the loss doubles the rate (inverse square root), exactly.
+    let r1 = mathis_rate_mbps(4e-4, 0.03, MSS);
+    let r2 = mathis_rate_mbps(1e-4, 0.03, MSS);
+    assert_close(r2 / r1, 2.0, 1e-9, "mathis sqrt scaling");
+}
+
+#[test]
+fn mathis_loss_floor_is_min_loss() {
+    // Below MIN_LOSS the response is clamped: p = 0 and p = MIN_LOSS give
+    // the identical finite rate W = sqrt(1.5/1e-7) = 3872.98 segments.
+    let floored = mathis_rate_mbps(0.0, 0.03, MSS);
+    assert_eq!(floored, mathis_rate_mbps(MIN_LOSS, 0.03, MSS));
+    assert_close(
+        floored,
+        window_to_mbps((1.5_f64 / MIN_LOSS).sqrt(), MSS, 0.03),
+        1e-12,
+        "mathis at the floor",
+    );
+}
+
+#[test]
+fn cubic_closed_form_values() {
+    // RFC 8312 §5.2 with C = 0.4, beta = 0.7:
+    //   coeff = (0.4 * 3.7 / (4 * 0.3))^(1/4) = 1.23333^(1/4) = 1.05385
+    //   W = coeff * (RTT / p)^(3/4) ... expressed as RTT^0.75 / p^0.75.
+    //
+    // p = 1e-5, RTT = 60 ms:
+    //   W = 1.05385 * 0.06^0.75 / 1e-5^0.75
+    //     = 1.05385 * 0.121231 * 5623.41 = 718.44 segments
+    //   rate = 718.44 * 1460 * 8 / 0.06 / 1e6 = 139.86 Mbps.
+    assert_close(
+        cubic_rate_mbps(1e-5, 0.06, MSS),
+        139.86,
+        1e-3,
+        "cubic(1e-5, 60ms)",
+    );
+    // In the same regime Mathis gives W = sqrt(1.5e5) = 387.3 segments
+    // (75.39 Mbps), so the CUBIC branch is the max and must be the
+    // returned value — check the crossover arithmetic both ways.
+    assert!(cubic_rate_mbps(1e-5, 0.06, MSS) > mathis_rate_mbps(1e-5, 0.06, MSS));
+    // Short-RTT, high-loss regime is Reno-friendly: CUBIC falls back to
+    // the Mathis response exactly.
+    assert_eq!(
+        cubic_rate_mbps(0.05, 0.001, MSS),
+        mathis_rate_mbps(0.05, 0.001, MSS),
+        "Reno-friendly fallback"
+    );
+}
+
+#[test]
+fn hstcp_closed_form_values() {
+    // RFC 3649: W = 0.12 / p^0.835.
+    //
+    // p = 1e-6, RTT = 40 ms:
+    //   W = 0.12 / 1e-6^0.835 = 0.12 * 10^5.01 = 12_279.5 segments
+    //   rate = 12_279.5 * 1460 * 8 / 0.04 / 1e6 = 3_585.6 Mbps.
+    assert_close(
+        hstcp_rate_mbps(1e-6, 0.04, MSS),
+        3_585.6,
+        1e-3,
+        "hstcp(1e-6, 40ms)",
+    );
+}
+
+#[test]
+fn bbr_closed_form_values() {
+    // Below the 20% tolerance the rate IS the bandwidth estimate.
+    assert_eq!(bbr_rate_mbps(0.0, 2500.0), 2500.0);
+    assert_eq!(bbr_rate_mbps(0.20, 2500.0), 2500.0);
+    // Past it the delivery rate scales with surviving packets relative to
+    // the tolerance point: rate = bw * (1 - p) / 0.8.
+    //   p = 0.5: 2500 * 0.5 / 0.8 = 1562.5 Mbps.
+    assert_eq!(bbr_rate_mbps(0.5, 2500.0), 1562.5);
+    //   p = 1.0: nothing survives.
+    assert_eq!(bbr_rate_mbps(1.0, 2500.0), 0.0);
+}
+
+#[test]
+fn window_to_mbps_unit_conversion() {
+    // 1 segment of 1460 bytes per 1 s RTT = 11.68 kbit/s = 0.01168 Mbps.
+    assert_close(
+        window_to_mbps(1.0, 1460.0, 1.0),
+        0.011_68,
+        1e-12,
+        "one segment",
+    );
+    // Scales linearly in window and inversely in RTT.
+    assert_close(
+        window_to_mbps(100.0, 1460.0, 0.01),
+        116.8,
+        1e-12,
+        "100 segments at 10ms",
+    );
+}

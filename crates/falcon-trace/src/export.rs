@@ -1,0 +1,543 @@
+//! JSONL and summary exporters for [`TraceLog`], plus the inverse parser.
+//!
+//! One JSON object per line: event records first (in emission order),
+//! then counter lines, then histogram lines. Key order within each line
+//! is fixed and floats use shortest round-trip formatting, so the same
+//! log always serializes to the same bytes — the contract the golden
+//! traces under `tests/golden/` rely on.
+
+use crate::json::{self, push_f64, push_str_lit, Json};
+use crate::{Candidate, EventKind, Histogram, TraceEvent, TraceLog, TraceRecord};
+
+/// Error from [`TraceLog::from_jsonl`]: the 1-based line and what was
+/// wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl TraceLog {
+    /// Serialize to JSONL. Byte-stable: the same log always produces the
+    /// same string.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            push_record(&mut out, r);
+            out.push('\n');
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"kind\":\"counter\",\"name\":");
+            push_str_lit(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}"));
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            push_histogram(&mut out, name, h);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a log. Inverse of
+    /// [`TraceLog::to_jsonl`] for everything the writer can emit.
+    pub fn from_jsonl(text: &str) -> Result<TraceLog, TraceParseError> {
+        let mut log = TraceLog::default();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|m| err(lineno, m))?;
+            let kind_name = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err(lineno, "missing \"kind\""))?;
+            match kind_name {
+                "counter" => {
+                    let name = v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| err(lineno, "counter missing \"name\""))?;
+                    let value = v
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| err(lineno, "counter missing \"value\""))?;
+                    log.counters.push((name.to_string(), value));
+                }
+                "histogram" => {
+                    let (name, h) = parse_histogram(&v, lineno)?;
+                    log.histograms.push((name, h));
+                }
+                _ => log.records.push(parse_record(&v, kind_name, lineno)?),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Human-readable run summary: event totals per kind, per-agent
+    /// activity (decision counts, first convergence), counters, and
+    /// histogram totals. Deterministic line order.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::from("# trace summary\n");
+        out.push_str(&format!("events: {}\n", self.records.len()));
+        for kind in [
+            EventKind::Probe,
+            EventKind::Decision,
+            EventKind::SettingsChange,
+            EventKind::Recovery,
+            EventKind::Environment,
+            EventKind::Convergence,
+            EventKind::Connection,
+        ] {
+            let n = self
+                .records
+                .iter()
+                .filter(|r| r.event.kind() == kind)
+                .count();
+            if n > 0 {
+                out.push_str(&format!("  {:<12} {n}\n", kind.name()));
+            }
+        }
+        let mut agents: Vec<u32> = self.records.iter().filter_map(|r| r.agent).collect();
+        agents.sort_unstable();
+        agents.dedup();
+        for a in agents {
+            let q = crate::TraceQuery::new(self).agent(a);
+            let decisions = q.decision_count();
+            let probes = q.clone().kind(EventKind::Probe).count();
+            match q.convergence_time() {
+                Some(t) => out.push_str(&format!(
+                    "agent {a}: {probes} probes, {decisions} decisions, first convergence at {t:.1}s\n"
+                )),
+                None => out.push_str(&format!(
+                    "agent {a}: {probes} probes, {decisions} decisions, no convergence marker\n"
+                )),
+            }
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} = {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name}: total={} sum={:.3}\n",
+                h.total(),
+                h.sum()
+            ));
+        }
+        out
+    }
+}
+
+fn push_settings(out: &mut String, cc: u32, p: u32, pp: u32) {
+    out.push_str(&format!(",\"cc\":{cc},\"p\":{p},\"pp\":{pp}"));
+}
+
+fn push_record(out: &mut String, r: &TraceRecord) {
+    out.push_str("{\"t\":");
+    push_f64(out, r.t_s);
+    if let Some(a) = r.agent {
+        out.push_str(&format!(",\"agent\":{a}"));
+    }
+    out.push_str(",\"kind\":");
+    push_str_lit(out, r.event.kind().name());
+    match &r.event {
+        TraceEvent::Probe {
+            throughput_mbps,
+            loss_rate,
+            concurrency,
+            parallelism,
+            pipelining,
+        } => {
+            out.push_str(",\"mbps\":");
+            push_f64(out, *throughput_mbps);
+            out.push_str(",\"loss\":");
+            push_f64(out, *loss_rate);
+            push_settings(out, *concurrency, *parallelism, *pipelining);
+        }
+        TraceEvent::Decision {
+            optimizer,
+            concurrency,
+            parallelism,
+            pipelining,
+            terms,
+            candidates,
+        } => {
+            out.push_str(",\"optimizer\":");
+            push_str_lit(out, optimizer);
+            push_settings(out, *concurrency, *parallelism, *pipelining);
+            out.push_str(",\"terms\":[");
+            for (i, (name, value)) in terms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_str_lit(out, name);
+                out.push(',');
+                push_f64(out, *value);
+                out.push(']');
+            }
+            out.push_str("],\"candidates\":[");
+            for (i, c) in candidates.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{},", c.concurrency, c.parallelism));
+                push_f64(out, c.utility);
+                out.push(']');
+            }
+            out.push(']');
+        }
+        TraceEvent::SettingsChange {
+            concurrency,
+            parallelism,
+            pipelining,
+        } => {
+            push_settings(out, *concurrency, *parallelism, *pipelining);
+        }
+        TraceEvent::Recovery { action, value }
+        | TraceEvent::Environment { action, value }
+        | TraceEvent::Connection { action, value } => {
+            out.push_str(",\"action\":");
+            push_str_lit(out, action);
+            out.push_str(",\"value\":");
+            push_f64(out, *value);
+        }
+        TraceEvent::Convergence {
+            concurrency,
+            probes,
+        } => {
+            out.push_str(&format!(",\"cc\":{concurrency},\"probes\":{probes}"));
+        }
+    }
+    out.push('}');
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &Histogram) {
+    out.push_str("{\"kind\":\"histogram\",\"name\":");
+    push_str_lit(out, name);
+    out.push_str(",\"bounds\":[");
+    for (i, b) in h.bounds().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *b);
+    }
+    out.push_str("],\"counts\":[");
+    for (i, c) in h.counts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{c}"));
+    }
+    out.push_str("],\"sum\":");
+    push_f64(out, h.sum());
+    out.push('}');
+}
+
+fn field_f64(v: &Json, key: &str, line: usize) -> Result<f64, TraceParseError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err(line, format!("missing number field {key:?}")))
+}
+
+fn field_u32(v: &Json, key: &str, line: usize) -> Result<u32, TraceParseError> {
+    v.get(key)
+        .and_then(Json::as_u32)
+        .ok_or_else(|| err(line, format!("missing integer field {key:?}")))
+}
+
+fn field_str(v: &Json, key: &str, line: usize) -> Result<String, TraceParseError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(line, format!("missing string field {key:?}")))
+}
+
+fn parse_record(v: &Json, kind_name: &str, line: usize) -> Result<TraceRecord, TraceParseError> {
+    let kind = EventKind::from_name(kind_name)
+        .ok_or_else(|| err(line, format!("unknown kind {kind_name:?}")))?;
+    let t_s = field_f64(v, "t", line)?;
+    let agent = match v.get("agent") {
+        Some(a) => Some(
+            a.as_u32()
+                .ok_or_else(|| err(line, "\"agent\" must be a small integer"))?,
+        ),
+        None => None,
+    };
+    let event = match kind {
+        EventKind::Probe => TraceEvent::Probe {
+            throughput_mbps: field_f64(v, "mbps", line)?,
+            loss_rate: field_f64(v, "loss", line)?,
+            concurrency: field_u32(v, "cc", line)?,
+            parallelism: field_u32(v, "p", line)?,
+            pipelining: field_u32(v, "pp", line)?,
+        },
+        EventKind::Decision => {
+            let terms_json = v
+                .get("terms")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err(line, "decision missing \"terms\""))?;
+            let mut terms = Vec::with_capacity(terms_json.len());
+            for t in terms_json {
+                let pair = t.as_arr().filter(|p| p.len() == 2);
+                let (name, value) = match pair {
+                    Some([n, val]) => (n.as_str(), val.as_f64()),
+                    _ => (None, None),
+                };
+                match (name, value) {
+                    (Some(n), Some(val)) => terms.push((n.to_string(), val)),
+                    _ => return Err(err(line, "terms must be [name, value] pairs")),
+                }
+            }
+            let cands_json = v
+                .get("candidates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err(line, "decision missing \"candidates\""))?;
+            let mut candidates = Vec::with_capacity(cands_json.len());
+            for c in cands_json {
+                let triple = c.as_arr().filter(|p| p.len() == 3);
+                let parsed = match triple {
+                    Some([cc, p, u]) => match (cc.as_u32(), p.as_u32(), u.as_f64()) {
+                        (Some(cc), Some(p), Some(u)) => Some(Candidate {
+                            concurrency: cc,
+                            parallelism: p,
+                            utility: u,
+                        }),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match parsed {
+                    Some(c) => candidates.push(c),
+                    None => return Err(err(line, "candidates must be [cc, p, utility] triples")),
+                }
+            }
+            TraceEvent::Decision {
+                optimizer: field_str(v, "optimizer", line)?,
+                concurrency: field_u32(v, "cc", line)?,
+                parallelism: field_u32(v, "p", line)?,
+                pipelining: field_u32(v, "pp", line)?,
+                terms,
+                candidates,
+            }
+        }
+        EventKind::SettingsChange => TraceEvent::SettingsChange {
+            concurrency: field_u32(v, "cc", line)?,
+            parallelism: field_u32(v, "p", line)?,
+            pipelining: field_u32(v, "pp", line)?,
+        },
+        EventKind::Recovery => TraceEvent::Recovery {
+            action: field_str(v, "action", line)?,
+            value: field_f64(v, "value", line)?,
+        },
+        EventKind::Environment => TraceEvent::Environment {
+            action: field_str(v, "action", line)?,
+            value: field_f64(v, "value", line)?,
+        },
+        EventKind::Connection => TraceEvent::Connection {
+            action: field_str(v, "action", line)?,
+            value: field_f64(v, "value", line)?,
+        },
+        EventKind::Convergence => TraceEvent::Convergence {
+            concurrency: field_u32(v, "cc", line)?,
+            probes: v
+                .get("probes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(line, "missing integer field \"probes\""))?,
+        },
+    };
+    Ok(TraceRecord { t_s, agent, event })
+}
+
+fn parse_histogram(v: &Json, line: usize) -> Result<(String, Histogram), TraceParseError> {
+    let name = field_str(v, "name", line)?;
+    let bounds_json = v
+        .get("bounds")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(line, "histogram missing \"bounds\""))?;
+    let mut bounds = Vec::with_capacity(bounds_json.len());
+    for b in bounds_json {
+        bounds.push(
+            b.as_f64()
+                .ok_or_else(|| err(line, "histogram bounds must be numbers"))?,
+        );
+    }
+    let counts_json = v
+        .get("counts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(line, "histogram missing \"counts\""))?;
+    let mut counts = Vec::with_capacity(counts_json.len());
+    for c in counts_json {
+        counts.push(
+            c.as_u64()
+                .ok_or_else(|| err(line, "histogram counts must be non-negative integers"))?,
+        );
+    }
+    let sum = field_f64(v, "sum", line)?;
+    let h = Histogram::from_parts(bounds, counts, sum)
+        .ok_or_else(|| err(line, "inconsistent histogram shape"))?;
+    Ok((name, h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TraceLog {
+        let mut h = Histogram::log_default();
+        h.record(0.004);
+        h.record(120.0);
+        TraceLog {
+            records: vec![
+                TraceRecord {
+                    t_s: 5.0,
+                    agent: Some(0),
+                    event: TraceEvent::Probe {
+                        throughput_mbps: 931.5,
+                        loss_rate: 0.0025,
+                        concurrency: 10,
+                        parallelism: 1,
+                        pipelining: 1,
+                    },
+                },
+                TraceRecord {
+                    t_s: 5.0,
+                    agent: Some(0),
+                    event: TraceEvent::Decision {
+                        optimizer: "gradient-descent".to_string(),
+                        concurrency: 12,
+                        parallelism: 1,
+                        pipelining: 1,
+                        terms: vec![("raw_slope".to_string(), 1.25), ("theta".to_string(), 2.0)],
+                        candidates: vec![
+                            Candidate {
+                                concurrency: 9,
+                                parallelism: 1,
+                                utility: 430.5,
+                            },
+                            Candidate {
+                                concurrency: 11,
+                                parallelism: 1,
+                                utility: 480.25,
+                            },
+                        ],
+                    },
+                },
+                TraceRecord {
+                    t_s: 5.0,
+                    agent: Some(0),
+                    event: TraceEvent::SettingsChange {
+                        concurrency: 12,
+                        parallelism: 1,
+                        pipelining: 1,
+                    },
+                },
+                TraceRecord {
+                    t_s: 300.0,
+                    agent: None,
+                    event: TraceEvent::Environment {
+                        action: "link_capacity_factor".to_string(),
+                        value: 0.3,
+                    },
+                },
+                TraceRecord {
+                    t_s: 310.0,
+                    agent: Some(1),
+                    event: TraceEvent::Recovery {
+                        action: "restart_attempt".to_string(),
+                        value: 2.0,
+                    },
+                },
+                TraceRecord {
+                    t_s: 42.5,
+                    agent: Some(0),
+                    event: TraceEvent::Convergence {
+                        concurrency: 48,
+                        probes: 9,
+                    },
+                },
+                TraceRecord {
+                    t_s: 50.0,
+                    agent: Some(2),
+                    event: TraceEvent::Connection {
+                        action: "workers_resized".to_string(),
+                        value: 4.0,
+                    },
+                },
+            ],
+            counters: vec![("sim.steps".to_string(), 8000)],
+            histograms: vec![("sim.loss".to_string(), h)],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let back = TraceLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable() {
+        let log = sample_log();
+        assert_eq!(log.to_jsonl(), log.to_jsonl());
+        let reparsed = TraceLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(reparsed.to_jsonl(), log.to_jsonl());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = TraceLog::from_jsonl("{\"t\":1,\"kind\":\"probe\"}\nnot json\n").unwrap_err();
+        assert_eq!(e.line, 1, "first line is missing probe fields");
+        let e = TraceLog::from_jsonl(
+            "{\"t\":1,\"kind\":\"settings\",\"cc\":1,\"p\":1,\"pp\":1}\nnot json\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let e = TraceLog::from_jsonl("{\"t\":1,\"kind\":\"mystery\"}\n").unwrap_err();
+        assert!(e.message.contains("mystery"), "{e:?}");
+    }
+
+    #[test]
+    fn summary_mentions_agents_counters_and_histograms() {
+        let s = sample_log().summary();
+        assert!(s.contains("events: 7"), "{s}");
+        assert!(s.contains("agent 0: 1 probes, 1 decisions"), "{s}");
+        assert!(s.contains("first convergence at 42.5s"), "{s}");
+        assert!(s.contains("counter sim.steps = 8000"), "{s}");
+        assert!(s.contains("histogram sim.loss: total=2"), "{s}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let log = sample_log();
+        let spaced = log.to_jsonl().replace('\n', "\n\n");
+        assert_eq!(TraceLog::from_jsonl(&spaced).unwrap(), log);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests over falcon-trace's invariants: histogram merging
+//! is associative, commutative, and total-count-preserving; JSONL export
+//! round-trips through the parser for arbitrary event sequences; and
+//! `TraceQuery` time windows partition a record stream exactly.
+
+use falcon_trace::{Candidate, Histogram, TraceEvent, TraceLog, TraceQuery, TraceRecord};
+use proptest::prelude::*;
+
+fn hist_from(values: &[f64]) -> Histogram {
+    let mut h = Histogram::log_default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    assert!(out.merge(b), "log_default bounds always match");
+    out
+}
+
+/// Short label palette, including every character class the JSON escaper
+/// must handle (quotes, backslashes, control characters, non-ASCII).
+const LABELS: [&str; 6] = [
+    "slope",
+    "θ-term",
+    "with \"quote\"",
+    "tab\tsep",
+    "back\\slash",
+    "",
+];
+
+/// Build one record of each possible shape from plain generated numbers.
+/// The miniature vendored proptest has no `prop_oneof`/`prop_map`, so the
+/// variant and every field are derived from a numeric tuple.
+fn build_record(spec: (u32, f64, u32, f64)) -> TraceRecord {
+    let (selector, t_s, small, scalar) = spec;
+    let cc = small + 1;
+    let label = LABELS[(small as usize) % LABELS.len()].to_string();
+    let event = match selector % 7 {
+        0 => TraceEvent::Probe {
+            throughput_mbps: scalar.abs(),
+            loss_rate: scalar.abs() / 1e7,
+            concurrency: cc,
+            parallelism: small + 1,
+            pipelining: 1,
+        },
+        1 => TraceEvent::Decision {
+            optimizer: label.clone(),
+            concurrency: cc,
+            parallelism: 1,
+            pipelining: small + 1,
+            terms: vec![(label, scalar), ("second".to_string(), -scalar)],
+            candidates: vec![
+                Candidate {
+                    concurrency: cc,
+                    parallelism: 1,
+                    utility: scalar,
+                },
+                Candidate {
+                    concurrency: cc + 1,
+                    parallelism: 2,
+                    utility: scalar / 3.0,
+                },
+            ],
+        },
+        2 => TraceEvent::SettingsChange {
+            concurrency: cc,
+            parallelism: small + 2,
+            pipelining: small + 3,
+        },
+        3 => TraceEvent::Recovery {
+            action: label,
+            value: scalar,
+        },
+        4 => TraceEvent::Environment {
+            action: label,
+            value: scalar,
+        },
+        5 => TraceEvent::Convergence {
+            concurrency: cc,
+            probes: u64::from(small) + 1,
+        },
+        _ => TraceEvent::Connection {
+            action: label,
+            value: scalar,
+        },
+    };
+    TraceRecord {
+        t_s,
+        agent: if selector % 3 == 0 { None } else { Some(small) },
+        event,
+    }
+}
+
+type RecordSpec = (u32, f64, u32, f64);
+
+fn record_specs(max: usize) -> impl Strategy<Value = Vec<RecordSpec>> {
+    proptest::collection::vec(
+        (0u32..21, 0.0f64..1000.0, 0u32..5, -1.0e6f64..1.0e6),
+        0..max,
+    )
+}
+
+proptest! {
+    /// Merging histograms built over the same (log-default) bounds is
+    /// associative and commutative on bucket counts, and the merged total
+    /// is the sum of the parts — no value is lost or double-counted.
+    #[test]
+    fn histogram_merge_is_associative_commutative_and_count_preserving(
+        xs in proptest::collection::vec(1e-7f64..1e6, 0..50),
+        ys in proptest::collection::vec(1e-7f64..1e6, 0..50),
+        zs in proptest::collection::vec(1e-7f64..1e6, 0..50),
+    ) {
+        let (a, b, c) = (hist_from(&xs), hist_from(&ys), hist_from(&zs));
+
+        // Commutativity is exact: count addition commutes and f64 `+`
+        // is commutative, so the whole struct matches.
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+
+        // Associativity is exact on counts; the running f64 sum is only
+        // approximately associative, so compare it with a tolerance.
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.counts(), right.counts());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-6 * (1.0 + left.sum().abs()));
+
+        // Total-count preservation.
+        prop_assert_eq!(
+            merged(&a, &b).total(),
+            (xs.len() + ys.len()) as u64
+        );
+    }
+
+    /// Any log the writer can emit parses back to an identical log, and
+    /// re-serializing the parse is byte-identical (the export is a
+    /// fixed point).
+    #[test]
+    fn jsonl_round_trips_arbitrary_event_sequences(
+        specs in record_specs(40),
+        counters in proptest::collection::vec((0u32..6, 0u64..1_000_000_000), 0..4),
+        hist_values in proptest::collection::vec(1e-7f64..1e6, 0..20),
+    ) {
+        let log = TraceLog {
+            records: specs.into_iter().map(build_record).collect(),
+            counters: counters
+                .into_iter()
+                .enumerate()
+                .map(|(i, (label, v))| {
+                    // Suffix with the index so escaping is exercised but
+                    // names stay unique within the log.
+                    (format!("{}#{i}", LABELS[label as usize % LABELS.len()]), v)
+                })
+                .collect(),
+            histograms: if hist_values.is_empty() {
+                Vec::new()
+            } else {
+                vec![("h".to_string(), hist_from(&hist_values))]
+            },
+        };
+        let text = log.to_jsonl();
+        let back = TraceLog::from_jsonl(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&back, &log);
+        prop_assert_eq!(back.to_jsonl(), text);
+    }
+
+    /// Adjacent half-open windows partition a record stream: every record
+    /// inside `[t0, t1)` lands in exactly one of `[t0, mid)` / `[mid, t1)`,
+    /// in order, with nothing lost or duplicated.
+    #[test]
+    fn windows_partition_records_without_loss_or_duplication(
+        specs in record_specs(60),
+        cuts in (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..1000.0),
+    ) {
+        // Real logs are time-ordered (the tracer clock is monotonically
+        // clamped); the in-order rejoin below relies on that.
+        let mut records: Vec<TraceRecord> = specs.into_iter().map(build_record).collect();
+        records.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        let mut ts = [cuts.0, cuts.1, cuts.2];
+        ts.sort_by(f64::total_cmp);
+        let [t0, mid, t1] = ts;
+
+        let whole = TraceQuery::from_records(&records).window(t0, t1);
+        let left = TraceQuery::from_records(&records).window(t0, mid);
+        let right = TraceQuery::from_records(&records).window(mid, t1);
+
+        prop_assert_eq!(left.count() + right.count(), whole.count());
+        let rejoined: Vec<&TraceRecord> = left
+            .records()
+            .iter()
+            .chain(right.records().iter())
+            .copied()
+            .collect();
+        prop_assert_eq!(rejoined, whole.records().to_vec());
+
+        // Filters only drop records — never invent or reorder them.
+        prop_assert!(whole.count() <= records.len());
+    }
+}

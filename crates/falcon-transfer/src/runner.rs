@@ -5,6 +5,7 @@
 //! (Globus, HARP), staggered joins and departures, and a trace recorder.
 
 use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
+use falcon_trace::{ConvergenceDetector, TraceEvent, Tracer};
 
 use crate::dataset::Dataset;
 use crate::harness::TransferHarness;
@@ -20,6 +21,10 @@ pub trait Tuner {
 
     /// Consume one interval's metrics, return the next setting.
     fn on_sample(&mut self, metrics: &ProbeMetrics) -> TransferSettings;
+
+    /// Install a tracer for decision events. Default: ignore (baseline
+    /// tuners emit no decision breakdowns).
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 impl Tuner for FalconAgent {
@@ -33,6 +38,10 @@ impl Tuner for FalconAgent {
 
     fn on_sample(&mut self, metrics: &ProbeMetrics) -> TransferSettings {
         self.observe(*metrics)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        FalconAgent::set_tracer(self, tracer);
     }
 }
 
@@ -369,6 +378,10 @@ pub struct Runner {
     /// treated as stalled/poisoned: discarded (not shown to the tuner) and
     /// the interval re-probed. Real transfers always clear ~1 Mbps.
     pub stall_mbps: f64,
+    /// Structured-event tracer. Disabled by default; install a recording
+    /// tracer to capture probe, settings-change, recovery, and convergence
+    /// events (agent-scoped by plan index).
+    pub tracer: Tracer,
 }
 
 impl Default for Runner {
@@ -379,6 +392,7 @@ impl Default for Runner {
             restart_backoff_s: 1.0,
             restart_backoff_max_s: 30.0,
             stall_mbps: 1.0,
+            tracer: Tracer::default(),
         }
     }
 }
@@ -409,6 +423,20 @@ impl Runner {
         let interval = harness.sample_interval_s();
         let warmup = (interval / 3.0).min(2.0);
         let labels: Vec<String> = plans.iter().map(|p| p.tuner.label()).collect();
+        // Agent-scoped tracer handles: one per plan slot, sharing the
+        // runner's sink. Tuners get theirs installed so decision events
+        // carry the right agent id; convergence is detected runner-side
+        // from the settings the tuners actually commit.
+        let tracers: Vec<Tracer> = (0..plans.len())
+            .map(|i| self.tracer.for_agent(i as u32))
+            .collect();
+        for (plan, tr) in plans.iter_mut().zip(&tracers) {
+            plan.tuner.set_tracer(tr.clone());
+        }
+        let mut convergence: Vec<ConvergenceDetector> = plans
+            .iter()
+            .map(|_| ConvergenceDetector::default())
+            .collect();
         let mut live: Vec<Live> = plans
             .iter()
             .map(|_| Live {
@@ -431,6 +459,7 @@ impl Runner {
 
         for step in 0..steps {
             let t = harness.time_s();
+            self.tracer.set_time(t);
 
             // Joins.
             for (i, plan) in plans.iter_mut().enumerate() {
@@ -463,6 +492,7 @@ impl Runner {
             }
 
             harness.advance(self.dt_s);
+            self.tracer.set_time(harness.time_s());
 
             // Completion + probes.
             for (i, plan) in plans.iter_mut().enumerate() {
@@ -490,6 +520,10 @@ impl Runner {
                             agent: i,
                             kind: RecoveryKind::Detached,
                         });
+                        tracers[i].emit(|| TraceEvent::Recovery {
+                            action: "detached".to_string(),
+                            value: 0.0,
+                        });
                     } else if now >= live[i].retry_at_s {
                         live[i].backoff_s =
                             (live[i].backoff_s * 2.0).min(self.restart_backoff_max_s);
@@ -500,6 +534,11 @@ impl Runner {
                             kind: RecoveryKind::RestartAttempt {
                                 next_backoff_s: live[i].backoff_s,
                             },
+                        });
+                        let next_backoff_s = live[i].backoff_s;
+                        tracers[i].emit(|| TraceEvent::Recovery {
+                            action: "restart_attempt".to_string(),
+                            value: next_backoff_s,
                         });
                         harness.restart(slot);
                     }
@@ -515,6 +554,10 @@ impl Runner {
                         t_s: now,
                         agent: i,
                         kind: RecoveryKind::Restarted,
+                    });
+                    tracers[i].emit(|| TraceEvent::Recovery {
+                        action: "restarted".to_string(),
+                        value: 0.0,
                     });
                     let _ = harness.sample(slot); // drop dead-period metrics
                     live[i].next_probe_s = now + interval;
@@ -538,9 +581,34 @@ impl Runner {
                             agent: i,
                             kind: RecoveryKind::StalledProbe,
                         });
+                        tracers[i].emit(|| TraceEvent::Recovery {
+                            action: "stalled_probe".to_string(),
+                            value: metrics.aggregate_mbps,
+                        });
                     } else {
+                        tracers[i].emit(|| TraceEvent::Probe {
+                            throughput_mbps: metrics.aggregate_mbps,
+                            loss_rate: metrics.loss_rate,
+                            concurrency: metrics.settings.concurrency,
+                            parallelism: metrics.settings.parallelism,
+                            pipelining: metrics.settings.pipelining,
+                        });
+                        let prev = harness.current_settings(slot);
                         let settings = plan.tuner.on_sample(&metrics);
                         harness.apply(slot, settings);
+                        if settings != prev {
+                            tracers[i].emit(|| TraceEvent::SettingsChange {
+                                concurrency: settings.concurrency,
+                                parallelism: settings.parallelism,
+                                pipelining: settings.pipelining,
+                            });
+                        }
+                        if let Some((cc, probes)) = convergence[i].observe(settings.concurrency) {
+                            tracers[i].emit(|| TraceEvent::Convergence {
+                                concurrency: cc,
+                                probes,
+                            });
+                        }
                     }
                     live[i].next_probe_s += interval;
                     live[i].discard_at_s = Some(harness.time_s() + warmup);

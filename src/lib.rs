@@ -11,4 +11,5 @@ pub use falcon_gp as gp;
 pub use falcon_net as net;
 pub use falcon_sim as sim;
 pub use falcon_tcp as tcp;
+pub use falcon_trace as trace;
 pub use falcon_transfer as transfer;
