@@ -197,6 +197,36 @@ fn bench_simulator(q: &mut QuickBench) {
     });
 }
 
+fn bench_fleet(q: &mut QuickBench) {
+    // Per-step cost of a 200-transfer routed fleet on a 3-bottleneck
+    // backbone: 200 agents spread over the per-link routes plus the
+    // all-links cross route, 2 connections each. Steady settings keep the
+    // allocator skip active, as in a converged campaign.
+    let routes = [0b001u64, 0b010, 0b100, 0b111];
+    let mut sim = Simulation::new(Environment::fleet(&[1000.0, 1600.0, 2500.0]), 1);
+    let handles: Vec<_> = (0..200)
+        .map(|i| {
+            let h = sim.add_agent_on_path(routes[i % routes.len()]);
+            sim.set_settings(h, AgentSettings::with_concurrency(2));
+            h
+        })
+        .collect();
+    q.bench("fleet", "step_200transfer_fleet_steady", || {
+        sim.step(black_box(0.1))
+    });
+    // Churn: one agent's concurrency flips each step, forcing the full
+    // routed loss + allocation pipeline every tick.
+    let mut flip = false;
+    q.bench("fleet", "step_200transfer_fleet_churn", || {
+        flip = !flip;
+        sim.set_settings(
+            handles[0],
+            AgentSettings::with_concurrency(if flip { 3 } else { 2 }),
+        );
+        sim.step(black_box(0.1))
+    });
+}
+
 fn bench_trace(q: &mut QuickBench) {
     use falcon_trace::{TraceEvent, Tracer};
     // Disabled tracer: the no-op path threaded through every hot loop. A
@@ -310,6 +340,7 @@ fn main() {
     bench_utility(&mut q);
     bench_gp(&mut q);
     bench_simulator(&mut q);
+    bench_fleet(&mut q);
     bench_trace(&mut q);
     bench_optimizers(&mut q);
     bench_convergence(&mut q);

@@ -39,6 +39,12 @@
 //! Comments start with `#`; keys are `key = value`; `[agent]`,
 //! `[background]` and `[event]` open repeated sections.
 //!
+//! A `[fleet]` section replaces hand-listed agents with a generated
+//! multi-bottleneck campaign (see [`falcon_fleet`]): `links` is a
+//! comma-separated list of backbone capacities in Mbps, and `transfers`,
+//! `arrivals_per_min`, `mean_file_mb`, `anchor_gb`, `tuner` parameterize
+//! the workload. `duration` and `seed` still come from the top level.
+//!
 //! `[event]` actions (see [`falcon_sim::EventAction`]):
 //!
 //! | `action =`      | keys                           | effect                               |
@@ -52,6 +58,7 @@
 
 use falcon_baselines::{GlobusTuner, HarpHistory, HarpTuner};
 use falcon_core::{FalconAgent, SearchBounds, TransferSettings};
+use falcon_fleet::{CampaignOutcome, CampaignSpec, FleetTopology, FleetTuner, Workload};
 use falcon_sim::{BackgroundFlow, EnvironmentEvent, EventAction, Simulation};
 use falcon_trace::{TraceLog, Tracer};
 use falcon_transfer::dataset::Dataset;
@@ -86,6 +93,40 @@ impl Default for AgentSpec {
     }
 }
 
+/// The `[fleet]` section: a routed multi-bottleneck campaign
+/// ([`falcon_fleet`]) instead of hand-listed `[agent]` transfers. When
+/// present, `[agent]`/`[background]`/`[event]` sections are ignored at
+/// run time; `duration` and `seed` still apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Backbone link capacities in Mbps (`links = 1000, 1600, 2500`).
+    pub links_mbps: Vec<f64>,
+    /// Churning arrivals beyond the per-route anchors.
+    pub transfers: usize,
+    /// Mean arrival rate (per minute).
+    pub arrivals_per_min: f64,
+    /// Mean churn file size (MB).
+    pub mean_file_mb: f64,
+    /// Per-route anchor transfer size (GB); 0 disables anchors.
+    pub anchor_gb: f64,
+    /// Tuner for every transfer (`falcon-gd`, `falcon-hc`, `falcon-bo`,
+    /// `fixed:<cc>`).
+    pub tuner: String,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            links_mbps: vec![1000.0, 1600.0, 2500.0],
+            transfers: 200,
+            arrivals_per_min: 24.0,
+            mean_file_mb: 500.0,
+            anchor_gb: 40.0,
+            tuner: "falcon-gd".into(),
+        }
+    }
+}
+
 /// A parsed scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -103,6 +144,9 @@ pub struct Scenario {
     pub background: Vec<BackgroundFlow>,
     /// Scripted environment faults/changes.
     pub events: Vec<EnvironmentEvent>,
+    /// Fleet campaign configuration, when the scenario has a `[fleet]`
+    /// section.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl Default for Scenario {
@@ -115,6 +159,7 @@ impl Default for Scenario {
             agents: Vec::new(),
             background: Vec::new(),
             events: Vec::new(),
+            fleet: None,
         }
     }
 }
@@ -125,6 +170,7 @@ enum Section {
     Agent,
     Background,
     Event,
+    Fleet,
 }
 
 /// Accumulates the keys of one `[event]` section until it can be built.
@@ -241,6 +287,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     ev = EventSpec::default();
                     Section::Event
                 }
+                "fleet" => {
+                    sc.fleet = Some(FleetSpec::default());
+                    Section::Fleet
+                }
                 other => return Err(err(line_no, format!("unknown section [{other}]"))),
             };
             continue;
@@ -290,6 +340,31 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 "resource" => ev.resource = Some(num(value)? as usize),
                 other => return Err(err(line_no, format!("unknown event key {other:?}"))),
             },
+            Section::Fleet => {
+                let Some(f) = sc.fleet.as_mut() else {
+                    return Err(err(line_no, "fleet key outside a [fleet] section".into()));
+                };
+                match key {
+                    "links" => {
+                        let caps: Result<Vec<f64>, ParseError> =
+                            value.split(',').map(|v| num(v.trim())).collect();
+                        let caps = caps?;
+                        if caps.is_empty() || caps.len() > 16 || !caps.iter().all(|&c| c > 0.0) {
+                            return Err(err(
+                                line_no,
+                                format!("links: need 1..=16 positive capacities, got {value:?}"),
+                            ));
+                        }
+                        f.links_mbps = caps;
+                    }
+                    "transfers" => f.transfers = num(value)? as usize,
+                    "arrivals_per_min" => f.arrivals_per_min = num(value)?,
+                    "mean_file_mb" => f.mean_file_mb = num(value)?,
+                    "anchor_gb" => f.anchor_gb = num(value)?,
+                    "tuner" => f.tuner = value.to_string(),
+                    other => return Err(err(line_no, format!("unknown fleet key {other:?}"))),
+                }
+            }
         }
     }
     match section {
@@ -297,10 +372,92 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         Section::Event => flush_ev(&mut sc, &ev)?,
         _ => {}
     }
-    if sc.agents.is_empty() {
-        return Err(ParseError("scenario defines no [agent] sections".into()));
+    if sc.agents.is_empty() && sc.fleet.is_none() {
+        return Err(ParseError(
+            "scenario defines no [agent] sections (and no [fleet])".into(),
+        ));
     }
     Ok(sc)
+}
+
+/// Serialize a scenario back to canonical INI. `parse(&serialize(sc))`
+/// reproduces `sc` exactly (the round-trip property the fuzz suite pins),
+/// with one normalization: `[background]` sections with zero demand are
+/// dropped, exactly as `parse` drops them.
+pub fn serialize(sc: &Scenario) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    // write! to a String is infallible; results are discarded with `let _`.
+    let w = &mut out;
+    let _ = writeln!(w, "env = {}", sc.env);
+    let _ = writeln!(w, "duration = {}", sc.duration_s);
+    let _ = writeln!(w, "seed = {}", sc.seed);
+    if let Some(path) = &sc.trace_path {
+        let _ = writeln!(w, "trace = {path}");
+    }
+    for a in &sc.agents {
+        let _ = writeln!(w, "\n[agent]");
+        let _ = writeln!(w, "tuner = {}", a.tuner);
+        let _ = writeln!(w, "start = {}", a.start_s);
+        if let Some(leave) = a.leave_s {
+            let _ = writeln!(w, "leave = {leave}");
+        }
+        let _ = writeln!(w, "dataset = {}", a.dataset);
+    }
+    for b in &sc.background {
+        if b.demand_mbps <= 0.0 {
+            continue; // parse() drops zero-demand flows; stay in its image
+        }
+        let _ = writeln!(w, "\n[background]");
+        let _ = writeln!(w, "start = {}", b.start_s);
+        let _ = writeln!(w, "end = {}", b.end_s);
+        let _ = writeln!(w, "mbps = {}", b.demand_mbps);
+        let _ = writeln!(w, "connections = {}", b.connections);
+    }
+    for e in &sc.events {
+        let _ = writeln!(w, "\n[event]");
+        let _ = writeln!(w, "at = {}", e.at_s);
+        match e.action {
+            EventAction::LinkCapacityFactor { resource, factor } => {
+                let _ = writeln!(w, "action = link_capacity");
+                if let Some(r) = resource {
+                    let _ = writeln!(w, "resource = {r}");
+                }
+                let _ = writeln!(w, "factor = {factor}");
+            }
+            EventAction::LossFloor { rate } => {
+                let _ = writeln!(w, "action = loss_floor");
+                let _ = writeln!(w, "rate = {rate}");
+            }
+            EventAction::DiskThrottleFactor { factor } => {
+                let _ = writeln!(w, "action = disk_throttle");
+                let _ = writeln!(w, "factor = {factor}");
+            }
+            EventAction::RttShift { rtt_s } => {
+                let _ = writeln!(w, "action = rtt");
+                let _ = writeln!(w, "rtt_s = {rtt_s}");
+            }
+            EventAction::KillAgent { agent } => {
+                let _ = writeln!(w, "action = kill");
+                let _ = writeln!(w, "agent = {agent}");
+            }
+            EventAction::ReviveAgent { agent } => {
+                let _ = writeln!(w, "action = revive");
+                let _ = writeln!(w, "agent = {agent}");
+            }
+        }
+    }
+    if let Some(f) = &sc.fleet {
+        let _ = writeln!(w, "\n[fleet]");
+        let links: Vec<String> = f.links_mbps.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(w, "links = {}", links.join(", "));
+        let _ = writeln!(w, "transfers = {}", f.transfers);
+        let _ = writeln!(w, "arrivals_per_min = {}", f.arrivals_per_min);
+        let _ = writeln!(w, "mean_file_mb = {}", f.mean_file_mb);
+        let _ = writeln!(w, "anchor_gb = {}", f.anchor_gb);
+        let _ = writeln!(w, "tuner = {}", f.tuner);
+    }
+    out
 }
 
 fn make_dataset(spec: &str) -> Result<Dataset, ParseError> {
@@ -374,10 +531,47 @@ pub fn run_traced(
     run_with_tracer(sc, Tracer::recording())
 }
 
+/// Build the fleet campaign a `[fleet]` scenario describes. `duration` and
+/// `seed` come from the top-level keys.
+fn fleet_campaign_spec(sc: &Scenario, f: &FleetSpec) -> Result<CampaignSpec, ParseError> {
+    let tuner = FleetTuner::from_name(&f.tuner).ok_or_else(|| {
+        ParseError(format!(
+            "unknown fleet tuner {:?} (expected falcon-gd|falcon-hc|falcon-bo|fixed:<cc>)",
+            f.tuner
+        ))
+    })?;
+    Ok(CampaignSpec {
+        topology: FleetTopology::multi_bottleneck(&f.links_mbps),
+        workload: Workload {
+            transfers: f.transfers,
+            arrivals_per_min: f.arrivals_per_min,
+            mean_file_mb: f.mean_file_mb,
+            anchor_gb: f.anchor_gb,
+        },
+        tuner,
+        duration_s: sc.duration_s,
+        seed: sc.seed,
+    })
+}
+
+/// Run a `[fleet]` scenario's campaign, emitting into `tracer`.
+pub fn run_fleet(sc: &Scenario, tracer: Tracer) -> Result<CampaignOutcome, ParseError> {
+    let f = sc
+        .fleet
+        .as_ref()
+        .ok_or_else(|| ParseError("scenario has no [fleet] section".into()))?;
+    let spec = fleet_campaign_spec(sc, f)?;
+    Ok(falcon_fleet::run_campaign_with_tracer(&spec, tracer))
+}
+
 fn run_with_tracer(
     sc: &Scenario,
     tracer: Tracer,
 ) -> Result<(falcon_transfer::runner::RunTrace, TraceLog), ParseError> {
+    if sc.fleet.is_some() {
+        let out = run_fleet(sc, tracer)?;
+        return Ok((out.trace, out.log));
+    }
     let env = resolve_env(&sc.env)
         .ok_or_else(|| ParseError(format!("unknown environment {:?}", sc.env)))?;
     let max_cc = env.max_concurrency;
@@ -406,9 +600,44 @@ fn run_with_tracer(
     Ok((trace, tracer.take_log()))
 }
 
+/// Run a scenario with a recording tracer and render its report, returning
+/// the structured trace log alongside. `[fleet]` scenarios render the fleet
+/// report; everything else renders the per-agent table.
+pub fn run_traced_rendered(sc: &Scenario) -> Result<(String, TraceLog), ParseError> {
+    if sc.fleet.is_some() {
+        let out = run_fleet(sc, Tracer::recording())?;
+        let text = format!(
+            "# scenario fleet duration={:.0}s seed={}\n{}",
+            sc.duration_s,
+            sc.seed,
+            out.report.summary()
+        );
+        return Ok((text, out.log));
+    }
+    let (trace, log) = run_traced(sc)?;
+    Ok((render(sc, &trace)?, log))
+}
+
 /// Run a parsed scenario; returns the rendered report (and writes the trace
 /// CSV if requested).
 pub fn run(sc: &Scenario) -> Result<String, ParseError> {
+    if sc.fleet.is_some() {
+        // Record even without --trace: the report's convergence and settle
+        // columns are derived from trace convergence markers.
+        let out = run_fleet(sc, Tracer::recording())?;
+        let mut text = format!(
+            "# scenario fleet duration={:.0}s seed={}\n{}",
+            sc.duration_s,
+            sc.seed,
+            out.report.summary()
+        );
+        if let Some(path) = &sc.trace_path {
+            std::fs::write(path, out.trace.to_csv())
+                .map_err(|e| ParseError(format!("writing trace {path}: {e}")))?;
+            text.push_str(&format!("trace written to {path}\n"));
+        }
+        return Ok(text);
+    }
     let trace = run_trace(sc)?;
     render(sc, &trace)
 }
@@ -634,6 +863,79 @@ agent = 0
         for tuner in ["falcon-hc", "falcon-gd", "falcon-bo"] {
             assert!(out.contains(tuner), "{out}");
         }
+    }
+
+    #[test]
+    fn parses_fleet_section() {
+        let sc = parse(
+            "duration = 600\nseed = 7\n\n[fleet]\nlinks = 1000, 1600, 2500\ntransfers = 200\n\
+             arrivals_per_min = 24\nmean_file_mb = 500\nanchor_gb = 40\ntuner = falcon-gd\n",
+        )
+        .unwrap();
+        let f = sc.fleet.unwrap();
+        assert_eq!(f.links_mbps, vec![1000.0, 1600.0, 2500.0]);
+        assert_eq!(f.transfers, 200);
+        assert_eq!(f.tuner, "falcon-gd");
+        assert!(sc.agents.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_fleet_sections() {
+        // Empty / non-positive / too many links.
+        assert!(parse("[fleet]\nlinks =\n").is_err());
+        assert!(parse("[fleet]\nlinks = 100, -5\n").is_err());
+        let many = (0..17).map(|_| "100").collect::<Vec<_>>().join(",");
+        assert!(parse(&format!("[fleet]\nlinks = {many}\n")).is_err());
+        // Unknown key.
+        assert!(parse("[fleet]\nwarp = 9\n").is_err());
+        // Unknown fleet tuner is a run-time error, not a parse error.
+        let sc = parse("[fleet]\ntuner = skynet\n").unwrap();
+        assert!(run_fleet(&sc, Tracer::default()).is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_serialize() {
+        let mut sc = parse(SAMPLE).unwrap();
+        sc.events.push(EnvironmentEvent::at(
+            90.0,
+            EventAction::LossFloor { rate: 0.01 },
+        ));
+        sc.fleet = Some(FleetSpec::default());
+        let text = serialize(&sc);
+        assert_eq!(parse(&text).unwrap(), sc);
+    }
+
+    #[test]
+    fn fleet_scenario_runs_and_reports() {
+        let sc = parse(
+            "duration = 150\nseed = 3\n\n[fleet]\nlinks = 500, 800\ntransfers = 12\n\
+             arrivals_per_min = 12\nmean_file_mb = 300\nanchor_gb = 8\ntuner = falcon-gd\n",
+        )
+        .unwrap();
+        let out = run(&sc).unwrap();
+        assert!(out.contains("fleet report"), "{out}");
+        assert!(out.contains("link0"), "{out}");
+        assert!(out.contains("aggregate"), "{out}");
+        // The --trace/--trace-summary path must render the fleet report too
+        // (not the per-agent table) and carry a non-empty structured log.
+        let (text, log) = run_traced_rendered(&sc).unwrap();
+        assert!(text.contains("fleet report"), "{text}");
+        assert!(!text.contains("agents=0"), "{text}");
+        assert!(!log.records.is_empty());
+    }
+
+    #[test]
+    fn shipped_fleet_churn_scenario_parses() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/fleet_churn.ini"
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        let sc = parse(&text).unwrap();
+        let f = sc.fleet.expect("fleet section");
+        assert_eq!(f.links_mbps.len(), 3);
+        assert_eq!(f.transfers, 200);
+        assert_eq!(sc.duration_s, 600.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod figs14_16;
 pub mod figs1_4;
 pub mod figs6_8;
 pub mod figs9_13;
+pub mod fleet;
 pub mod observability;
 pub mod table;
 
@@ -71,6 +72,7 @@ pub fn registry() -> Vec<Experiment> {
         ("makespan", extensions::makespan),
         ("rtt_unfairness", extensions::rtt_unfairness),
         ("observability", observability::observability),
+        ("fleet", fleet::fleet),
     ]
 }
 

@@ -1,0 +1,216 @@
+//! The campaign runner: drive a generated workload of concurrently-tuning
+//! transfers through the shared experiment runner.
+
+use falcon_core::{FalconAgent, TransferSettings};
+use falcon_sim::Simulation;
+use falcon_trace::{TraceLog, Tracer};
+use falcon_transfer::harness::SimHarness;
+use falcon_transfer::runner::{AgentPlan, FixedTuner, RunTrace, Runner, Tuner};
+
+use crate::report::FleetReport;
+use crate::topology::FleetTopology;
+use crate::workload::{generate, Workload};
+
+/// The optimizer every fleet transfer tunes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetTuner {
+    /// Falcon gradient descent (the paper's shared-network choice).
+    GradientDescent,
+    /// Falcon hill climbing.
+    HillClimbing,
+    /// Falcon Bayesian optimization.
+    Bayesian,
+    /// No tuning: fixed concurrency (ablation baseline).
+    Fixed(u32),
+}
+
+impl FleetTuner {
+    /// Parse the scenario-file spelling (`falcon-gd`, `falcon-hc`,
+    /// `falcon-bo`, `fixed:<cc>`).
+    pub fn from_name(s: &str) -> Option<FleetTuner> {
+        if let Some(cc) = s.strip_prefix("fixed:") {
+            return cc.parse().ok().map(FleetTuner::Fixed);
+        }
+        Some(match s {
+            "falcon-gd" => FleetTuner::GradientDescent,
+            "falcon-hc" => FleetTuner::HillClimbing,
+            "falcon-bo" => FleetTuner::Bayesian,
+            _ => return None,
+        })
+    }
+
+    /// Inverse of [`FleetTuner::from_name`].
+    pub fn name(self) -> String {
+        match self {
+            FleetTuner::GradientDescent => "falcon-gd".to_string(),
+            FleetTuner::HillClimbing => "falcon-hc".to_string(),
+            FleetTuner::Bayesian => "falcon-bo".to_string(),
+            FleetTuner::Fixed(cc) => format!("fixed:{cc}"),
+        }
+    }
+
+    fn make(self, max_cc: u32, seed: u64) -> Box<dyn Tuner> {
+        match self {
+            FleetTuner::GradientDescent => Box::new(FalconAgent::gradient_descent(max_cc)),
+            FleetTuner::HillClimbing => Box::new(FalconAgent::hill_climbing(max_cc)),
+            FleetTuner::Bayesian => Box::new(FalconAgent::bayesian(max_cc, seed)),
+            FleetTuner::Fixed(cc) => Box::new(FixedTuner {
+                settings: TransferSettings::with_concurrency(cc),
+                name: format!("fixed:{cc}"),
+            }),
+        }
+    }
+}
+
+/// Everything a campaign needs: where transfers run, what arrives, who
+/// tunes, for how long, and under which seed.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Backbone and routes.
+    pub topology: FleetTopology,
+    /// Arrival/size/route distribution parameters.
+    pub workload: Workload,
+    /// Optimizer for every transfer.
+    pub tuner: FleetTuner,
+    /// Campaign length (simulated seconds).
+    pub duration_s: f64,
+    /// Master seed: the simulator, the workload generator, and each
+    /// agent's tuner all derive from it.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// The standard 3-bottleneck, 200-transfer churn campaign.
+    pub fn standard(seed: u64) -> Self {
+        CampaignSpec {
+            topology: FleetTopology::multi_bottleneck(&[1000.0, 1600.0, 2500.0]),
+            workload: Workload::default(),
+            tuner: FleetTuner::GradientDescent,
+            duration_s: 600.0,
+            seed,
+        }
+    }
+}
+
+/// What a campaign produced.
+pub struct CampaignOutcome {
+    /// The runner's per-agent throughput/settings trace.
+    pub trace: RunTrace,
+    /// The structured event log (probes, decisions, convergence, fleet
+    /// counters).
+    pub log: TraceLog,
+    /// Fleet metrics derived from both.
+    pub report: FleetReport,
+}
+
+/// Run a campaign with a freshly recording tracer.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
+    run_campaign_with_tracer(spec, Tracer::recording())
+}
+
+/// Run a campaign, emitting structured events into `tracer`. The tracer's
+/// log is drained into the outcome.
+pub fn run_campaign_with_tracer(spec: &CampaignSpec, tracer: Tracer) -> CampaignOutcome {
+    let specs = generate(&spec.topology, &spec.workload, spec.seed);
+    let mut sim = Simulation::new(spec.topology.env.clone(), spec.seed);
+    sim.set_tracer(tracer.clone());
+    let masks = specs
+        .iter()
+        .map(|t| spec.topology.paths[t.path].mask)
+        .collect();
+    let mut harness = SimHarness::new(sim).with_agent_paths(masks);
+    let max_cc = spec.topology.env.max_concurrency;
+    let plans: Vec<AgentPlan> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let tuner = spec.tuner.make(max_cc, spec.seed.wrapping_add(i as u64));
+            AgentPlan::joining_at(tuner, t.dataset.clone(), t.start_s)
+        })
+        .collect();
+    let runner = Runner {
+        tracer: tracer.clone(),
+        ..Runner::default()
+    };
+    let trace = runner.run(&mut harness, plans, spec.duration_s);
+    tracer.add("fleet.transfers", specs.len() as u64);
+    let completed = trace.completed_at.iter().flatten().count() as u64;
+    tracer.add("fleet.completions", completed);
+    let log = tracer.take_log();
+    let report = FleetReport::compute(
+        &spec.topology,
+        &specs,
+        &trace,
+        &log,
+        spec.duration_s,
+        runner_trace_every_s(),
+    );
+    CampaignOutcome { trace, log, report }
+}
+
+/// The runner's trace-point cadence, used to judge how much of the settle
+/// window an agent was actually present for.
+fn runner_trace_every_s() -> f64 {
+    Runner::default().trace_every_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            topology: FleetTopology::multi_bottleneck(&[500.0, 800.0]),
+            workload: Workload {
+                transfers: 20,
+                arrivals_per_min: 12.0,
+                mean_file_mb: 300.0,
+                anchor_gb: 10.0,
+            },
+            tuner: FleetTuner::GradientDescent,
+            duration_s: 180.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn tuner_names_round_trip() {
+        for t in [
+            FleetTuner::GradientDescent,
+            FleetTuner::HillClimbing,
+            FleetTuner::Bayesian,
+            FleetTuner::Fixed(8),
+        ] {
+            assert_eq!(FleetTuner::from_name(&t.name()), Some(t));
+        }
+        assert_eq!(FleetTuner::from_name("globus"), None);
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let out = run_campaign(&small_spec(5));
+        assert_eq!(out.report.transfers, 23); // 3 routes' anchors + 20
+        assert!(out.report.completed > 5, "only {}", out.report.completed);
+        assert_eq!(out.report.links.len(), 2);
+        for link in &out.report.links {
+            assert!(link.utilization > 0.2, "{} idle", link.name);
+        }
+        assert!(!out.log.records.is_empty());
+        let counters: Vec<_> = out
+            .log
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("fleet."))
+            .collect();
+        assert_eq!(counters.len(), 2);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let a = run_campaign(&small_spec(5));
+        let b = run_campaign(&small_spec(5));
+        assert_eq!(a.log.to_jsonl(), b.log.to_jsonl());
+        let c = run_campaign(&small_spec(6));
+        assert_ne!(a.log.to_jsonl(), c.log.to_jsonl());
+    }
+}

@@ -1,0 +1,36 @@
+//! Fleet-scale campaign engine.
+//!
+//! The paper evaluates Falcon with a handful of transfers on one shared
+//! bottleneck; production networks run *fleets* — hundreds of transfers
+//! arriving, tuning, and departing across many bottleneck links. This
+//! crate drives that regime against the routed simulator:
+//!
+//! - [`FleetTopology`]: a multi-bottleneck backbone
+//!   ([`falcon_sim::Environment::fleet`]) plus the routes transfers take
+//!   over it (per-link routes and multi-hop routes whose loss compounds
+//!   per congested hop).
+//! - [`Workload`] / [`generate`]: a deterministic workload generator —
+//!   seeded Poisson-like arrivals, file-size and route distributions,
+//!   long-lived anchor transfers per route, departures on completion.
+//! - [`run_campaign`]: drives every arrival through a
+//!   [`falcon_core::FalconAgent`] optimizer via the shared
+//!   [`falcon_transfer::runner::Runner`], emitting `falcon-trace` events.
+//! - [`FleetReport`]: per-link utilization and Jain's fairness index per
+//!   bottleneck (over the transfers *bound* by that bottleneck), plus
+//!   convergence counts and the 99th-percentile settle time.
+//!
+//! Everything is deterministic under a seed: same spec, same bytes.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod campaign;
+mod report;
+mod topology;
+mod workload;
+
+pub use campaign::{
+    run_campaign, run_campaign_with_tracer, CampaignOutcome, CampaignSpec, FleetTuner,
+};
+pub use report::{FleetReport, LinkReport};
+pub use topology::{FleetTopology, PathSpec};
+pub use workload::{generate, TransferSpec, Workload};

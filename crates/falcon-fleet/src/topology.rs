@@ -1,0 +1,103 @@
+//! Fleet topologies: a multi-bottleneck backbone plus the routes
+//! transfers take across it.
+
+use falcon_sim::{Environment, ResourceKind};
+
+/// One route over the backbone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSpec {
+    /// Route label for reports ("via-link0", "cross").
+    pub name: String,
+    /// Bit `i` set means the route crosses resource `i` of the
+    /// environment.
+    pub mask: u64,
+}
+
+/// A routed fleet substrate: the backbone environment and the routes the
+/// workload generator places transfers on.
+#[derive(Debug, Clone)]
+pub struct FleetTopology {
+    /// The backbone ([`Environment::fleet`]-shaped: links only).
+    pub env: Environment,
+    /// The routes transfers may take.
+    pub paths: Vec<PathSpec>,
+}
+
+impl FleetTopology {
+    /// The standard campaign shape: one single-link route per backbone
+    /// link, plus one *cross* route traversing every link — so multi-hop
+    /// loss accumulation and min-capacity constraints are always
+    /// exercised. `link_mbps` gives each link's capacity.
+    pub fn multi_bottleneck(link_mbps: &[f64]) -> Self {
+        let env = Environment::fleet(link_mbps);
+        let mut paths: Vec<PathSpec> = (0..link_mbps.len())
+            .map(|i| PathSpec {
+                name: format!("via-{}", env.resources[i].name),
+                mask: 1u64 << i,
+            })
+            .collect();
+        if link_mbps.len() > 1 {
+            paths.push(PathSpec {
+                name: "cross".to_string(),
+                mask: (1u64 << link_mbps.len()) - 1,
+            });
+        }
+        FleetTopology { env, paths }
+    }
+
+    /// Indices of the backbone's network links.
+    pub fn link_indices(&self) -> Vec<usize> {
+        self.env
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == ResourceKind::NetworkLink)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The link a route is *bound* by: the minimum-capacity link on the
+    /// route (ties broken toward the lowest index). Transfers sharing a
+    /// binding link are the population the paper's fairness claim is
+    /// about, so per-bottleneck Jain is computed over them.
+    pub fn binding_link(&self, mask: u64) -> usize {
+        let mut best = 0usize;
+        let mut best_cap = f64::INFINITY;
+        for (i, r) in self.env.resources.iter().enumerate() {
+            if mask & (1u64 << i) != 0 && r.capacity_mbps < best_cap {
+                best_cap = r.capacity_mbps;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_bottleneck_has_per_link_and_cross_routes() {
+        let t = FleetTopology::multi_bottleneck(&[1000.0, 1600.0, 2500.0]);
+        assert_eq!(t.paths.len(), 4);
+        assert_eq!(t.paths[0].mask, 0b001);
+        assert_eq!(t.paths[2].mask, 0b100);
+        assert_eq!(t.paths[3].mask, 0b111);
+        assert_eq!(t.link_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn binding_link_is_the_tightest_on_the_route() {
+        let t = FleetTopology::multi_bottleneck(&[1000.0, 1600.0, 2500.0]);
+        assert_eq!(t.binding_link(0b111), 0);
+        assert_eq!(t.binding_link(0b110), 1);
+        assert_eq!(t.binding_link(0b100), 2);
+    }
+
+    #[test]
+    fn single_link_topology_has_no_cross_route() {
+        let t = FleetTopology::multi_bottleneck(&[1000.0]);
+        assert_eq!(t.paths.len(), 1);
+    }
+}

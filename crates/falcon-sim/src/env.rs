@@ -306,6 +306,55 @@ impl Environment {
         }
     }
 
+    /// A fleet backbone: `link_mbps.len()` independent bottleneck links
+    /// (up to 16), each with its own capacity and loss model. Transfers are
+    /// routed over subsets of the links via
+    /// [`crate::Simulation::add_agent_on_path`]; end hosts are not modeled
+    /// (no per-process disk caps), so the links are the only contended
+    /// resources and a transfer is constrained by the minimum-capacity
+    /// link on its route. `bottleneck_link` points at the tightest link.
+    /// Not one of the paper's testbeds — the substrate for `falcon-fleet`
+    /// campaigns.
+    pub fn fleet(link_mbps: &[f64]) -> Self {
+        const LINK_NAMES: [&str; 16] = [
+            "link0", "link1", "link2", "link3", "link4", "link5", "link6", "link7", "link8",
+            "link9", "link10", "link11", "link12", "link13", "link14", "link15",
+        ];
+        // falcon-lint::allow(panic-safety, reason = "construction-time validation of a programmer-supplied topology")
+        assert!(
+            !link_mbps.is_empty() && link_mbps.len() <= LINK_NAMES.len(),
+            "fleet topologies support 1..=16 links, got {}",
+            link_mbps.len()
+        );
+        let resources: Vec<Resource> = link_mbps
+            .iter()
+            .zip(LINK_NAMES)
+            .map(|(&cap, name)| {
+                // falcon-lint::allow(panic-safety, reason = "construction-time validation of a programmer-supplied topology")
+                assert!(cap > 0.0, "link capacity must be positive, got {cap}");
+                Resource::new(name, ResourceKind::NetworkLink, cap, None)
+            })
+            .collect();
+        let bottleneck_link = link_mbps
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Environment {
+            name: "fleet",
+            resources,
+            bottleneck_link,
+            rtt_s: 0.020,
+            mss_bytes: falcon_tcp::DEFAULT_MSS_BYTES,
+            cca: CongestionControl::Cubic,
+            loss_model: BottleneckLossModel::default(),
+            noise_std_frac: 0.02,
+            sample_interval_s: 3.0,
+            max_concurrency: 32,
+        }
+    }
+
     /// Replace the congestion-control algorithm (used by the BBR ablation).
     pub fn with_cca(mut self, cca: CongestionControl) -> Self {
         self.cca = cca;
@@ -414,6 +463,25 @@ mod tests {
             .filter(|r| r.kind == ResourceKind::NetworkLink)
             .count();
         assert_eq!(links, 2);
+    }
+
+    #[test]
+    fn fleet_builds_links_only_and_finds_tightest() {
+        let env = Environment::fleet(&[1000.0, 1600.0, 2500.0]);
+        assert_eq!(env.resources.len(), 3);
+        assert!(env
+            .resources
+            .iter()
+            .all(|r| r.kind == ResourceKind::NetworkLink));
+        assert_eq!(env.bottleneck_link, 0);
+        assert!((env.path_capacity_mbps() - 1000.0).abs() < 1e-9);
+        assert_eq!(env.saturating_concurrency(), 1); // no disk caps
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16 links")]
+    fn fleet_rejects_empty_topology() {
+        let _ = Environment::fleet(&[]);
     }
 
     #[test]

@@ -126,11 +126,23 @@ struct StepScratch {
     prev_streams: Vec<WeightedStreamDemand>,
     prev_capacities: Vec<f64>,
     prev_valid: bool,
+    /// Routed-mode working memory (only touched when some agent has a
+    /// custom path): per-resource offered load, connection counts, link
+    /// loss, stream counts, and per-agent survival / CCA caps.
+    link_offered: Vec<f64>,
+    link_conns: Vec<u32>,
+    link_loss: Vec<f64>,
+    res_streams: Vec<u32>,
+    agent_survival: Vec<f64>,
+    agent_cca_cap: Vec<f64>,
 }
 
 #[derive(Debug)]
 struct AgentState {
     alive: bool,
+    /// Resources this agent's route crosses (`None` = the full end-to-end
+    /// path, i.e. every resource — the classic single-path mode).
+    path_mask: Option<u64>,
     settings: AgentSettings,
     ramps: Vec<RateRamp>,
     /// Megabits delivered since the last sample.
@@ -222,10 +234,37 @@ impl Simulation {
         self.time_s
     }
 
-    /// Register a new transfer task with default settings.
+    /// Register a new transfer task with default settings, crossing the
+    /// full end-to-end path (every resource in the environment).
     pub fn add_agent(&mut self) -> AgentHandle {
+        self.push_agent(None)
+    }
+
+    /// Register a transfer task routed over a subset of the environment's
+    /// resources. Bit `i` of `mask` set means the route crosses resource
+    /// `i`; the transfer is constrained by the minimum-capacity resource on
+    /// its route, and loss accumulates across every congested
+    /// `NetworkLink` hop it traverses.
+    ///
+    /// Once any live agent has a custom path, the simulation switches to
+    /// routed stepping: per-link loss models fed by the offered load of the
+    /// streams actually crossing each link. Simulations where every agent
+    /// uses [`Simulation::add_agent`] keep the original single-path
+    /// arithmetic bit-for-bit.
+    pub fn add_agent_on_path(&mut self, mask: u64) -> AgentHandle {
+        let n = self.env.resources.len();
+        // falcon-lint::allow(panic-safety, reason = "construction-time validation of a programmer-supplied route mask")
+        assert!(
+            mask != 0 && (n >= 64 || mask >> n == 0),
+            "path mask {mask:#b} must select at least one of the {n} resources"
+        );
+        self.push_agent(Some(mask))
+    }
+
+    fn push_agent(&mut self, path_mask: Option<u64>) -> AgentHandle {
         self.agents.push(AgentState {
             alive: true,
+            path_mask,
             settings: AgentSettings::default(),
             ramps: vec![RateRamp::new(self.env.rtt_s)],
             delivered_mb: 0.0,
@@ -234,6 +273,13 @@ impl Simulation {
             instant_mbps: 0.0,
         });
         AgentHandle(self.agents.len() - 1)
+    }
+
+    /// The resource mask an agent's route crosses (the full-path mask for
+    /// agents registered via [`Simulation::add_agent`]).
+    pub fn path_mask(&self, h: AgentHandle) -> u64 {
+        let full: u64 = (1u64 << self.env.resources.len()) - 1;
+        self.agents[h.0].path_mask.unwrap_or(full)
     }
 
     /// Remove a transfer task (e.g., its dataset completed).
@@ -491,11 +537,14 @@ impl Simulation {
         let mut offered_mbps = 0.0;
         let mut n_conns_total: u32 = 0;
 
+        let routed = self.agents.iter().any(|a| a.alive && a.path_mask.is_some());
+
         for (idx, a) in self.agents.iter().enumerate() {
             if !a.alive {
                 continue;
             }
             let s = a.settings;
+            let mask = a.path_mask.unwrap_or(full_mask);
             // The per-process throttle applies to the file thread; its `p`
             // sockets split that budget. Startup-gap efficiency scales the
             // thread's usable demand.
@@ -503,7 +552,7 @@ impl Simulation {
             for _ in 0..s.total_connections() {
                 self.scratch.streams.push(WeightedStreamDemand {
                     cap_mbps: per_conn_cap,
-                    resource_mask: full_mask,
+                    resource_mask: mask,
                     weight: s.share_weight,
                 });
                 self.scratch.owners.push(idx);
@@ -549,65 +598,97 @@ impl Simulation {
 
         // --- 2. Loss at every network link. -----------------------------------
         // Each link drops independently; the end-to-end survival
-        // probability is the product of per-link survivals. Offered load at
-        // a link is capped by everything upstream of it. (Background flows
-        // traverse only the designated bottleneck link.)
-        let mut survival = 1.0f64;
-        for (i, r) in self.env.resources.iter().enumerate() {
-            if r.kind != crate::resource::ResourceKind::NetworkLink {
-                continue;
+        // probability is the product of per-link survivals.
+        //
+        // Single-path mode: offered load at a link is the shared aggregate
+        // capped by everything upstream of it, and every agent sees the
+        // same end-to-end loss. (Background flows traverse only the
+        // designated bottleneck link.)
+        //
+        // Routed mode: each link's offered load and connection count come
+        // from the streams that actually cross it, and each agent's loss is
+        // the survival product over the `NetworkLink` hops on *its* route.
+        let loss: f64;
+        if !routed {
+            let mut survival = 1.0f64;
+            for (i, r) in self.env.resources.iter().enumerate() {
+                if r.kind != crate::resource::ResourceKind::NetworkLink {
+                    continue;
+                }
+                let upstream: f64 = self
+                    .env
+                    .resources
+                    .iter()
+                    .take(i)
+                    .map(|u| u.effective_capacity_mbps(n_conns_total))
+                    .fold(f64::INFINITY, f64::min);
+                // `offered_mbps` already includes background demand and the
+                // global upstream clamp from step 1; non-bottleneck links see
+                // the transfer demand clamped by their own upstream.
+                let link_offered = if i == bottleneck {
+                    offered_mbps
+                } else {
+                    offered_mbps.min(upstream)
+                };
+                let l = self.env.loss_model.loss_rate(
+                    link_offered,
+                    r.capacity_mbps,
+                    n_conns_total,
+                    self.env.rtt_s,
+                    self.env.mss_bytes,
+                );
+                survival *= 1.0 - l;
             }
-            let upstream: f64 = self
-                .env
-                .resources
-                .iter()
-                .take(i)
-                .map(|u| u.effective_capacity_mbps(n_conns_total))
-                .fold(f64::INFINITY, f64::min);
-            // `offered_mbps` already includes background demand and the
-            // global upstream clamp from step 1; non-bottleneck links see
-            // the transfer demand clamped by their own upstream.
-            let link_offered = if i == bottleneck {
-                offered_mbps
-            } else {
-                offered_mbps.min(upstream)
-            };
-            let l = self.env.loss_model.loss_rate(
-                link_offered,
-                r.capacity_mbps,
-                n_conns_total,
+            loss = (1.0 - survival).clamp(0.0, 1.0).max(self.loss_floor);
+            self.current_loss = loss;
+
+            // --- 3. Congestion-control caps. ----------------------------------
+            let loss_event_rate = loss / Self::LOSS_EVENT_BURST;
+            let n_at_link = self.scratch.streams.len().max(1) as f64;
+            let fair_share = link_capacity / n_at_link;
+            let cca_cap = self.env.cca.sustainable_rate_mbps(
+                loss_event_rate,
                 self.env.rtt_s,
                 self.env.mss_bytes,
+                fair_share.max(link_capacity), // response-function cap only; share
+                                               // enforcement happens in max-min
             );
-            survival *= 1.0 - l;
-        }
-        let loss = (1.0 - survival).clamp(0.0, 1.0).max(self.loss_floor);
-        self.current_loss = loss;
-
-        // --- 3. Congestion-control caps. --------------------------------------
-        let loss_event_rate = loss / Self::LOSS_EVENT_BURST;
-        let n_at_link = self.scratch.streams.len().max(1) as f64;
-        let fair_share = link_capacity / n_at_link;
-        let cca_cap = self.env.cca.sustainable_rate_mbps(
-            loss_event_rate,
-            self.env.rtt_s,
-            self.env.mss_bytes,
-            fair_share.max(link_capacity), // response-function cap only; share
-                                           // enforcement happens in max-min
-        );
-        for st in self.scratch.streams.iter_mut().take(n_agent_streams) {
-            st.cap_mbps = st.cap_mbps.min(cca_cap);
+            for st in self.scratch.streams.iter_mut().take(n_agent_streams) {
+                st.cap_mbps = st.cap_mbps.min(cca_cap);
+            }
+        } else {
+            loss = self.routed_loss_and_cca_caps(full_mask, n_agent_streams);
         }
 
         // --- 4. Max-min allocation over contended capacities. -----------------
-        let stream_count = self.scratch.streams.len() as u32;
         self.scratch.capacities.clear();
-        self.scratch.capacities.extend(
-            self.env
-                .resources
-                .iter()
-                .map(|r| r.effective_capacity_mbps(stream_count)),
-        );
+        if !routed {
+            let stream_count = self.scratch.streams.len() as u32;
+            self.scratch.capacities.extend(
+                self.env
+                    .resources
+                    .iter()
+                    .map(|r| r.effective_capacity_mbps(stream_count)),
+            );
+        } else {
+            // End-host contention is per-resource in routed mode: only the
+            // streams crossing a resource erode its effective capacity.
+            let n_res = self.env.resources.len();
+            self.scratch.res_streams.clear();
+            self.scratch.res_streams.resize(n_res, 0);
+            for st in &self.scratch.streams {
+                for (i, count) in self.scratch.res_streams.iter_mut().enumerate() {
+                    if st.resource_mask & (1u64 << i) != 0 {
+                        *count += 1;
+                    }
+                }
+            }
+            for (r, &count) in self.env.resources.iter().zip(&self.scratch.res_streams) {
+                self.scratch
+                    .capacities
+                    .push(r.effective_capacity_mbps(count));
+            }
+        }
         // Allocation is a pure function of (streams, capacities): if both
         // match last tick's inputs exactly, last tick's rates are already
         // the answer and progressive filling can be skipped. Exact (not
@@ -641,21 +722,129 @@ impl Simulation {
             if !a.alive {
                 continue;
             }
+            // In routed mode each agent's goodput survives its own path's
+            // hops; single-path mode keeps the shared end-to-end loss.
+            let (survival, agent_loss) = if routed {
+                let s = self.scratch.agent_survival[idx];
+                (s, 1.0 - s)
+            } else {
+                (1.0 - loss, loss)
+            };
             let mut agg = 0.0;
             for ramp in a.ramps.iter_mut() {
                 debug_assert_eq!(self.scratch.owners[cursor], idx);
                 let target = self.scratch.rates[cursor];
                 let actual = ramp.advance(target, dt_s);
-                agg += actual * (1.0 - loss);
+                agg += actual * survival;
                 cursor += 1;
             }
             a.instant_mbps = agg;
             a.delivered_mb += agg * dt_s;
-            a.loss_integral += loss * dt_s;
+            a.loss_integral += agent_loss * dt_s;
             a.sample_clock_s += dt_s;
         }
 
         self.time_s += dt_s;
+    }
+
+    /// Routed-mode loss: feed each `NetworkLink` loss model with the
+    /// offered load and connection count of the streams that cross it,
+    /// derive each agent's end-to-end survival over its own hops, and cap
+    /// each agent's streams by the congestion-control response at its own
+    /// loss-event rate and min-capacity hop. Returns the worst per-path
+    /// loss (reported as [`Simulation::current_loss`]).
+    fn routed_loss_and_cca_caps(&mut self, full_mask: u64, n_agent_streams: usize) -> f64 {
+        use crate::resource::ResourceKind;
+        let n_res = self.env.resources.len();
+        let scratch = &mut self.scratch;
+        scratch.link_offered.clear();
+        scratch.link_offered.resize(n_res, 0.0);
+        scratch.link_conns.clear();
+        scratch.link_conns.resize(n_res, 0);
+        for (pos, st) in scratch.streams.iter().enumerate() {
+            // A throttled stream offers its cap. An unthrottled agent's
+            // pool collectively pushes as hard as its tightest hop allows
+            // (mirroring single-path mode, where an uncapped agent offers
+            // the link capacity once, not once per connection).
+            let demand = if st.cap_mbps.is_finite() {
+                st.cap_mbps
+            } else {
+                let path_cap = self
+                    .env
+                    .resources
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| st.resource_mask & (1u64 << i) != 0)
+                    .map(|(_, r)| r.capacity_mbps)
+                    .fold(f64::INFINITY, f64::min);
+                let pool = scratch
+                    .owners
+                    .get(pos)
+                    .map_or(1, |&o| self.agents[o].settings.total_connections().max(1));
+                path_cap / f64::from(pool)
+            };
+            for (i, r) in self.env.resources.iter().enumerate() {
+                if r.kind == ResourceKind::NetworkLink && st.resource_mask & (1u64 << i) != 0 {
+                    scratch.link_offered[i] += demand;
+                    scratch.link_conns[i] += 1;
+                }
+            }
+        }
+        scratch.link_loss.clear();
+        scratch.link_loss.resize(n_res, 0.0);
+        for (i, r) in self.env.resources.iter().enumerate() {
+            if r.kind == ResourceKind::NetworkLink && scratch.link_conns[i] > 0 {
+                scratch.link_loss[i] = self.env.loss_model.loss_rate(
+                    scratch.link_offered[i],
+                    r.capacity_mbps,
+                    scratch.link_conns[i],
+                    self.env.rtt_s,
+                    self.env.mss_bytes,
+                );
+            }
+        }
+        scratch.agent_survival.clear();
+        scratch.agent_survival.resize(self.agents.len(), 1.0);
+        scratch.agent_cca_cap.clear();
+        scratch
+            .agent_cca_cap
+            .resize(self.agents.len(), f64::INFINITY);
+        let mut worst = 0.0f64;
+        for (idx, a) in self.agents.iter().enumerate() {
+            if !a.alive {
+                continue;
+            }
+            let mask = a.path_mask.unwrap_or(full_mask);
+            let mut survival = 1.0f64;
+            let mut path_cap = f64::INFINITY;
+            for (i, r) in self.env.resources.iter().enumerate() {
+                if mask & (1u64 << i) != 0 {
+                    path_cap = path_cap.min(r.capacity_mbps);
+                    if r.kind == ResourceKind::NetworkLink {
+                        survival *= 1.0 - scratch.link_loss[i];
+                    }
+                }
+            }
+            let l = (1.0 - survival).clamp(0.0, 1.0).max(self.loss_floor);
+            scratch.agent_survival[idx] = 1.0 - l;
+            scratch.agent_cca_cap[idx] = self.env.cca.sustainable_rate_mbps(
+                l / Self::LOSS_EVENT_BURST,
+                self.env.rtt_s,
+                self.env.mss_bytes,
+                path_cap,
+            );
+            worst = worst.max(l);
+        }
+        for (st, &owner) in scratch
+            .streams
+            .iter_mut()
+            .take(n_agent_streams)
+            .zip(&scratch.owners)
+        {
+            st.cap_mbps = st.cap_mbps.min(scratch.agent_cca_cap[owner]);
+        }
+        self.current_loss = worst;
+        worst
     }
 
     /// Consume and return the interval metrics accumulated since the last
@@ -1175,6 +1364,107 @@ mod tests {
         let a = sim.add_agent();
         sim.remove_agent(a);
         let _ = sim.take_sample(a);
+    }
+
+    #[test]
+    fn routed_disjoint_paths_do_not_interfere() {
+        let env = Environment::fleet(&[1000.0, 1000.0]).without_noise();
+        let mut sim = Simulation::new(env, 7);
+        let a = sim.add_agent_on_path(0b01);
+        let b = sim.add_agent_on_path(0b10);
+        sim.set_settings(a, AgentSettings::with_concurrency(2));
+        sim.set_settings(b, AgentSettings::with_concurrency(2));
+        sim.run_for(30.0, DT);
+        let sa = sim.take_sample(a);
+        let sb = sim.take_sample(b);
+        // Each agent saturates its own link; neither steals from the other.
+        assert!(sa.throughput_mbps > 900.0, "a got {}", sa.throughput_mbps);
+        assert!(sb.throughput_mbps > 900.0, "b got {}", sb.throughput_mbps);
+    }
+
+    #[test]
+    fn routed_shared_link_splits_fairly() {
+        let env = Environment::fleet(&[1000.0, 1000.0]).without_noise();
+        let mut sim = Simulation::new(env, 7);
+        let a = sim.add_agent_on_path(0b01);
+        let b = sim.add_agent_on_path(0b01);
+        sim.set_settings(a, AgentSettings::with_concurrency(2));
+        sim.set_settings(b, AgentSettings::with_concurrency(2));
+        sim.run_for(30.0, DT);
+        let sa = sim.take_sample(a).throughput_mbps;
+        let sb = sim.take_sample(b).throughput_mbps;
+        let ratio = sa / sb;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+        assert!(sa + sb < 1050.0, "sum {}", sa + sb);
+    }
+
+    #[test]
+    fn routed_multi_link_path_constrained_by_tightest_hop() {
+        let env = Environment::fleet(&[1000.0, 2500.0, 400.0]).without_noise();
+        let mut sim = Simulation::new(env, 7);
+        let a = sim.add_agent_on_path(0b111);
+        sim.set_settings(a, AgentSettings::with_concurrency(2));
+        sim.run_for(30.0, DT);
+        let s = sim.take_sample(a);
+        assert!(
+            (300.0..430.0).contains(&s.throughput_mbps),
+            "got {}",
+            s.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn routed_loss_accumulates_per_congested_hop() {
+        // Saturate both links with single-link competitors; the cross-path
+        // agent sees the compounded loss of its two congested hops.
+        let loss_crossing = |mask: u64| {
+            let env = Environment::fleet(&[500.0, 500.0]).without_noise();
+            let mut sim = Simulation::new(env, 7);
+            for link in [0b01u64, 0b10u64] {
+                for _ in 0..3 {
+                    let h = sim.add_agent_on_path(link);
+                    sim.set_settings(h, AgentSettings::with_concurrency(4));
+                }
+            }
+            let probe = sim.add_agent_on_path(mask);
+            sim.set_settings(probe, AgentSettings::with_concurrency(2));
+            sim.run_for(30.0, DT);
+            sim.take_sample(probe).loss_rate
+        };
+        let one_hop = loss_crossing(0b01);
+        let two_hop = loss_crossing(0b11);
+        assert!(one_hop > 0.0, "one hop lossless: {one_hop}");
+        assert!(
+            two_hop > 1.5 * one_hop,
+            "hops should compound: {two_hop} vs {one_hop}"
+        );
+    }
+
+    #[test]
+    fn routed_mode_coexists_with_full_path_agents() {
+        // A full-path (add_agent) transfer in a routed sim crosses every
+        // link and competes on each of them.
+        let env = Environment::fleet(&[800.0, 800.0]).without_noise();
+        let mut sim = Simulation::new(env, 7);
+        let routed = sim.add_agent_on_path(0b01);
+        let full = sim.add_agent();
+        sim.set_settings(routed, AgentSettings::with_concurrency(2));
+        sim.set_settings(full, AgentSettings::with_concurrency(2));
+        sim.run_for(30.0, DT);
+        let sr = sim.take_sample(routed).throughput_mbps;
+        let sf = sim.take_sample(full).throughput_mbps;
+        // They share link0; sum bounded by its capacity.
+        assert!(sr + sf < 850.0, "sum {}", sr + sf);
+        assert!(sr > 250.0 && sf > 250.0, "shares {sr} / {sf}");
+        assert_eq!(sim.path_mask(routed), 0b01);
+        assert_eq!(sim.path_mask(full), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "path mask")]
+    fn routed_rejects_out_of_range_mask() {
+        let mut sim = Simulation::new(Environment::fleet(&[1000.0]).without_noise(), 1);
+        let _ = sim.add_agent_on_path(0b10);
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct SimHarness {
     /// Per-slot fair-share weights, by join order (missing → 1.0). Models
     /// TCP RTT unfairness between transfers on different paths.
     agent_weights: Vec<f64>,
+    /// Per-slot route masks, by join order (missing → full end-to-end
+    /// path). Routes joins through
+    /// [`falcon_sim::Simulation::add_agent_on_path`] for fleet topologies.
+    agent_paths: Vec<u64>,
 }
 
 impl SimHarness {
@@ -101,6 +105,7 @@ impl SimHarness {
             slots: Vec::new(),
             nominal_thread_mbps,
             agent_weights: Vec::new(),
+            agent_paths: Vec::new(),
         }
     }
 
@@ -109,6 +114,15 @@ impl SimHarness {
     pub fn with_agent_weights(mut self, weights: Vec<f64>) -> Self {
         assert!(weights.iter().all(|&w| w > 0.0));
         self.agent_weights = weights;
+        self
+    }
+
+    /// Assign route masks to agents by join order (builder style). Agents
+    /// beyond the list cross the full end-to-end path. Bit `i` of a mask
+    /// selects resource `i` of the environment.
+    pub fn with_agent_paths(mut self, paths: Vec<u64>) -> Self {
+        debug_assert!(paths.iter().all(|&m| m != 0));
+        self.agent_paths = paths;
         self
     }
 
@@ -140,7 +154,10 @@ impl SimHarness {
 
 impl TransferHarness for SimHarness {
     fn join(&mut self, dataset: Dataset) -> usize {
-        let handle = self.sim.add_agent();
+        let handle = match self.agent_paths.get(self.slots.len()) {
+            Some(&mask) => self.sim.add_agent_on_path(mask),
+            None => self.sim.add_agent(),
+        };
         let job = TransferJob::new(&dataset);
         let share_weight = self
             .agent_weights
@@ -387,6 +404,27 @@ mod tests {
         let rb = h.sample(b).aggregate_mbps;
         let ratio = ra / rb;
         assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn agent_paths_route_joins_onto_their_links() {
+        let mut h = SimHarness::new(Simulation::new(
+            Environment::fleet(&[500.0, 500.0]).without_noise(),
+            11,
+        ))
+        .with_agent_paths(vec![0b01, 0b10]);
+        let a = h.join(Dataset::uniform_1gb(100_000));
+        let b = h.join(Dataset::uniform_1gb(100_000));
+        h.apply(a, TransferSettings::with_concurrency(2));
+        h.apply(b, TransferSettings::with_concurrency(2));
+        for _ in 0..300 {
+            h.advance(0.1);
+        }
+        // Disjoint routes: both saturate their own 500 Mbps link.
+        let ra = h.sample(a).aggregate_mbps;
+        let rb = h.sample(b).aggregate_mbps;
+        assert!(ra > 450.0, "a got {ra}");
+        assert!(rb > 450.0, "b got {rb}");
     }
 
     #[test]

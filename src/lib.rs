@@ -7,6 +7,7 @@
 
 pub use falcon_baselines as baselines;
 pub use falcon_core as core;
+pub use falcon_fleet as fleet;
 pub use falcon_gp as gp;
 pub use falcon_net as net;
 pub use falcon_sim as sim;

@@ -6,6 +6,7 @@
 //! two and three agents, and check the converse — that throughput-only
 //! objectives do *not* provide it.
 
+use falcon_experiments::observability::{achievable_mbps, steady_state};
 use falcon_repro::core::{FalconAgent, GdParams, GradientDescentOptimizer, UtilityFunction};
 use falcon_repro::sim::{Environment, Simulation};
 use falcon_repro::transfer::dataset::Dataset;
@@ -27,29 +28,35 @@ fn run_pair(mk: impl Fn(u64) -> FalconAgent, env: Environment, seed: u64) -> Run
 
 #[test]
 fn gd_pair_is_fair_in_emulab() {
-    let trace = run_pair(
-        |_| FalconAgent::gradient_descent(100),
-        Environment::emulab(21.0),
-        1,
-    );
+    let env = Environment::emulab(21.0);
+    let achievable = achievable_mbps(&env, 1.0);
+    let trace = run_pair(|_| FalconAgent::gradient_descent(100), env, 1);
     let fair = trace.fairness(&[0, 1], 500.0, 700.0);
     assert!(fair > 0.95, "Jain {fair}");
     let total = trace.avg_mbps(0, 500.0, 700.0) + trace.avg_mbps(1, 500.0, 700.0);
-    assert!(total > 750.0, "aggregate {total:.0} of 1000");
+    assert!(
+        total > 0.75 * achievable,
+        "aggregate {total:.0} of {achievable:.0}"
+    );
 }
 
 #[test]
 fn gd_pair_is_fair_in_hpclab() {
-    let trace = run_pair(
-        |_| FalconAgent::gradient_descent(64),
-        Environment::hpclab(),
-        2,
-    );
+    let env = Environment::hpclab();
+    // Paper: two competing transfers get 12-13 Gbps each in HPCLab — the
+    // fair split of the path capacity, which we derive from the
+    // environment instead of hard-coding.
+    let fair_share = env.path_capacity_mbps() / 2.0;
+    let trace = run_pair(|_| FalconAgent::gradient_descent(64), env, 2);
     let fair = trace.fairness(&[0, 1], 500.0, 700.0);
     assert!(fair > 0.95, "Jain {fair}");
-    // Paper: two competing transfers get 12-13 Gbps each in HPCLab.
-    let each = trace.avg_mbps(0, 500.0, 700.0) / 1000.0;
-    assert!((10.0..15.0).contains(&each), "per-agent {each:.1} Gbps");
+    let each = trace.avg_mbps(0, 500.0, 700.0);
+    assert!(
+        (0.75 * fair_share..1.15 * fair_share).contains(&each),
+        "per-agent {:.1} Gbps vs fair share {:.1}",
+        each / 1000.0,
+        fair_share / 1000.0
+    );
 }
 
 #[test]
@@ -92,9 +99,15 @@ fn three_gd_agents_share_three_ways() {
     let trace = Runner::default().run(&mut h, plans, 1400.0);
     let fair = trace.fairness(&[0, 1, 2], 900.0, 1400.0);
     assert!(fair > 0.90, "Jain {fair}");
+    let fair_share = Environment::hpclab().path_capacity_mbps() / 3.0;
     for a in 0..3 {
-        let gbps = trace.avg_mbps(a, 900.0, 1400.0) / 1000.0;
-        assert!((3.0..12.0).contains(&gbps), "agent {a}: {gbps:.1} Gbps");
+        let mbps = trace.avg_mbps(a, 900.0, 1400.0);
+        assert!(
+            (0.33 * fair_share..1.35 * fair_share).contains(&mbps),
+            "agent {a}: {:.1} Gbps vs fair share {:.1}",
+            mbps / 1000.0,
+            fair_share / 1000.0
+        );
     }
 }
 
@@ -166,21 +179,7 @@ fn loss_regret_keeps_loss_low_at_network_bottleneck() {
         // >80% utilization of the 100 Mbps link…
         assert!(thr > 80.0, "{utility:?}: thr {thr:.0}");
         // …at a concurrency whose steady loss is below ~2-3% (Figure 4).
-        let (_, loss) = steady_loss(cc.round() as u32);
+        let (_, loss) = steady_state(Environment::emulab_fig4(), cc.round() as u32, 3);
         assert!(loss < 0.035, "{utility:?}: loss {loss:.3}");
     }
-}
-
-/// Noise-free steady-state (throughput, loss) at a fixed concurrency on the
-/// Figure 4 topology.
-fn steady_loss(cc: u32) -> (f64, f64) {
-    let mut sim = Simulation::new(Environment::emulab_fig4().without_noise(), 3);
-    let a = sim.add_agent();
-    sim.set_settings(
-        a,
-        falcon_repro::sim::AgentSettings::with_concurrency(cc.max(1)),
-    );
-    sim.run_for(60.0, 0.1);
-    let s = sim.take_sample(a);
-    (s.throughput_mbps, s.loss_rate)
 }
