@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use falcon_sim::alloc::{max_min_allocate, StreamDemand};
-use falcon_sim::{AgentSettings, Environment, Simulation};
+use falcon_sim::{AgentSettings, Engine, Environment, Simulation};
 use falcon_tcp::BottleneckLossModel;
 
 fn bench_sim_step(c: &mut Criterion) {
@@ -41,6 +41,24 @@ fn bench_sim_step(c: &mut Criterion) {
             ))
         })
     });
+
+    // Idle-advance cost per engine: at steady state the DES engine crosses
+    // any span as one closed-form segment, while the tick oracle pays a
+    // step per 0.1 s — the gap should widen linearly with the span.
+    let mut g = c.benchmark_group("idle_advance");
+    for span_s in [1.0f64, 10.0, 100.0] {
+        for engine in [Engine::Des, Engine::Tick] {
+            let id = BenchmarkId::new(format!("{engine:?}"), format!("{span_s}s"));
+            g.bench_with_input(id, &span_s, |b, &span_s| {
+                let mut sim = Simulation::with_engine(Environment::emulab(21.0), 1, engine);
+                let a = sim.add_agent();
+                sim.set_settings(a, AgentSettings::with_concurrency(100));
+                sim.run_for(30.0, 0.1);
+                b.iter(|| sim.run_for(black_box(span_s), 0.1))
+            });
+        }
+    }
+    g.finish();
 
     let mut g = c.benchmark_group("max_min_allocate");
     for n in [10usize, 100, 1000] {

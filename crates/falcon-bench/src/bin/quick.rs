@@ -21,7 +21,9 @@ use falcon_core::{
 };
 use falcon_gp::{Acquisition, AcquisitionKind, GpRegressor, Matern52};
 use falcon_sim::alloc::{max_min_allocate, StreamDemand};
-use falcon_sim::{AgentSettings, Environment, Simulation};
+use falcon_sim::{
+    AgentSettings, Engine, Environment, EnvironmentEvent, EventAction, EventQueue, Simulation,
+};
 use falcon_tcp::BottleneckLossModel;
 
 fn observation(cc: u32) -> Observation {
@@ -227,6 +229,54 @@ fn bench_fleet(q: &mut QuickBench) {
     });
 }
 
+fn bench_des(q: &mut QuickBench) {
+    // Idle advance: a converged sim has no pending state changes, so the
+    // DES engine crosses the whole span in one closed-form segment while
+    // the tick oracle pays one step per 0.1 s — the des/tick ratio here
+    // is the O(1)-vs-O(ticks) win the engine exists for.
+    let mut sim = Simulation::with_engine(Environment::emulab(21.0), 1, Engine::Des);
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(100));
+    sim.advance(30.0);
+    q.bench("des", "advance_10s_idle", || sim.advance(black_box(10.0)));
+    let mut sim = Simulation::with_engine(Environment::emulab(21.0), 1, Engine::Tick);
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(100));
+    sim.run_for(30.0, 0.1);
+    q.bench("des", "advance_10s_idle_tick_oracle", || {
+        sim.run_for(black_box(10.0), 0.1)
+    });
+    // ns per transfer-visible event: schedule one capacity edge just
+    // ahead of the clock and advance through it, so each iteration pays
+    // schedule + boundary split + fire + re-cap.
+    let mut sim = Simulation::with_engine(Environment::emulab(21.0), 7, Engine::Des);
+    let a = sim.add_agent();
+    sim.set_settings(a, AgentSettings::with_concurrency(8));
+    let mut flip = false;
+    q.bench("des", "event_schedule_and_fire", || {
+        flip = !flip;
+        sim.add_event(EnvironmentEvent::at(
+            sim.time_s() + 0.005,
+            EventAction::LinkCapacityFactor {
+                resource: None,
+                factor: if flip { 0.5 } else { 2.0 },
+            },
+        ));
+        sim.advance(black_box(0.01));
+    });
+    // Raw scheduler throughput (events/sec): 64 pushes + a full drain of
+    // the deterministic priority queue per iteration.
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    q.bench("des", "event_queue_push_pop_64", || {
+        for i in 0..64u64 {
+            queue.push(((i * 37) % 64) as f64, (i % 3) as u8, i);
+        }
+        while let Some(e) = queue.pop() {
+            black_box(e);
+        }
+    });
+}
+
 fn bench_trace(q: &mut QuickBench) {
     use falcon_trace::{TraceEvent, Tracer};
     // Disabled tracer: the no-op path threaded through every hot loop. A
@@ -341,6 +391,7 @@ fn main() {
     bench_gp(&mut q);
     bench_simulator(&mut q);
     bench_fleet(&mut q);
+    bench_des(&mut q);
     bench_trace(&mut q);
     bench_optimizers(&mut q);
     bench_convergence(&mut q);

@@ -73,7 +73,10 @@ pub fn simulate(args: &SimulateArgs) -> Result<String, String> {
     );
     let mut next_probe = interval;
     while harness.time_s() < args.duration_s && !harness.is_complete(slot) {
-        harness.advance(0.1);
+        // Event-driven stepping: hop straight to the next probe instant,
+        // in ≤1 s chunks so completion is noticed promptly.
+        let target = next_probe.min(args.duration_s);
+        harness.advance_until(harness.time_s() + 1.0_f64.min(target - harness.time_s()));
         if harness.time_s() >= next_probe {
             let metrics = harness.sample(slot);
             let settings = agent.observe(metrics);

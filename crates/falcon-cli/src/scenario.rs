@@ -581,7 +581,12 @@ fn run_with_tracer(
     for bg in &sc.background {
         harness.sim_mut().add_background_flow(*bg);
     }
-    harness.sim_mut().add_events(sc.events.iter().copied());
+    // Fallible form: a scenario file with a non-finite or out-of-order
+    // event time is a parse-level error, not a panic.
+    harness
+        .sim_mut()
+        .try_add_events(sc.events.iter().copied())
+        .map_err(|e| ParseError(format!("[event] rejected: {e}")))?;
     let mut plans = Vec::new();
     for (i, a) in sc.agents.iter().enumerate() {
         let tuner = make_tuner(&a.tuner, max_cc, sc.seed.wrapping_add(i as u64))?;

@@ -110,6 +110,12 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
 
 /// Run a campaign, emitting structured events into `tracer`. The tracer's
 /// log is drained into the outcome.
+///
+/// Campaigns are event-driven end to end: the generated arrival and
+/// departure times become exact wakeups in the shared [`Runner`], and the
+/// simulation advances between them with the discrete-event engine
+/// (`falcon_sim::Engine::Des`, the default) — a transfer arriving at
+/// t = 137.42 s joins at exactly that instant, not at the next tick.
 pub fn run_campaign_with_tracer(spec: &CampaignSpec, tracer: Tracer) -> CampaignOutcome {
     let specs = generate(&spec.topology, &spec.workload, spec.seed);
     let mut sim = Simulation::new(spec.topology.env.clone(), spec.seed);

@@ -1,0 +1,207 @@
+//! Deterministic discrete-event scheduling primitives.
+//!
+//! The fixed-tick engine quantizes every state change to a step boundary:
+//! an [`crate::EnvironmentEvent`] scheduled strictly inside a step fires up
+//! to a full `dt` late, and the error depends on how the caller sliced
+//! `run_for`. The discrete-event engine instead advances straight from one
+//! *state-change time* to the next and integrates the closed-form rate
+//! dynamics across each segment, so event timing is exact and idle periods
+//! cost O(1) instead of O(ticks).
+//!
+//! This module holds the two building blocks shared by the simulator and
+//! the experiment runner:
+//!
+//! - [`Engine`]: which stepping strategy a [`crate::Simulation`] uses.
+//! - [`EventQueue`]: a deterministic priority queue of timestamped
+//!   entries. Ties are broken by an explicit class code and then by
+//!   insertion order, never by heap internals, so a schedule drains in
+//!   the same order on every run and on every thread count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Stepping strategy of a [`crate::Simulation`].
+///
+/// Both engines fire scheduled events at their exact `at_s` and agree on
+/// environment state at every instant; they differ only in how rates are
+/// integrated between events (closed form vs. tick-sampled), which the
+/// `des_vs_tick` differential gate bounds by the tick-quantization error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Discrete-event stepping: advance from one state-change time to the
+    /// next, integrating ramp dynamics analytically across each segment.
+    /// The default engine.
+    #[default]
+    Des,
+    /// Fixed-tick stepping at the caller's `dt`: the original engine, kept
+    /// as a differential-testing oracle.
+    Tick,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at_s: f64,
+    class: u8,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> Entry<T> {
+    /// Min-heap key: earliest time first, then lowest class code, then
+    /// insertion order. `total_cmp` gives floats a total order, so two
+    /// schedules with identical (time, class, seq) triples drain
+    /// identically even with NaN or signed-zero entries.
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        self.at_s
+            .total_cmp(&other.at_s)
+            .then(self.class.cmp(&other.class))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first popping.
+        other.key_cmp(self)
+    }
+}
+
+/// A deterministic priority queue of timestamped entries.
+///
+/// Entries pop in ascending `(time, class, insertion order)`. The class
+/// code makes same-instant ordering explicit (e.g. the runner processes
+/// joins before departures before probes at one instant); the insertion
+/// sequence number makes coincident same-class entries FIFO. No ordering
+/// ever depends on heap layout, so a schedule is reproducible across runs,
+/// platforms, and thread counts.
+#[derive(Debug, Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `at_s` with tie-break class `class` (lower
+    /// classes pop first at equal times).
+    pub fn push(&mut self, at_s: f64, class: u8, payload: T) {
+        debug_assert!(!at_s.is_nan(), "cannot schedule an entry at NaN");
+        self.heap.push(Entry {
+            at_s,
+            class,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Remove and return the earliest entry as `(at_s, class, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, u8, T)> {
+        self.heap.pop().map(|e| (e.at_s, e.class, e.payload))
+    }
+
+    /// The earliest scheduled time without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at_s)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 0, "c");
+        q.push(1.0, 0, "a");
+        q.push(2.0, 0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn class_breaks_time_ties() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 2, "probe");
+        q.push(5.0, 0, "join");
+        q.push(5.0, 1, "leave");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, ["join", "leave", "probe"]);
+    }
+
+    #[test]
+    fn insertion_order_breaks_full_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(1.0, 0, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10.0, 0, 'x');
+        q.push(4.0, 0, 'a');
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some('a'));
+        q.push(7.0, 0, 'b');
+        q.push(7.0, 1, 'c');
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some('b'));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some('c'));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some('x'));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn identical_schedules_drain_identically() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for (t, c) in [(2.0, 1), (2.0, 0), (1.5, 3), (2.0, 1), (0.5, 2)] {
+                q.push(t, c, (t, c));
+            }
+            let mut order = Vec::new();
+            while let Some((t, c, p)) = q.pop() {
+                order.push((t, c, p));
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn default_engine_is_des() {
+        assert_eq!(Engine::default(), Engine::Des);
+    }
+}

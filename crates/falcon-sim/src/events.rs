@@ -79,6 +79,46 @@ pub enum EventAction {
     },
 }
 
+/// Why an [`EnvironmentEvent`] could not be scheduled: its time is not
+/// finite, or it lies before an event that has already fired (the past
+/// cannot be rewritten). Returned by `Simulation::try_add_event`; the
+/// panicking `add_event` embeds the same report in its message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventScheduleError {
+    /// Position the event would occupy in the schedule (events added so
+    /// far, fired or pending).
+    pub index: usize,
+    /// The rejected event's time.
+    pub at_s: f64,
+    /// The rejected event's action.
+    pub action: EventAction,
+    /// Time of the latest event that has already fired, if any.
+    pub last_fired_at_s: Option<f64>,
+}
+
+impl std::fmt::Display for EventScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.at_s.is_finite() {
+            write!(
+                f,
+                "cannot schedule event #{} ({:?}) at non-finite time {}s",
+                self.index, self.action, self.at_s
+            )
+        } else {
+            write!(
+                f,
+                "cannot schedule event #{} ({:?}) at {}s: events up to {}s already fired",
+                self.index,
+                self.action,
+                self.at_s,
+                self.last_fired_at_s.unwrap_or(f64::NEG_INFINITY)
+            )
+        }
+    }
+}
+
+impl std::error::Error for EventScheduleError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +128,27 @@ mod tests {
         let e = EnvironmentEvent::at(12.5, EventAction::LossFloor { rate: 0.01 });
         assert_eq!(e.at_s, 12.5);
         assert_eq!(e.action, EventAction::LossFloor { rate: 0.01 });
+    }
+
+    #[test]
+    fn schedule_error_reports_action_and_index() {
+        let err = EventScheduleError {
+            index: 3,
+            at_s: 10.0,
+            action: EventAction::KillAgent { agent: 1 },
+            last_fired_at_s: Some(25.0),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("#3"), "{msg}");
+        assert!(msg.contains("KillAgent"), "{msg}");
+        assert!(msg.contains("25"), "{msg}");
+
+        let nan = EventScheduleError {
+            index: 0,
+            at_s: f64::NAN,
+            action: EventAction::LossFloor { rate: 0.5 },
+            last_fired_at_s: None,
+        };
+        assert!(nan.to_string().contains("non-finite"), "{nan}");
     }
 }

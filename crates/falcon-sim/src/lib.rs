@@ -1,8 +1,11 @@
 //! Fluid-flow simulator of end-to-end file-transfer paths.
 //!
 //! This crate substitutes for the paper's physical testbeds (Table 1: Emulab,
-//! XSEDE, HPCLab, Campus Cluster, plus Stampede2–Comet). It simulates, in
-//! discrete time steps, the resources an application-layer transfer crosses:
+//! XSEDE, HPCLab, Campus Cluster, plus Stampede2–Comet). It simulates the
+//! resources an application-layer transfer crosses — by default with a
+//! discrete-event engine that advances from one state-change time to the
+//! next (see [`des`]), with the original fixed-tick engine retained as a
+//! differential-testing oracle:
 //!
 //! ```text
 //! source disk read ──> source NIC ──> shared network link ──> dest NIC ──> dest disk write
@@ -29,13 +32,15 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod alloc;
+pub mod des;
 pub mod env;
 pub mod events;
 pub mod resource;
 pub mod sim;
 pub mod traffic;
 
+pub use des::{Engine, EventQueue};
 pub use env::{Environment, EnvironmentKind};
-pub use events::{EnvironmentEvent, EventAction};
+pub use events::{EnvironmentEvent, EventAction, EventScheduleError};
 pub use resource::{Resource, ResourceKind};
 pub use sim::{AgentHandle, AgentSample, AgentSettings, BackgroundFlow, Simulation};

@@ -1,6 +1,20 @@
-//! The discrete-time fluid simulation.
+//! The fluid simulation.
 //!
-//! Every `step(dt)` the simulator:
+//! Between any two state-change instants (a scheduled
+//! [`EnvironmentEvent`], a background-flow edge) the per-connection
+//! allocation *targets* are constant — they depend only on settings,
+//! environment, and which background flows are active, never on the ramp
+//! state. The default discrete-event engine ([`crate::des::Engine::Des`])
+//! exploits that: [`Simulation::run_until`] advances segment by segment,
+//! applying events at their exact times and integrating each
+//! [`falcon_tcp::RateRamp`] in closed form across the whole segment, so an
+//! idle hour costs the same as an idle millisecond. The fixed-tick engine
+//! is kept as a differential-testing oracle ([`crate::des::Engine::Tick`],
+//! or calling [`Simulation::step`] directly); it now also splits ticks at
+//! interior state-change times so both engines agree on event timing
+//! exactly and differ only by the tick-quantization of ramp sampling.
+//!
+//! For every integration segment the simulator:
 //!
 //! 1. Builds the set of active connections (each agent contributes
 //!    `concurrency × parallelism` connections; background flows contribute
@@ -29,8 +43,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::alloc::{weighted_max_min_allocate_into, AllocScratch, WeightedStreamDemand};
+use crate::des::Engine;
 use crate::env::Environment;
-use crate::events::{EnvironmentEvent, EventAction};
+use crate::events::{EnvironmentEvent, EventAction, EventScheduleError};
 
 /// Handle to an agent (transfer task) registered with the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,6 +162,10 @@ struct AgentState {
     ramps: Vec<RateRamp>,
     /// Megabits delivered since the last sample.
     delivered_mb: f64,
+    /// Megabits delivered over the agent's whole lifetime. Monotonic:
+    /// never reset by sampling, kills, or revives, so harnesses can do
+    /// exact byte accounting from deltas under variable-length advances.
+    total_delivered_mb: f64,
     /// ∫ loss dt since the last sample.
     loss_integral: f64,
     /// Seconds since the last sample.
@@ -188,6 +207,11 @@ pub struct Simulation {
     loss_floor: f64,
     time_s: f64,
     current_loss: f64,
+    /// Which stepping strategy `run_until`/`run_for`/`advance` use.
+    engine: Engine,
+    /// Tick length the tick-oracle engine uses to subdivide `run_until`
+    /// spans; refreshed by every `run_for` call. Ignored by the DES engine.
+    dt_hint_s: f64,
     rng: StdRng,
     scratch: StepScratch,
     tracer: Tracer,
@@ -212,10 +236,41 @@ impl Simulation {
             loss_floor: 0.0,
             time_s: 0.0,
             current_loss: 0.0,
+            engine: Engine::default(),
+            dt_hint_s: 0.1,
             rng: StdRng::seed_from_u64(seed),
             scratch: StepScratch::default(),
             tracer: Tracer::default(),
         }
+    }
+
+    /// Create a simulation pinned to a specific stepping engine (the
+    /// default is [`Engine::Des`]; differential tests pin [`Engine::Tick`]
+    /// to run the oracle).
+    pub fn with_engine(env: Environment, seed: u64, engine: Engine) -> Self {
+        let mut sim = Simulation::new(env, seed);
+        sim.engine = engine;
+        sim
+    }
+
+    /// Switch the stepping engine used by [`Simulation::run_until`] and
+    /// friends. Calling [`Simulation::step`] directly always runs the
+    /// (event-splitting) tick engine regardless of this setting.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The stepping engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Set the tick length the tick-oracle engine uses to subdivide
+    /// [`Simulation::run_until`] spans. Every [`Simulation::run_for`] call
+    /// also refreshes it. The DES engine ignores it.
+    pub fn set_tick_hint(&mut self, dt_s: f64) {
+        debug_assert!(dt_s > 0.0, "tick hint must be positive");
+        self.dt_hint_s = dt_s;
     }
 
     /// Install a tracer. The simulation stamps sim time on it each step and
@@ -268,6 +323,7 @@ impl Simulation {
             settings: AgentSettings::default(),
             ramps: vec![RateRamp::new(self.env.rtt_s)],
             delivered_mb: 0.0,
+            total_delivered_mb: 0.0,
             loss_integral: 0.0,
             sample_clock_s: 0.0,
             instant_mbps: 0.0,
@@ -345,23 +401,57 @@ impl Simulation {
     }
 
     /// Schedule an environment event. Events may be added in any order;
-    /// they fire at the first `step` whose start time has reached `at_s`.
+    /// they fire at the exact simulated time `at_s` (an `at_s` at or before
+    /// the current time fires at the start of the next advance).
+    ///
+    /// Panics with the offending event's action and schedule index if the
+    /// event is rejected; [`Simulation::try_add_event`] is the fallible
+    /// form for externally-supplied schedules (e.g. scenario files).
     pub fn add_event(&mut self, event: EnvironmentEvent) {
-        debug_assert!(
-            self.next_event == 0 || self.events[self.next_event - 1].at_s <= event.at_s,
-            "cannot schedule an event at {}s: events up to {}s already fired",
-            event.at_s,
-            self.events[self.next_event - 1].at_s
-        );
+        if let Err(err) = self.try_add_event(event) {
+            // falcon-lint::allow(panic-safety, reason = "documented panicking API; try_add_event is the fallible form")
+            panic!("{err}");
+        }
+    }
+
+    /// Schedule an environment event, rejecting non-finite times and times
+    /// before an already-fired event (the past cannot be rewritten). The
+    /// non-panicking form of [`Simulation::add_event`].
+    pub fn try_add_event(&mut self, event: EnvironmentEvent) -> Result<(), EventScheduleError> {
+        let last_fired_at_s = self.next_event.checked_sub(1).map(|i| self.events[i].at_s);
+        if !event.at_s.is_finite() || last_fired_at_s.is_some_and(|t| event.at_s < t) {
+            return Err(EventScheduleError {
+                index: self.events.len(),
+                at_s: event.at_s,
+                action: event.action,
+                last_fired_at_s,
+            });
+        }
         self.events.push(event);
         self.events[self.next_event..].sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        Ok(())
     }
 
     /// Schedule several events at once.
+    ///
+    /// Panics on the first rejected event; [`Simulation::try_add_events`]
+    /// is the fallible form.
     pub fn add_events(&mut self, events: impl IntoIterator<Item = EnvironmentEvent>) {
         for e in events {
             self.add_event(e);
         }
+    }
+
+    /// Schedule several events, stopping at the first rejected one. Events
+    /// before the failure remain scheduled.
+    pub fn try_add_events(
+        &mut self,
+        events: impl IntoIterator<Item = EnvironmentEvent>,
+    ) -> Result<(), EventScheduleError> {
+        for e in events {
+            self.try_add_event(e)?;
+        }
+        Ok(())
     }
 
     /// The scripted events that have not fired yet.
@@ -506,11 +596,116 @@ impl Simulation {
         a.alive.then_some(a.instant_mbps)
     }
 
-    /// Advance the simulation by `dt_s` seconds.
+    /// Advance the simulation by `dt_s` seconds with the tick engine (one
+    /// nominal tick). The tick is split internally at every interior
+    /// state-change time, so a scheduled event with `at_s` strictly inside
+    /// the step applies at exactly `at_s` instead of a full step late.
     pub fn step(&mut self, dt_s: f64) {
         debug_assert!(dt_s > 0.0);
-        self.tracer.set_time(self.time_s);
-        self.apply_due_events();
+        let target = self.time_s + dt_s;
+        self.step_to_tick(target);
+    }
+
+    /// One nominal tick of the oracle engine ending exactly at `target_s`,
+    /// split at interior event/background boundaries. Boundary times are
+    /// assigned exactly (`time_s = boundary`), never accumulated, so tick
+    /// grids cannot drift relative to scheduled events.
+    fn step_to_tick(&mut self, target_s: f64) {
+        while self.time_s < target_s {
+            self.tracer.set_time(self.time_s);
+            self.apply_due_events();
+            let boundary = self.next_boundary_after(self.time_s).min(target_s);
+            let dt = boundary - self.time_s;
+            let (routed, loss) = self.prepare_targets();
+            self.integrate_tick(dt, routed, loss);
+            self.time_s = boundary;
+        }
+    }
+
+    /// Advance simulated time to `t_end_s` using the configured engine.
+    ///
+    /// The DES engine walks from one state-change time to the next and
+    /// integrates ramp dynamics analytically across each segment (O(1) per
+    /// segment, however long). The tick oracle subdivides the span into
+    /// ticks of the current tick hint, computing each tick's end as
+    /// `start + i·dt` so multi-hour runs cannot accumulate float drift.
+    /// Both engines fire scheduled events at their exact `at_s`. Times at
+    /// or before the current time are a no-op.
+    pub fn run_until(&mut self, t_end_s: f64) {
+        debug_assert!(t_end_s.is_finite(), "run_until target must be finite");
+        match self.engine {
+            Engine::Des => self.run_until_des(t_end_s),
+            Engine::Tick => self.run_until_tick(t_end_s),
+        }
+    }
+
+    /// Advance by `dt_s` seconds using the configured engine.
+    pub fn advance(&mut self, dt_s: f64) {
+        debug_assert!(dt_s >= 0.0, "advance span must be non-negative");
+        self.run_until(self.time_s + dt_s);
+    }
+
+    fn run_until_des(&mut self, t_end_s: f64) {
+        while self.time_s < t_end_s {
+            self.tracer.set_time(self.time_s);
+            self.apply_due_events();
+            let boundary = self.next_boundary_after(self.time_s).min(t_end_s);
+            let dt = boundary - self.time_s;
+            let (routed, loss) = self.prepare_targets();
+            self.integrate_exact(dt, routed, loss);
+            self.time_s = boundary;
+        }
+    }
+
+    fn run_until_tick(&mut self, t_end_s: f64) {
+        let start = self.time_s;
+        let span = t_end_s - start;
+        if span <= 0.0 {
+            return;
+        }
+        let dt = self.dt_hint_s;
+        let whole = (span / dt).floor() as u64;
+        for i in 1..=whole {
+            // A span that is an exact tick multiple can put the last grid
+            // point one ulp past `t_end_s`; cap it so the clock lands on
+            // the caller's target bit-exactly, like the DES engine does.
+            self.step_to_tick((start + (i as f64) * dt).min(t_end_s));
+        }
+        // Fractional remainder as one shorter final step; skip float dust
+        // from spans meant as exact tick multiples.
+        if t_end_s - self.time_s > dt * 1e-9 {
+            self.step_to_tick(t_end_s);
+        }
+    }
+
+    /// Earliest state-change time strictly after `t`: the next unfired
+    /// scheduled event and the next background-flow start/end edge.
+    /// Allocation targets are constant between such boundaries, which is
+    /// what lets a whole segment integrate in closed form.
+    fn next_boundary_after(&self, t: f64) -> f64 {
+        let mut next = f64::INFINITY;
+        if let Some(e) = self.events.get(self.next_event) {
+            if e.at_s > t {
+                next = e.at_s;
+            }
+        }
+        for bg in &self.background {
+            if bg.start_s > t {
+                next = next.min(bg.start_s);
+            }
+            if bg.end_s > t {
+                next = next.min(bg.end_s);
+            }
+        }
+        next
+    }
+
+    /// Sections 1–4 of the per-segment pipeline: build connection demands,
+    /// compute loss, apply congestion-control caps, and run (or skip) the
+    /// weighted max-min allocation into `scratch.rates`. Pure in the ramp
+    /// state: targets depend only on settings, environment, and background
+    /// activity at the current time. Returns `(routed, loss)`.
+    fn prepare_targets(&mut self) -> (bool, f64) {
         let t = self.time_s;
         let bottleneck = self.env.bottleneck_link;
         let link_capacity = self.env.resources[bottleneck].capacity_mbps;
@@ -715,8 +910,13 @@ impl Simulation {
         }
         self.tracer.incr("sim.steps");
         self.tracer.observe("sim.loss_rate", loss);
+        (routed, loss)
+    }
 
-        // --- 5. Ramp dynamics and accounting. ---------------------------------
+    /// Section 5, tick flavor: advance each ramp by one tick and accrue
+    /// goodput with the right-Riemann rule (`post_advance_rate × dt`) —
+    /// the original engine's arithmetic, kept as the oracle.
+    fn integrate_tick(&mut self, dt_s: f64, routed: bool, loss: f64) {
         let mut cursor = 0usize;
         for (idx, a) in self.agents.iter_mut().enumerate() {
             if !a.alive {
@@ -739,12 +939,54 @@ impl Simulation {
                 cursor += 1;
             }
             a.instant_mbps = agg;
-            a.delivered_mb += agg * dt_s;
+            let delivered = agg * dt_s;
+            a.delivered_mb += delivered;
+            a.total_delivered_mb += delivered;
             a.loss_integral += agent_loss * dt_s;
             a.sample_clock_s += dt_s;
         }
+    }
 
-        self.time_s += dt_s;
+    /// Section 5, DES flavor: advance each ramp across the whole segment
+    /// in closed form and accrue the *exact* integral of its rate curve
+    /// ([`RateRamp::advance_integrated`]), so segment length does not
+    /// affect accuracy and an idle segment costs O(connections), not
+    /// O(ticks).
+    fn integrate_exact(&mut self, dt_s: f64, routed: bool, loss: f64) {
+        let mut cursor = 0usize;
+        for (idx, a) in self.agents.iter_mut().enumerate() {
+            if !a.alive {
+                continue;
+            }
+            let (survival, agent_loss) = if routed {
+                let s = self.scratch.agent_survival[idx];
+                (s, 1.0 - s)
+            } else {
+                (1.0 - loss, loss)
+            };
+            let mut agg_end = 0.0;
+            let mut delivered = 0.0;
+            for ramp in a.ramps.iter_mut() {
+                debug_assert_eq!(self.scratch.owners[cursor], idx);
+                let target = self.scratch.rates[cursor];
+                let (end_rate, integral) = ramp.advance_integrated(target, dt_s);
+                agg_end += end_rate * survival;
+                delivered += integral * survival;
+                cursor += 1;
+            }
+            a.instant_mbps = agg_end;
+            a.delivered_mb += delivered;
+            a.total_delivered_mb += delivered;
+            a.loss_integral += agent_loss * dt_s;
+            a.sample_clock_s += dt_s;
+        }
+    }
+
+    /// Megabits delivered by an agent over its whole lifetime, including
+    /// while dead periods contributed nothing. Monotonic and never reset
+    /// by sampling or revives; valid for removed agents too.
+    pub fn delivered_mbits_total(&self, h: AgentHandle) -> f64 {
+        self.agents[h.0].total_delivered_mb
     }
 
     /// Routed-mode loss: feed each `NetworkLink` loss model with the
@@ -906,26 +1148,21 @@ impl Simulation {
         (1.0 + sigma * z).max(0.05)
     }
 
-    /// Run the simulation for `duration_s` at the given tick, without
-    /// touching settings. Convenience for tests and warm-up phases.
+    /// Run the simulation for `duration_s`, without touching settings.
+    /// Convenience for tests and warm-up phases.
     ///
-    /// The duration is honored exactly: after whole ticks of `dt_s`, any
-    /// fractional remainder is simulated as one shorter final step (it used
-    /// to be rounded away, so `run_for(1.25, 0.5)` advanced only 1.0s or
-    /// 1.5s depending on rounding).
+    /// Routes through [`Simulation::run_until`]: the DES engine ignores
+    /// `dt_s` (it only ever integrates between state changes); the tick
+    /// oracle adopts `dt_s` as its tick hint, stepping a drift-free grid of
+    /// `start + i·dt` with any fractional remainder as one shorter final
+    /// step. Either way the duration is honored exactly and scheduled
+    /// events fire at their exact times regardless of how callers slice
+    /// their `run_for` calls.
     pub fn run_for(&mut self, duration_s: f64, dt_s: f64) {
         debug_assert!(dt_s > 0.0, "dt_s must be positive");
         debug_assert!(duration_s >= 0.0, "duration_s must be non-negative");
-        let ticks = duration_s / dt_s;
-        let whole = ticks.floor();
-        for _ in 0..whole as u64 {
-            self.step(dt_s);
-        }
-        let remainder_s = (ticks - whole) * dt_s;
-        // Skip float dust from durations meant as exact multiples of dt_s.
-        if remainder_s > dt_s * 1e-9 {
-            self.step(remainder_s);
-        }
+        self.dt_hint_s = dt_s;
+        self.run_until(self.time_s + duration_s);
     }
 }
 
@@ -1477,5 +1714,259 @@ mod tests {
         assert_eq!(sim.settings(a).concurrency, 8);
         sim.run_for(30.0, DT);
         assert!(sim.instantaneous_rate_mbps(a) > 0.0);
+    }
+
+    /// Runs a sim with one mid-step event under `engine`, advancing time
+    /// with the given `(duration, dt)` slices; returns the trace timestamp
+    /// the event actually applied at, and the final sim time.
+    fn event_fire_time(engine: Engine, slices: &[(f64, f64)]) -> (f64, f64) {
+        let mut sim =
+            Simulation::with_engine(Environment::emulab(100.0).without_noise(), 2, engine);
+        let tracer = Tracer::recording();
+        sim.set_tracer(tracer.clone());
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(10));
+        sim.add_event(EnvironmentEvent::at(
+            12.5,
+            EventAction::LinkCapacityFactor {
+                resource: None,
+                factor: 0.5,
+            },
+        ));
+        for &(d, dt) in slices {
+            sim.run_for(d, dt);
+        }
+        let log = tracer.take_log();
+        let rec = log
+            .records
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::Environment { .. }))
+            .expect("environment event never fired");
+        (rec.t_s, sim.time_s())
+    }
+
+    #[test]
+    fn event_inside_a_step_fires_at_exact_time_in_both_engines() {
+        // The issue's pinned case: at_s = 12.5 with dt = 0.1 applies at
+        // exactly 12.5 s, for any run_for slicing — including a slice
+        // boundary at 12.47 that used to shift the firing tick.
+        for engine in [Engine::Des, Engine::Tick] {
+            let (t, _) = event_fire_time(engine, &[(30.0, 0.1)]);
+            assert_eq!(t, 12.5, "{engine:?}: contiguous run fired at {t}");
+            let (t, end) = event_fire_time(engine, &[(12.47, 0.1), (10.0, 0.1)]);
+            assert_eq!(t, 12.5, "{engine:?}: sliced run fired at {t}");
+            assert!((end - 22.47).abs() < 1e-9, "{engine:?}: ended at {end}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_event_driven_environment_state() {
+        // Capacity drop + restore: both engines must hold bit-identical
+        // environment state at every probe instant.
+        let run = |engine: Engine| {
+            let mut sim =
+                Simulation::with_engine(Environment::emulab(100.0).without_noise(), 2, engine);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(10));
+            sim.add_events([
+                EnvironmentEvent::at(
+                    10.25,
+                    EventAction::LinkCapacityFactor {
+                        resource: None,
+                        factor: 0.3,
+                    },
+                ),
+                EnvironmentEvent::at(20.75, EventAction::LossFloor { rate: 0.015 }),
+            ]);
+            let mut states = Vec::new();
+            for _ in 0..5 {
+                sim.run_for(5.21, 0.1);
+                let caps: Vec<f64> = sim
+                    .env()
+                    .resources
+                    .iter()
+                    .map(|r| r.capacity_mbps)
+                    .collect();
+                states.push((caps, sim.env().rtt_s, sim.pending_events().len()));
+            }
+            states
+        };
+        assert_eq!(run(Engine::Des), run(Engine::Tick));
+    }
+
+    #[test]
+    fn engines_agree_on_delivered_within_tick_tolerance() {
+        // Rates integrate analytically under DES and by right-Riemann
+        // ticks under the oracle; the difference is O(dt) during
+        // transients and vanishes at steady state.
+        let throughput = |engine: Engine| {
+            let mut sim =
+                Simulation::with_engine(Environment::emulab(100.0).without_noise(), 2, engine);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(10));
+            sim.run_for(60.0, 0.1);
+            sim.take_sample(a).throughput_mbps
+        };
+        let des = throughput(Engine::Des);
+        let tick = throughput(Engine::Tick);
+        assert!(
+            (des - tick).abs() < 0.005 * tick.max(1.0),
+            "DES {des} vs tick {tick}"
+        );
+    }
+
+    #[test]
+    fn tick_grid_does_not_drift_over_long_runs() {
+        // An hour of 0.1 s ticks lands exactly on the hour: tick times are
+        // start + i·dt, never accumulated.
+        let mut sim =
+            Simulation::with_engine(Environment::emulab(100.0).without_noise(), 1, Engine::Tick);
+        sim.run_for(3600.0, 0.1);
+        assert!((sim.time_s() - 3600.0).abs() < 1e-9, "t = {}", sim.time_s());
+        // And a drifting schedule of odd-length slices still lands exactly.
+        let mut sim =
+            Simulation::with_engine(Environment::emulab(100.0).without_noise(), 1, Engine::Des);
+        for _ in 0..1000 {
+            sim.run_for(0.37, 0.1);
+        }
+        assert!((sim.time_s() - 370.0).abs() < 1e-6, "t = {}", sim.time_s());
+    }
+
+    #[test]
+    fn run_until_is_monotonic_and_noop_for_past_times() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 1);
+        sim.run_until(10.0);
+        assert_eq!(sim.time_s(), 10.0);
+        sim.run_until(5.0);
+        assert_eq!(sim.time_s(), 10.0);
+        sim.advance(2.5);
+        assert_eq!(sim.time_s(), 12.5);
+    }
+
+    #[test]
+    fn coincident_events_fire_in_insertion_order() {
+        for engine in [Engine::Des, Engine::Tick] {
+            let mut sim =
+                Simulation::with_engine(Environment::emulab(100.0).without_noise(), 2, engine);
+            let base = sim.env().resources[sim.env().bottleneck_link].capacity_mbps;
+            sim.add_events([
+                EnvironmentEvent::at(
+                    5.13,
+                    EventAction::LinkCapacityFactor {
+                        resource: None,
+                        factor: 0.5,
+                    },
+                ),
+                EnvironmentEvent::at(
+                    5.13,
+                    EventAction::LinkCapacityFactor {
+                        resource: None,
+                        factor: 0.25,
+                    },
+                ),
+            ]);
+            sim.run_for(10.0, 0.1);
+            let cap = sim.env().resources[sim.env().bottleneck_link].capacity_mbps;
+            assert_eq!(cap, base * 0.25, "{engine:?}: last insertion wins");
+        }
+    }
+
+    #[test]
+    fn try_add_event_rejects_past_and_nonfinite_times() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 1);
+        sim.add_event(EnvironmentEvent::at(
+            10.0,
+            EventAction::LossFloor { rate: 0.01 },
+        ));
+        sim.run_for(20.0, DT);
+        let err = sim
+            .try_add_event(EnvironmentEvent::at(
+                5.0,
+                EventAction::KillAgent { agent: 0 },
+            ))
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.last_fired_at_s, Some(10.0));
+        assert!(err.to_string().contains("KillAgent"), "{err}");
+        let err = sim
+            .try_add_event(EnvironmentEvent::at(
+                f64::NAN,
+                EventAction::LossFloor { rate: 0.0 },
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        // Future events are still accepted after rejections.
+        assert!(sim
+            .try_add_event(EnvironmentEvent::at(
+                30.0,
+                EventAction::LossFloor { rate: 0.0 }
+            ))
+            .is_ok());
+        assert_eq!(sim.pending_events().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "KillAgent")]
+    fn add_event_panic_names_the_offending_action() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 1);
+        sim.add_event(EnvironmentEvent::at(
+            10.0,
+            EventAction::LossFloor { rate: 0.01 },
+        ));
+        sim.run_for(20.0, DT);
+        sim.add_event(EnvironmentEvent::at(
+            5.0,
+            EventAction::KillAgent { agent: 0 },
+        ));
+    }
+
+    #[test]
+    fn total_delivered_is_monotonic_across_samples_and_revives() {
+        let mut sim = Simulation::new(Environment::emulab(100.0).without_noise(), 4);
+        let a = sim.add_agent();
+        sim.set_settings(a, AgentSettings::with_concurrency(4));
+        sim.run_for(10.0, DT);
+        let t1 = sim.delivered_mbits_total(a);
+        assert!(t1 > 0.0);
+        let _ = sim.take_sample(a); // resets the interval accumulator...
+        assert_eq!(sim.delivered_mbits_total(a), t1); // ...not the total
+        sim.kill_agent(a);
+        sim.run_for(5.0, DT);
+        assert_eq!(
+            sim.delivered_mbits_total(a),
+            t1,
+            "dead agents deliver nothing"
+        );
+        sim.revive_agent(a);
+        sim.run_for(10.0, DT);
+        assert!(sim.delivered_mbits_total(a) > t1);
+    }
+
+    #[test]
+    fn background_edges_split_tick_steps_exactly() {
+        // A background flow starting mid-step must shift allocations at
+        // its exact start time in both engines: environment-state parity
+        // requires splitting ticks at background edges too.
+        for engine in [Engine::Des, Engine::Tick] {
+            let mut sim =
+                Simulation::with_engine(Environment::emulab(100.0).without_noise(), 2, engine);
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(10));
+            sim.add_background_flow(BackgroundFlow {
+                start_s: 30.07,
+                end_s: 60.03,
+                demand_mbps: 600.0,
+                connections: 6,
+            });
+            sim.run_for(30.0, DT);
+            let before = sim.take_sample(a).throughput_mbps;
+            sim.run_for(30.0, DT);
+            let during = sim.take_sample(a).throughput_mbps;
+            sim.run_for(30.0, DT);
+            let after = sim.take_sample(a).throughput_mbps;
+            assert!(before > 950.0, "{engine:?}: before {before}");
+            assert!(during < 700.0, "{engine:?}: during {during}");
+            assert!(after > 900.0, "{engine:?}: after {after}");
+        }
     }
 }

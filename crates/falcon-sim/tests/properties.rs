@@ -145,3 +145,82 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random event schedules — including times landing exactly on step
+    /// boundaries, coincident events, and events strictly inside the
+    /// fractional remainder step — produce bit-identical environment
+    /// state under the discrete-event engine and the split-step tick
+    /// oracle, for any run_for slicing.
+    #[test]
+    fn random_event_schedules_agree_across_engines(
+        seed in 0u64..500,
+        // Event times quantized to 1 ms: mixes exact boundary hits
+        // (multiples of the 0.1 s tick) with strictly-interior times.
+        times_ms in proptest::collection::vec(0u32..30_000, 0..6),
+        coincident_bit in 0u32..2,
+        factors in proptest::collection::vec(1u32..10, 0..6),
+        // Slices with an awkward fractional remainder (e.g. 7.77 s).
+        slice_cs in 100u32..1500,
+    ) {
+        use falcon_sim::{Engine, EnvironmentEvent, EventAction};
+        let build = |engine: Engine| {
+            let mut sim = Simulation::with_engine(
+                Environment::emulab(100.0).without_noise(),
+                seed,
+                engine,
+            );
+            let a = sim.add_agent();
+            sim.set_settings(a, AgentSettings::with_concurrency(6));
+            let mut evs: Vec<EnvironmentEvent> = times_ms
+                .iter()
+                .zip(factors.iter().chain(std::iter::repeat(&5)))
+                .map(|(&ms, &f)| {
+                    EnvironmentEvent::at(
+                        f64::from(ms) / 1000.0,
+                        EventAction::LinkCapacityFactor {
+                            resource: None,
+                            factor: f64::from(f) / 10.0,
+                        },
+                    )
+                })
+                .collect();
+            let coincident = coincident_bit == 1;
+            if coincident {
+                // Duplicate the first event's time with a different action:
+                // same-instant ordering must be insertion order.
+                if let Some(first) = evs.first().copied() {
+                    evs.push(EnvironmentEvent::at(
+                        first.at_s,
+                        EventAction::LossFloor { rate: 0.005 },
+                    ));
+                }
+            }
+            evs.sort_by(|x, y| x.at_s.total_cmp(&y.at_s));
+            sim.try_add_events(evs).expect("future events");
+            (sim, a)
+        };
+        let (mut des, da) = build(Engine::Des);
+        let (mut tick, ta) = build(Engine::Tick);
+        let slice = f64::from(slice_cs) / 100.0;
+        while des.time_s() < 35.0 {
+            des.run_for(slice, 0.1);
+            tick.run_for(slice, 0.1);
+            prop_assert_eq!(des.time_s(), tick.time_s());
+            let dcaps: Vec<f64> = des.env().resources.iter().map(|r| r.capacity_mbps).collect();
+            let tcaps: Vec<f64> = tick.env().resources.iter().map(|r| r.capacity_mbps).collect();
+            prop_assert_eq!(&dcaps, &tcaps, "caps diverged at t={}", des.time_s());
+            prop_assert_eq!(des.current_loss(), tick.current_loss());
+            prop_assert_eq!(des.pending_events().len(), tick.pending_events().len());
+        }
+        // Delivered goodput differs only by the oracle's O(dt) Riemann error.
+        let d = des.delivered_mbits_total(da);
+        let t = tick.delivered_mbits_total(ta);
+        prop_assert!(
+            (d - t).abs() <= 0.02 * t.max(1.0),
+            "delivered {} (DES) vs {} (tick)", d, t
+        );
+    }
+}

@@ -65,6 +65,37 @@ impl RateRamp {
         self.rate_mbps
     }
 
+    /// Advance the filter by `dt_s` toward `target_mbps` and return
+    /// `(new_rate, integral)` where `integral` is `∫₀^dt r(t) dt` in
+    /// megabits — the exact bytes-on-the-wire contribution of this
+    /// connection over the interval.
+    ///
+    /// The exponential approach has a closed form on any interval where the
+    /// target (and therefore the ramp direction) is constant:
+    ///
+    /// ```text
+    /// r(t)    = target + (r₀ − target)·e^(−t/τ)
+    /// ∫₀^Δ r  = target·Δ + (r₀ − target)·τ·(1 − e^(−Δ/τ))
+    /// ```
+    ///
+    /// The discrete-event engine uses this to advance a whole inter-event
+    /// segment in one call; `advance` remains the per-tick form and agrees
+    /// with this one up to float rounding (the exponential is a semigroup:
+    /// n steps of `dt` compose to one step of `n·dt`).
+    pub fn advance_integrated(&mut self, target_mbps: f64, dt_s: f64) -> (f64, f64) {
+        debug_assert!(dt_s >= 0.0);
+        let tau = if target_mbps >= self.rate_mbps {
+            self.tau_up_s
+        } else {
+            self.tau_down_s
+        };
+        let gap = self.rate_mbps - target_mbps;
+        let decay = (-dt_s / tau).exp();
+        let integral = target_mbps * dt_s + gap * tau * (1.0 - decay);
+        self.rate_mbps = target_mbps + gap * decay;
+        (self.rate_mbps, integral)
+    }
+
     /// Force the rate (used when a connection is torn down).
     pub fn reset(&mut self) {
         self.rate_mbps = 0.0;
@@ -125,6 +156,46 @@ mod tests {
         assert!(r.rate_mbps() > 0.0);
         r.reset();
         assert_eq!(r.rate_mbps(), 0.0);
+    }
+
+    #[test]
+    fn integrated_advance_matches_many_small_steps() {
+        // Semigroup property: one analytic 5 s segment lands where 5000
+        // ticks of 1 ms land, and the integral matches the Riemann sum.
+        let mut ticked = RateRamp::with_taus(1.3, 0.4);
+        let mut analytic = ticked;
+        let dt = 0.001;
+        let mut riemann = 0.0;
+        for _ in 0..5000 {
+            riemann += ticked.advance(80.0, dt) * dt;
+        }
+        let (end, integral) = analytic.advance_integrated(80.0, 5.0);
+        assert!((end - ticked.rate_mbps()).abs() < 1e-6, "end {end}");
+        // Right-Riemann overestimates a rising curve by O(dt).
+        assert!(
+            (integral - riemann).abs() < 80.0 * dt * 2.0,
+            "integral {integral} vs riemann {riemann}"
+        );
+    }
+
+    #[test]
+    fn integrated_advance_integral_is_exact_at_steady_state() {
+        let mut r = RateRamp::with_taus(1.0, 0.5);
+        r.advance(100.0, 1000.0); // converge
+        let (end, integral) = r.advance_integrated(100.0, 7.5);
+        assert!((end - 100.0).abs() < 1e-9);
+        assert!((integral - 750.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn integrated_advance_handles_downward_segments() {
+        let mut r = RateRamp::with_taus(2.0, 0.2);
+        r.advance(100.0, 1000.0);
+        let (end, integral) = r.advance_integrated(10.0, 1.0);
+        // τ_down = 0.2 s → essentially converged after 5τ.
+        assert!((end - 10.0).abs() < 1.0, "end {end}");
+        // Integral between the endpoint rates × duration.
+        assert!(integral > 10.0 && integral < 100.0, "integral {integral}");
     }
 
     #[test]

@@ -20,6 +20,21 @@ pub trait TransferHarness {
     /// Advance wall-clock time.
     fn advance(&mut self, dt_s: f64);
 
+    /// Advance wall-clock time to an absolute instant. Past or present
+    /// targets are no-ops. Event-driven substrates reach the target in one
+    /// analytic hop; the default forwards to [`TransferHarness::advance`].
+    fn advance_until(&mut self, t_s: f64) {
+        let dt = t_s - self.time_s();
+        if dt > 0.0 {
+            self.advance(dt);
+        }
+    }
+
+    /// Tell the substrate what tick size to use if it must fall back to
+    /// fixed-step integration (the tick oracle). Event-driven and real
+    /// substrates ignore it (default no-op).
+    fn set_time_resolution(&mut self, _dt_s: f64) {}
+
     /// Consume the interval metrics accumulated since the last sample.
     fn sample(&mut self, agent: usize) -> ProbeMetrics;
 
@@ -67,6 +82,10 @@ struct Slot {
     settings: TransferSettings,
     share_weight: f64,
     complete: bool,
+    /// Megabits already credited to `job` out of the simulator's monotonic
+    /// per-agent delivery counter. Deliveries are settled as deltas of that
+    /// counter, so they are exact no matter how time is sliced.
+    taken_mbits: f64,
 }
 
 /// [`TransferHarness`] backed by the fluid simulator.
@@ -136,6 +155,23 @@ impl SimHarness {
         &self.sim
     }
 
+    /// Credit each live job with the bytes the simulator moved since the
+    /// last settlement, and retire jobs that finished.
+    fn settle_deliveries(&mut self) {
+        for slot in &mut self.slots {
+            if slot.complete {
+                continue;
+            }
+            let total = self.sim.delivered_mbits_total(slot.handle);
+            slot.job.deliver_mbits(total - slot.taken_mbits);
+            slot.taken_mbits = total;
+            if slot.job.is_complete() {
+                slot.complete = true;
+                self.sim.remove_agent(slot.handle);
+            }
+        }
+    }
+
     fn to_agent_settings(&self, slot: &Slot) -> AgentSettings {
         let eff = thread_efficiency(
             &slot.dataset,
@@ -171,6 +207,7 @@ impl TransferHarness for SimHarness {
             settings: TransferSettings::with_concurrency(1),
             share_weight,
             complete: false,
+            taken_mbits: 0.0,
         });
         let id = self.slots.len() - 1;
         self.apply(id, TransferSettings::with_concurrency(1));
@@ -189,22 +226,17 @@ impl TransferHarness for SimHarness {
     }
 
     fn advance(&mut self, dt_s: f64) {
-        self.sim.step(dt_s);
-        for slot in &mut self.slots {
-            if slot.complete {
-                continue;
-            }
-            // Killed agents deliver nothing until revived.
-            let rate = self
-                .sim
-                .try_instantaneous_rate_mbps(slot.handle)
-                .unwrap_or(0.0);
-            slot.job.deliver_mbits(rate * dt_s);
-            if slot.job.is_complete() {
-                slot.complete = true;
-                self.sim.remove_agent(slot.handle);
-            }
-        }
+        self.sim.advance(dt_s);
+        self.settle_deliveries();
+    }
+
+    fn advance_until(&mut self, t_s: f64) {
+        self.sim.run_until(t_s);
+        self.settle_deliveries();
+    }
+
+    fn set_time_resolution(&mut self, dt_s: f64) {
+        self.sim.set_tick_hint(dt_s);
     }
 
     fn sample(&mut self, agent: usize) -> ProbeMetrics {

@@ -5,6 +5,7 @@
 //! (Globus, HARP), staggered joins and departures, and a trace recorder.
 
 use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
+use falcon_sim::EventQueue;
 use falcon_trace::{ConvergenceDetector, TraceEvent, Tracer};
 
 use crate::dataset::Dataset;
@@ -365,7 +366,11 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 /// created connections still in slow start systematically deflate the
 /// utility of higher-concurrency probes.
 pub struct Runner {
-    /// Simulation tick (seconds).
+    /// Tick-size hint (seconds) handed to the substrate via
+    /// [`TransferHarness::set_time_resolution`]. The runner itself is
+    /// event-driven — it advances the harness straight from one wakeup to
+    /// the next — so this only matters to substrates that fall back to
+    /// fixed-step integration (the tick oracle).
     pub dt_s: f64,
     /// Trace recording resolution (seconds).
     pub trace_every_s: f64,
@@ -410,7 +415,21 @@ struct Live {
     retry_at_s: f64,
     /// Delay before the attempt after the next one (exponential).
     backoff_s: f64,
+    /// Time of the last restart attempt. A restart's success is only
+    /// judged strictly after this instant: a same-instant wakeup would see
+    /// the process alive before the world had any chance to kill it again.
+    verify_after_s: f64,
 }
+
+// Tie-break classes of the runner's wakeup queue: at one instant, joins
+// are processed before scripted departures, agent deadlines (probes,
+// warm-up discards, restart retries) before trace recording, and the end
+// of the experiment last.
+const WAKE_JOIN: u8 = 0;
+const WAKE_LEAVE: u8 = 1;
+const WAKE_AGENT: u8 = 2;
+const WAKE_TRACE: u8 = 3;
+const WAKE_END: u8 = 4;
 
 impl Runner {
     /// Run `plans` against `harness` for `duration_s`, returning the trace.
@@ -448,16 +467,44 @@ impl Runner {
                 detached: false,
                 retry_at_s: 0.0,
                 backoff_s: 0.0,
+                verify_after_s: f64::NEG_INFINITY,
             })
             .collect();
         let mut points = Vec::new();
         let mut completed_at: Vec<Option<f64>> = vec![None; plans.len()];
         let mut recovery: Vec<RecoveryEvent> = Vec::new();
 
-        let steps = (duration_s / self.dt_s).round() as u64;
-        let trace_every = (self.trace_every_s / self.dt_s).round().max(1.0) as u64;
+        harness.set_time_resolution(self.dt_s);
+        let t0 = harness.time_s();
+        let end_s = t0 + duration_s;
 
-        for step in 0..steps {
+        // The wakeup queue holds every instant the runner might need to
+        // act: scheduled joins and departures, probe and warm-up-discard
+        // deadlines, restart retries, trace instants, and the end of the
+        // run. Between wakeups the harness advances in one hop (exactly to
+        // the wakeup time — no tick quantization), and at each wakeup the
+        // full per-agent body re-runs. Every deadline check is of the form
+        // `now >= deadline`, so a stale entry — a deadline that moved later
+        // after its wakeup was queued — is a harmless no-op, and a deadline
+        // is never missed because every (re)setting site queues a wakeup.
+        let mut wakeups: EventQueue<()> = EventQueue::new();
+        for plan in &plans {
+            wakeups.push(plan.start_s.max(t0), WAKE_JOIN, ());
+            if let Some(leave) = plan.leave_s {
+                wakeups.push(leave.max(plan.start_s).max(t0), WAKE_LEAVE, ());
+            }
+        }
+        let mut trace_k: u64 = 1;
+        if self.trace_every_s > 0.0 && t0 + self.trace_every_s <= end_s {
+            wakeups.push(t0 + self.trace_every_s, WAKE_TRACE, ());
+        }
+        wakeups.push(end_s, WAKE_END, ());
+
+        while let Some((at_s, class, ())) = wakeups.pop() {
+            if at_s > end_s {
+                continue;
+            }
+            harness.advance_until(at_s);
             let t = harness.time_s();
             self.tracer.set_time(t);
 
@@ -475,6 +522,8 @@ impl Runner {
                     const PHASES: [f64; 8] = [0.0, 0.37, 0.71, 0.19, 0.53, 0.89, 0.11, 0.67];
                     live[i].next_probe_s = t + interval * (1.0 + PHASES[i % PHASES.len()]);
                     live[i].discard_at_s = Some(t + warmup);
+                    wakeups.push(live[i].next_probe_s, WAKE_AGENT, ());
+                    wakeups.push(t + warmup, WAKE_AGENT, ());
                 }
             }
 
@@ -491,9 +540,6 @@ impl Runner {
                 }
             }
 
-            harness.advance(self.dt_s);
-            self.tracer.set_time(harness.time_s());
-
             // Completion + probes.
             for (i, plan) in plans.iter_mut().enumerate() {
                 if !live[i].joined || live[i].done {
@@ -502,7 +548,7 @@ impl Runner {
                 let slot = live[i].slot;
                 if harness.is_complete(slot) {
                     live[i].done = true;
-                    completed_at[i] = Some(harness.time_s());
+                    completed_at[i] = Some(t);
                     continue;
                 }
                 // Watchdog: a dead process moves no bytes and any sample it
@@ -510,13 +556,13 @@ impl Runner {
                 // learned state), and retry restarts under exponential
                 // backoff until the process is back.
                 if !harness.is_attached(slot) {
-                    let now = harness.time_s();
                     if !live[i].detached {
                         live[i].detached = true;
                         live[i].backoff_s = self.restart_backoff_s;
-                        live[i].retry_at_s = now + live[i].backoff_s;
+                        live[i].retry_at_s = t + live[i].backoff_s;
+                        wakeups.push(live[i].retry_at_s, WAKE_AGENT, ());
                         recovery.push(RecoveryEvent {
-                            t_s: now,
+                            t_s: t,
                             agent: i,
                             kind: RecoveryKind::Detached,
                         });
@@ -524,12 +570,13 @@ impl Runner {
                             action: "detached".to_string(),
                             value: 0.0,
                         });
-                    } else if now >= live[i].retry_at_s {
+                    } else if t >= live[i].retry_at_s {
                         live[i].backoff_s =
                             (live[i].backoff_s * 2.0).min(self.restart_backoff_max_s);
-                        live[i].retry_at_s = now + live[i].backoff_s;
+                        live[i].retry_at_s = t + live[i].backoff_s;
+                        wakeups.push(live[i].retry_at_s, WAKE_AGENT, ());
                         recovery.push(RecoveryEvent {
-                            t_s: now,
+                            t_s: t,
                             agent: i,
                             kind: RecoveryKind::RestartAttempt {
                                 next_backoff_s: live[i].backoff_s,
@@ -541,17 +588,23 @@ impl Runner {
                             value: next_backoff_s,
                         });
                         harness.restart(slot);
+                        live[i].verify_after_s = t;
                     }
                     continue;
                 }
                 if live[i].detached {
+                    if t <= live[i].verify_after_s {
+                        // Same instant as the restart attempt: too early to
+                        // call it recovered, and its metrics are still the
+                        // dead period's. Wait for a strictly later wakeup.
+                        continue;
+                    }
                     // Back among the living (our restart, or the substrate
                     // recovered on its own). Start a clean measurement
                     // epoch; the tuner resumes exactly where it left off.
                     live[i].detached = false;
-                    let now = harness.time_s();
                     recovery.push(RecoveryEvent {
-                        t_s: now,
+                        t_s: t,
                         agent: i,
                         kind: RecoveryKind::Restarted,
                     });
@@ -560,16 +613,18 @@ impl Runner {
                         value: 0.0,
                     });
                     let _ = harness.sample(slot); // drop dead-period metrics
-                    live[i].next_probe_s = now + interval;
-                    live[i].discard_at_s = Some(now + warmup);
+                    live[i].next_probe_s = t + interval;
+                    live[i].discard_at_s = Some(t + warmup);
+                    wakeups.push(live[i].next_probe_s, WAKE_AGENT, ());
+                    wakeups.push(t + warmup, WAKE_AGENT, ());
                 }
                 if let Some(discard_at) = live[i].discard_at_s {
-                    if harness.time_s() >= discard_at {
+                    if t >= discard_at {
                         let _ = harness.sample(slot); // drop warm-up metrics
                         live[i].discard_at_s = None;
                     }
                 }
-                if harness.time_s() >= live[i].next_probe_s {
+                if t >= live[i].next_probe_s {
                     let metrics = harness.sample(slot);
                     if metrics.interval_s <= 0.0 || metrics.aggregate_mbps < self.stall_mbps {
                         // Stalled interval on an attached transfer: the
@@ -577,7 +632,7 @@ impl Runner {
                         // discard it and re-probe rather than letting the
                         // tuner chase a phantom utility collapse.
                         recovery.push(RecoveryEvent {
-                            t_s: harness.time_s(),
+                            t_s: t,
                             agent: i,
                             kind: RecoveryKind::StalledProbe,
                         });
@@ -611,16 +666,18 @@ impl Runner {
                         }
                     }
                     live[i].next_probe_s += interval;
-                    live[i].discard_at_s = Some(harness.time_s() + warmup);
+                    live[i].discard_at_s = Some(t + warmup);
+                    wakeups.push(live[i].next_probe_s, WAKE_AGENT, ());
+                    wakeups.push(t + warmup, WAKE_AGENT, ());
                 }
             }
 
             // Trace.
-            if step % trace_every == 0 {
+            if class == WAKE_TRACE {
                 for (i, l) in live.iter().enumerate() {
                     if l.joined && !l.done {
                         points.push(TracePoint {
-                            t_s: harness.time_s(),
+                            t_s: t,
                             agent: i,
                             mbps: harness.instantaneous_mbps(l.slot),
                             settings: harness.current_settings(l.slot),
@@ -628,6 +685,17 @@ impl Runner {
                         });
                     }
                 }
+                // Drift-free trace grid: the k-th trace instant is
+                // t0 + k·Δ, never an accumulated sum.
+                trace_k += 1;
+                let next = t0 + trace_k as f64 * self.trace_every_s;
+                if next <= end_s {
+                    wakeups.push(next, WAKE_TRACE, ());
+                }
+            }
+
+            if class == WAKE_END {
+                break;
             }
         }
 
