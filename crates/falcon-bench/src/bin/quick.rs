@@ -382,6 +382,30 @@ fn bench_figures(q: &mut QuickBench) {
     });
 }
 
+fn bench_lint(q: &mut QuickBench) {
+    // Full syntax-aware workspace analysis (lex + item parse + call graph +
+    // taint/unit/lock fixpoints) over every library source file, with the
+    // sources preloaded so the number tracks analysis cost, not disk IO.
+    // This is the wall time a `cargo run -p falcon-lint` gate pays per CI
+    // run, so it must stay flat as rule families grow.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match falcon_lint::workspace_sources(&root) {
+        Ok(specs) => {
+            q.bench("lint", "analyze_workspace_preloaded", || {
+                black_box(falcon_lint::lint_files(black_box(&specs)).len())
+            });
+            q.bench("lint", "walk_and_analyze_with_io", || {
+                black_box(
+                    falcon_lint::lint_workspace(black_box(&root))
+                        .map(|f| f.len())
+                        .unwrap_or(usize::MAX),
+                )
+            });
+        }
+        Err(e) => eprintln!("lint bench skipped: could not read workspace sources: {e}"),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -396,6 +420,7 @@ fn main() {
     bench_optimizers(&mut q);
     bench_convergence(&mut q);
     bench_figures(&mut q);
+    bench_lint(&mut q);
 
     for r in q.results() {
         println!(

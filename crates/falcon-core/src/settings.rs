@@ -68,7 +68,8 @@ pub struct SearchBounds {
 impl SearchBounds {
     /// Concurrency-only search in `[1, max]`, other parameters pinned at 1.
     pub fn concurrency_only(max: u32) -> Self {
-        assert!(max >= 1);
+        debug_assert!(max >= 1);
+        let max = max.max(1);
         SearchBounds {
             concurrency: (1, max),
             parallelism: (1, 1),

@@ -131,9 +131,13 @@ impl UtilityFunction {
     }
 
     /// Largest concurrency for which Eq 4 stays strictly concave:
-    /// `n < 2 / ln K`.
+    /// `n < 2 / ln K`. For `K ≤ 1` the curvature never flips, so there
+    /// is no limit and the function returns ∞.
     pub fn concavity_limit(k: f64) -> f64 {
-        assert!(k > 1.0, "K must exceed 1");
+        debug_assert!(k > 1.0, "K must exceed 1");
+        if k <= 1.0 {
+            return f64::INFINITY;
+        }
         2.0 / k.ln()
     }
 

@@ -80,6 +80,7 @@ pub fn generate(topology: &FleetTopology, workload: &Workload, seed: u64) -> Vec
     let mut t = 0.0f64;
     for _ in 0..workload.transfers {
         let u: f64 = rng.gen::<f64>().max(1e-12);
+        // falcon-lint::allow(float-time-accum, reason = "Poisson arrival times are cumulative sums of exponentials by definition; no closed-form grid exists")
         t += -u.ln() / rate_per_s;
         let path = rng.gen_range(0..topology.paths.len());
         let n_files = rng.gen_range(1..=3usize);

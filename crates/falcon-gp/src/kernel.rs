@@ -20,12 +20,13 @@ pub struct Rbf {
 }
 
 impl Rbf {
-    /// New RBF kernel; panics on non-positive hyperparameters.
+    /// New RBF kernel. Non-positive or non-finite hyperparameters are
+    /// clamped to a tiny positive floor so optimizer probe paths degrade
+    /// instead of panicking.
     pub fn new(variance: f64, length_scale: f64) -> Self {
-        assert!(variance > 0.0 && length_scale > 0.0);
         Rbf {
-            variance,
-            length_scale,
+            variance: variance.max(f64::EPSILON),
+            length_scale: length_scale.max(f64::EPSILON),
         }
     }
 }
@@ -53,12 +54,13 @@ pub struct Matern52 {
 }
 
 impl Matern52 {
-    /// New Matérn 5/2 kernel; panics on non-positive hyperparameters.
+    /// New Matérn 5/2 kernel. Non-positive or non-finite hyperparameters
+    /// are clamped to a tiny positive floor so optimizer probe paths
+    /// degrade instead of panicking.
     pub fn new(variance: f64, length_scale: f64) -> Self {
-        assert!(variance > 0.0 && length_scale > 0.0);
         Matern52 {
-            variance,
-            length_scale,
+            variance: variance.max(f64::EPSILON),
+            length_scale: length_scale.max(f64::EPSILON),
         }
     }
 }
@@ -128,8 +130,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn rbf_rejects_nonpositive_length() {
-        Rbf::new(1.0, 0.0);
+    fn rbf_clamps_nonpositive_length() {
+        let k = Rbf::new(1.0, 0.0);
+        assert!(k.length_scale > 0.0);
+        assert!(k.eval(&[0.0], &[1.0]).is_finite());
+        let m = Matern52::new(0.0, -1.0);
+        assert!(m.variance > 0.0 && m.length_scale > 0.0);
+        assert!(m.eval(&[0.0], &[1.0]).is_finite());
     }
 }

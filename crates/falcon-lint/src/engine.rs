@@ -1,10 +1,29 @@
 //! The engine: workspace walking, test-region masking, suppression
 //! handling, and the top-level lint entry points.
+//!
+//! Linting is a two-pass pipeline. Pass 1 runs per file: lex, mask test
+//! regions, run the token-pattern rules, and parse items into a
+//! [`semantic::FileUnit`]. Pass 2 runs once over all units: the
+//! cross-file rules (determinism taint, unit analysis, time accumulation,
+//! lock ordering) on the workspace model. Inline suppressions apply to
+//! both passes' findings, keyed by the file each finding lands in.
 
 use std::path::{Path, PathBuf};
 
 use crate::lexer;
 use crate::rules::{check_file, FileInput, Finding, Rule};
+use crate::semantic::{self, FileUnit};
+
+/// One file handed to the linter: repo-relative path, owning crate, and
+/// source text.
+pub struct SourceSpec {
+    /// Repo-relative path with forward slashes (used in reports).
+    pub rel_path: String,
+    /// Crate the file belongs to (scopes crate-specific rules).
+    pub crate_name: String,
+    /// Full source text.
+    pub src: String,
+}
 
 /// Directories (path components) never linted: build output, vendored
 /// stubs, and test/bench/example targets (test code is exempt by design;
@@ -15,6 +34,13 @@ const SKIP_DIRS: [&str; 6] = ["target", "vendor", "tests", "benches", "examples"
 /// Lint every library source file under `root` (a workspace checkout).
 /// Returns findings *after* inline suppressions, sorted by file and line.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_files(&workspace_sources(root)?))
+}
+
+/// Read every lintable source file under `root` into memory. Exposed
+/// separately from [`lint_workspace`] so benchmarks can pin the analysis
+/// cost without the disk IO.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<SourceSpec>> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs_files(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -27,51 +53,90 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         }
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut specs = Vec::new();
     for path in files {
         let src = std::fs::read_to_string(&path)?;
         let rel = relative_path(root, &path);
-        findings.extend(lint_source(&rel, &crate_of(&rel), &src));
+        let crate_name = crate_of(&rel);
+        specs.push(SourceSpec {
+            rel_path: rel,
+            crate_name,
+            src,
+        });
     }
-    Ok(findings)
+    Ok(specs)
 }
 
 /// Lint one file's source text. `rel_path` is the repo-relative path used
 /// in reports; `crate_name` scopes crate-specific rules (determinism).
-/// This is the seam the fixture corpus drives directly.
+/// This is the seam the fixture corpus drives directly; cross-file rules
+/// see a single-file workspace, so intra-file call graphs still resolve.
 pub fn lint_source(rel_path: &str, crate_name: &str, src: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let test_mask = test_region_mask(&lexed.tokens);
-    let input = FileInput {
-        tokens: &lexed.tokens,
-        test_mask: &test_mask,
-        crate_name,
-        file: rel_path,
-    };
-    let mut findings = check_file(&input);
+    lint_files(&[SourceSpec {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        src: src.to_string(),
+    }])
+}
 
-    // Apply inline suppressions; malformed directives become findings.
-    let mut suppressed_lines: Vec<(u32, Vec<Rule>)> = Vec::new();
-    for comment in &lexed.comments {
-        match parse_suppression(&comment.text) {
-            SuppressionParse::None => {}
-            SuppressionParse::Ok(rules) => suppressed_lines.push((comment.line, rules)),
-            SuppressionParse::Malformed(why) => findings.push(Finding {
-                rule: Rule::BadSuppression,
-                file: rel_path.to_string(),
-                line: comment.line,
-                message: why,
-            }),
+/// Suppression directives for one file: `(line, rules allowed there)`.
+type SuppressionLines = Vec<(u32, Vec<Rule>)>;
+
+/// Lint a set of files as one workspace: per-file token rules, then the
+/// cross-file semantic rules, then inline suppressions per file.
+pub fn lint_files(specs: &[SourceSpec]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut units: Vec<FileUnit> = Vec::with_capacity(specs.len());
+    let mut suppressions: Vec<(usize, SuppressionLines)> = Vec::new();
+    for (idx, spec) in specs.iter().enumerate() {
+        let lexed = lexer::lex(&spec.src);
+        let test_mask = test_region_mask(&lexed.tokens);
+        let input = FileInput {
+            tokens: &lexed.tokens,
+            test_mask: &test_mask,
+            crate_name: &spec.crate_name,
+            file: &spec.rel_path,
+        };
+        findings.extend(check_file(&input));
+
+        // Collect inline suppressions; malformed directives become
+        // findings immediately.
+        let mut lines: SuppressionLines = Vec::new();
+        for comment in &lexed.comments {
+            match parse_suppression(&comment.text) {
+                SuppressionParse::None => {}
+                SuppressionParse::Ok(rules) => lines.push((comment.line, rules)),
+                SuppressionParse::Malformed(why) => findings.push(Finding {
+                    rule: Rule::BadSuppression,
+                    file: spec.rel_path.clone(),
+                    line: comment.line,
+                    message: why,
+                }),
+            }
         }
+        suppressions.push((idx, lines));
+        units.push(FileUnit::build(
+            spec.rel_path.clone(),
+            spec.crate_name.clone(),
+            lexed.tokens,
+            test_mask,
+        ));
     }
+
+    findings.extend(semantic::check_workspace(&units));
+
+    // Apply suppressions: a directive covers its own line (trailing
+    // comment) and the line after (directive on its own line), within its
+    // file, for both token-rule and semantic findings.
     findings.retain(|f| {
-        !suppressed_lines.iter().any(|(line, rules)| {
-            // A directive covers its own line (trailing comment) and the
-            // line after (directive on its own line).
-            (f.line == *line || f.line == line + 1) && rules.contains(&f.rule)
+        !suppressions.iter().any(|(idx, lines)| {
+            specs[*idx].rel_path == f.file
+                && lines.iter().any(|(line, rules)| {
+                    (f.line == *line || f.line == line + 1) && rules.contains(&f.rule)
+                })
         })
     });
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }
 
@@ -274,7 +339,8 @@ fn parse_suppression(comment: &str) -> SuppressionParse {
         } else {
             return SuppressionParse::Malformed(format!(
                 "falcon-lint::allow names unknown rule {part:?} \
-                 (known: determinism, panic-safety, lock-across-blocking, float-cmp)"
+                 (known: determinism, panic-safety, lock-across-blocking, float-cmp, \
+                 determinism-taint, unit-mismatch, float-time-accum, lock-order)"
             ));
         }
     }

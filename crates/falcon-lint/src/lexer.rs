@@ -24,7 +24,7 @@ pub enum TokenKind {
     /// A lifetime or loop label (`'a`, `'outer`).
     Lifetime,
     /// Punctuation / operator; multi-char for `==`, `!=`, `<=`, `>=`,
-    /// `::`, `..`, `->`, `=>`, single-char otherwise.
+    /// `::`, `..`, `->`, `=>`, `+=`, `-=`, single-char otherwise.
     Punct,
 }
 
@@ -196,7 +196,10 @@ pub fn lex(src: &str) -> Lexed {
             _ => {
                 // Punctuation; merge the two-char operators rules care about.
                 let two = src.get(i..i + 2).unwrap_or("");
-                let merged = matches!(two, "==" | "!=" | "<=" | ">=" | "::" | ".." | "->" | "=>");
+                let merged = matches!(
+                    two,
+                    "==" | "!=" | "<=" | ">=" | "::" | ".." | "->" | "=>" | "+=" | "-="
+                );
                 let len = if merged { 2 } else { 1 };
                 out.tokens.push(Token {
                     kind: TokenKind::Punct,
@@ -431,14 +434,17 @@ mod tests {
 
     #[test]
     fn operators_are_merged() {
-        let toks = lex("a == b != c :: d .. e -> f => g <= h >= i = j");
+        let toks = lex("a == b != c :: d .. e -> f => g <= h >= i = j += k -= l");
         let ops: Vec<String> = toks
             .tokens
             .into_iter()
             .filter(|t| t.kind == TokenKind::Punct)
             .map(|t| t.text)
             .collect();
-        assert_eq!(ops, ["==", "!=", "::", "..", "->", "=>", "<=", ">=", "="]);
+        assert_eq!(
+            ops,
+            ["==", "!=", "::", "..", "->", "=>", "<=", ">=", "=", "+=", "-="]
+        );
     }
 
     #[test]

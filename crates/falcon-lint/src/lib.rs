@@ -10,15 +10,23 @@
 //!
 //! | rule | what it catches |
 //! |------|-----------------|
-//! | `determinism` | `Instant`/`SystemTime`, `thread_rng`/`from_entropy`, `HashMap`/`HashSet` in `falcon-sim`/`falcon-core`/`falcon-gp`/`falcon-tcp`/`falcon-trace` |
+//! | `determinism` | `Instant`/`SystemTime`, `thread_rng`/`from_entropy`, `HashMap`/`HashSet` in `falcon-sim`/`falcon-core`/`falcon-gp`/`falcon-tcp`/`falcon-trace`/`falcon-fleet` |
 //! | `panic-safety` | `unwrap`/`expect`/`panic!`/`unreachable!`/`assert!`-family in non-test library code |
 //! | `lock-across-blocking` | a `Mutex` guard held across `sleep`/`join`/channel ops/blocking I/O |
 //! | `float-cmp` | exact `==`/`!=` against a float literal |
+//! | `determinism-taint` | a deterministic-crate function *transitively* reaching a nondeterminism source through the workspace call graph |
+//! | `unit-mismatch` | arithmetic/comparison/assignment mixing identifier unit suffixes (`at_s + backoff_ms`), incl. call-site argument vs parameter |
+//! | `float-time-accum` | `t += dt`-style float time accumulation in loops outside the blessed DES integration module |
+//! | `lock-order` | cycles in the workspace lock-order graph (potential deadlocks), incl. locks taken by callees while a guard is held |
 //!
 //! Implementation: a hand-written lexer ([`lexer`]) strips comments and
-//! string literals and tokenizes; the rule engine ([`rules`], [`engine`])
-//! pattern-matches the token stream with test-region masking. No syn, no
-//! regex, no external dependencies — the container builds offline.
+//! string literals and tokenizes; the token-pattern rules ([`rules`]) scan
+//! each file with test-region masking; a lightweight item parser
+//! ([`parse`]: fn items, parameter lists, call sites, lock acquisitions —
+//! still no syn, no regex, no external dependencies) feeds the
+//! syntax-aware cross-file rules ([`semantic`]) that analyse the
+//! workspace call graph as a whole. Findings export as JSON or GitHub
+//! Actions annotations ([`report`]) for CI.
 //!
 //! Escape hatches, in preference order:
 //!
@@ -37,10 +45,13 @@
 pub mod baseline;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
+pub mod report;
 pub mod rules;
+pub mod semantic;
 
 pub use baseline::Baseline;
-pub use engine::{lint_source, lint_workspace};
+pub use engine::{lint_files, lint_source, lint_workspace, workspace_sources, SourceSpec};
 pub use rules::{Finding, Rule, DETERMINISM_CRATES};
 
 /// Name of the checked-in baseline file at the workspace root.

@@ -5,6 +5,8 @@
 //! cargo run -p falcon-lint -- --fix-baseline  # regenerate lint-baseline.toml
 //! cargo run -p falcon-lint -- --no-baseline   # show every finding
 //! cargo run -p falcon-lint -- --root <dir>    # lint another checkout
+//! cargo run -p falcon-lint -- --json out.json # machine-readable findings
+//! cargo run -p falcon-lint -- --github        # GitHub Actions annotations
 //! ```
 //!
 //! Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage or
@@ -13,18 +15,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use falcon_lint::{Baseline, BASELINE_FILE};
+use falcon_lint::{report, Baseline, BASELINE_FILE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fix_baseline = false;
     let mut no_baseline = false;
+    let mut github = false;
+    let mut json: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fix-baseline" => fix_baseline = true,
             "--no-baseline" => no_baseline = true,
+            "--github" => github = true,
+            "--json" => match it.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json requires an output path");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -37,9 +49,14 @@ fn main() -> ExitCode {
                     "falcon-lint: workspace invariant checker\n\
                      \n\
                      USAGE: falcon-lint [--fix-baseline] [--no-baseline] [--root <dir>]\n\
+                     \u{20}                  [--json <path>] [--github]\n\
                      \n\
-                     Rules: determinism, panic-safety, lock-across-blocking, float-cmp.\n\
-                     Suppress inline with: // falcon-lint::allow(rule, reason = \"...\")"
+                     Rules: determinism, panic-safety, lock-across-blocking, float-cmp,\n\
+                     determinism-taint, unit-mismatch, float-time-accum, lock-order.\n\
+                     Suppress inline with: // falcon-lint::allow(rule, reason = \"...\")\n\
+                     \n\
+                     --json   write {{new, grandfathered, stale}} findings as JSON\n\
+                     --github print new findings as ::error workflow annotations"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -101,7 +118,17 @@ fn main() -> ExitCode {
     for f in &fresh {
         println!("{f}");
     }
+    if github {
+        print!("{}", report::to_github_annotations(&fresh));
+    }
     let stale = baseline.stale_entries(&findings);
+    if let Some(path) = &json {
+        let doc = report::to_json(&fresh, &grandfathered, &stale);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("falcon-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     for (rule, file, allowed, actual) in &stale {
         println!(
             "note: baseline allows {allowed} [{rule}] finding(s) in {file}, found {actual} — \

@@ -22,6 +22,18 @@ pub enum Rule {
     LockAcrossBlocking,
     /// `==`/`!=` against a floating-point literal.
     FloatCmp,
+    /// A function in a deterministic crate transitively reaches a
+    /// nondeterminism source through the workspace call graph.
+    DeterminismTaint,
+    /// Arithmetic/comparison/assignment mixing identifiers with
+    /// incompatible unit suffixes, or a call-site argument whose unit
+    /// suffix disagrees with the parameter's.
+    UnitMismatch,
+    /// Float time accumulated incrementally (`t += dt`) inside a loop
+    /// outside the blessed time-integration modules.
+    FloatTimeAccum,
+    /// A cycle in the workspace lock-order graph (potential deadlock).
+    LockOrder,
     /// A malformed `falcon-lint::allow(...)` directive.
     BadSuppression,
 }
@@ -34,6 +46,10 @@ impl Rule {
             Rule::PanicSafety => "panic-safety",
             Rule::LockAcrossBlocking => "lock-across-blocking",
             Rule::FloatCmp => "float-cmp",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::UnitMismatch => "unit-mismatch",
+            Rule::FloatTimeAccum => "float-time-accum",
+            Rule::LockOrder => "lock-order",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -45,6 +61,10 @@ impl Rule {
             "panic-safety" => Rule::PanicSafety,
             "lock-across-blocking" => Rule::LockAcrossBlocking,
             "float-cmp" => Rule::FloatCmp,
+            "determinism-taint" => Rule::DeterminismTaint,
+            "unit-mismatch" => Rule::UnitMismatch,
+            "float-time-accum" => Rule::FloatTimeAccum,
+            "lock-order" => Rule::LockOrder,
             "bad-suppression" => Rule::BadSuppression,
             _ => return None,
         })
@@ -52,11 +72,15 @@ impl Rule {
 
     /// All enforceable rule families (excludes the internal
     /// [`Rule::BadSuppression`]).
-    pub const FAMILIES: [Rule; 4] = [
+    pub const FAMILIES: [Rule; 8] = [
         Rule::Determinism,
         Rule::PanicSafety,
         Rule::LockAcrossBlocking,
         Rule::FloatCmp,
+        Rule::DeterminismTaint,
+        Rule::UnitMismatch,
+        Rule::FloatTimeAccum,
+        Rule::LockOrder,
     ];
 }
 
@@ -100,11 +124,11 @@ pub const DETERMINISM_CRATES: [&str; 6] = [
 ];
 
 /// Identifiers that read wall-clock time.
-const WALL_CLOCK: [&str; 2] = ["Instant", "SystemTime"];
+pub(crate) const WALL_CLOCK: [&str; 2] = ["Instant", "SystemTime"];
 /// Identifiers that read ambient entropy.
-const AMBIENT_RNG: [&str; 3] = ["thread_rng", "from_entropy", "random"];
+pub(crate) const AMBIENT_RNG: [&str; 3] = ["thread_rng", "from_entropy", "random"];
 /// Containers whose iteration order is nondeterministic across runs.
-const ORDER_HAZARD: [&str; 2] = ["HashMap", "HashSet"];
+pub(crate) const ORDER_HAZARD: [&str; 2] = ["HashMap", "HashSet"];
 
 /// Method names that block the calling thread (used by
 /// [`Rule::LockAcrossBlocking`]).
@@ -343,12 +367,12 @@ fn check_float_cmp(input: &FileInput<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Previous non-trivial token is the punct `p`.
-fn prev_is(toks: &[Token], i: usize, p: &str) -> bool {
+pub(crate) fn prev_is(toks: &[Token], i: usize, p: &str) -> bool {
     i > 0 && toks[i - 1].is_punct(p)
 }
 
 /// Next token is the punct `p`.
-fn next_is(toks: &[Token], i: usize, p: &str) -> bool {
+pub(crate) fn next_is(toks: &[Token], i: usize, p: &str) -> bool {
     toks.get(i + 1).is_some_and(|t| t.is_punct(p))
 }
 
@@ -356,7 +380,7 @@ fn next_is(toks: &[Token], i: usize, p: &str) -> bool {
 /// entire initializer expression, optionally chained through `.unwrap()` or
 /// `.expect(...)` — i.e. the `let` binds the guard itself. Any other
 /// trailing method call consumes a temporary guard instead.
-fn binds_guard_directly(toks: &[Token], close: usize) -> bool {
+pub(crate) fn binds_guard_directly(toks: &[Token], close: usize) -> bool {
     let mut j = close + 1;
     loop {
         match toks.get(j) {
@@ -393,7 +417,7 @@ fn binds_guard_directly(toks: &[Token], close: usize) -> bool {
 
 /// If the statement containing the `.lock()` at `i` is a `let` binding,
 /// return the bound identifier. Scans backwards to the statement start.
-fn binding_name(toks: &[Token], i: usize) -> Option<String> {
+pub(crate) fn binding_name(toks: &[Token], i: usize) -> Option<String> {
     let mut j = i;
     while j > 0 {
         j -= 1;
@@ -419,7 +443,7 @@ fn binding_name(toks: &[Token], i: usize) -> Option<String> {
 /// Token index just past the end of the guard's live range for a `let`
 /// binding at `.lock()` token `i`: the close of the enclosing block, or an
 /// explicit `drop(name)`, whichever comes first.
-fn guard_block_end(toks: &[Token], i: usize, name: &str) -> usize {
+pub(crate) fn guard_block_end(toks: &[Token], i: usize, name: &str) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j < toks.len() {
@@ -445,7 +469,7 @@ fn guard_block_end(toks: &[Token], i: usize, name: &str) -> usize {
 
 /// Token index just past the end of the current statement (next `;` at the
 /// current nesting depth).
-fn statement_end(toks: &[Token], i: usize) -> usize {
+pub(crate) fn statement_end(toks: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j < toks.len() {

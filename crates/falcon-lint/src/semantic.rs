@@ -1,0 +1,695 @@
+//! Cross-file, syntax-aware rules built on the item parser: the workspace
+//! call graph, determinism taint propagation, unit-suffix dimensional
+//! analysis, float-time-accumulation detection, and the lock-order graph.
+//!
+//! All four rules work on the same [`WorkspaceModel`]: every parsed
+//! function across every linted file, indexed by simple name. Name
+//! resolution is deliberately heuristic — a call edge `f → g` exists when
+//! some workspace function is named `g` — with an ambiguity cutoff: names
+//! defined more than [`MAX_DEFS`] times (`new`, `push`, ...) resolve to
+//! nothing, because propagating through them would connect unrelated code.
+//! The rules therefore trade recall for precision; what they do report is
+//! worth reading, and every false positive has the usual inline
+//! suppression escape hatch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{loop_bodies, parse_fns, FnItem};
+use crate::rules::{
+    next_is, Finding, Rule, AMBIENT_RNG, DETERMINISM_CRATES, ORDER_HAZARD, WALL_CLOCK,
+};
+
+/// Call-graph edges are only followed through names with at most this many
+/// workspace definitions; beyond it a name (`new`, `get`, `len`) is too
+/// generic to resolve and the edge is dropped.
+const MAX_DEFS: usize = 3;
+
+/// Files where incremental float time accumulation is the module's audited
+/// job (the DES engine integrates between exact event boundaries and owns
+/// the only blessed accumulators).
+const BLESSED_TIME_ACCUM: [&str; 1] = ["crates/falcon-sim/src/des.rs"];
+
+/// One lexed + parsed file, ready for workspace analysis.
+pub struct FileUnit {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: String,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// Full token stream.
+    pub tokens: Vec<Token>,
+    /// Test-region mask, same length as `tokens`.
+    pub test_mask: Vec<bool>,
+    /// Parsed function items.
+    pub fns: Vec<FnItem>,
+    /// Token ranges of loop bodies.
+    pub loops: Vec<(usize, usize)>,
+}
+
+impl FileUnit {
+    /// Lex-derived artifacts are supplied by the engine; this finishes the
+    /// unit by running the item parser.
+    pub fn build(
+        rel_path: String,
+        crate_name: String,
+        tokens: Vec<Token>,
+        test_mask: Vec<bool>,
+    ) -> FileUnit {
+        let fns = parse_fns(&tokens, &test_mask);
+        let loops = loop_bodies(&tokens);
+        FileUnit {
+            rel_path,
+            crate_name,
+            tokens,
+            test_mask,
+            fns,
+            loops,
+        }
+    }
+}
+
+/// Global function id: (file index, fn index within the file).
+type FnId = (usize, usize);
+
+/// The cross-file model every semantic rule consumes.
+struct WorkspaceModel<'a> {
+    units: &'a [FileUnit],
+    /// Simple name → all non-test definitions.
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> WorkspaceModel<'a> {
+    fn build(units: &'a [FileUnit]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (fi, unit) in units.iter().enumerate() {
+            for (gi, f) in unit.fns.iter().enumerate() {
+                if !f.is_test {
+                    by_name.entry(&f.name).or_default().push((fi, gi));
+                }
+            }
+        }
+        WorkspaceModel { units, by_name }
+    }
+
+    fn get(&self, id: FnId) -> &'a FnItem {
+        &self.units[id.0].fns[id.1]
+    }
+
+    /// Definitions a callee name resolves to, or an empty slice when the
+    /// name is unknown or too ambiguous to follow.
+    fn resolve(&self, callee: &str) -> &[FnId] {
+        match self.by_name.get(callee) {
+            Some(defs) if defs.len() <= MAX_DEFS => defs,
+            _ => &[],
+        }
+    }
+
+    /// Iterate all non-test functions with their ids.
+    fn fns(&self) -> impl Iterator<Item = (FnId, &'a FnItem)> + '_ {
+        self.units.iter().enumerate().flat_map(|(fi, unit)| {
+            unit.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.is_test)
+                .map(move |(gi, f)| ((fi, gi), f))
+        })
+    }
+}
+
+/// Run every workspace-level rule. Findings are attributed to the file and
+/// line of their witness site, so per-file inline suppressions apply.
+pub fn check_workspace(units: &[FileUnit]) -> Vec<Finding> {
+    let model = WorkspaceModel::build(units);
+    let mut out = Vec::new();
+    check_determinism_taint(&model, &mut out);
+    check_unit_mismatch(&model, &mut out);
+    check_float_time_accum(units, &mut out);
+    check_lock_order(&model, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+// ---------------------------------------------------------------------------
+
+/// Why a function is tainted.
+#[derive(Debug, Clone)]
+enum Taint {
+    /// The body itself contains a nondeterminism source token.
+    Direct(String),
+    /// A call site reaches a tainted definition.
+    Via(FnId),
+}
+
+/// The nondeterminism source directly present in a function body, if any:
+/// wall-clock types, ambient RNG, or iteration-order-hazard containers.
+fn direct_source(unit: &FileUnit, f: &FnItem) -> Option<String> {
+    let (start, end) = f.body;
+    let toks = &unit.tokens[start.min(unit.tokens.len())..end.min(unit.tokens.len())];
+    for (off, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if WALL_CLOCK.contains(&name) || ORDER_HAZARD.contains(&name) {
+            return Some(name.to_string());
+        }
+        if AMBIENT_RNG.contains(&name) {
+            // `random` only as a call, mirroring the direct rule.
+            if name == "random" && !next_is(toks, off, "(") {
+                continue;
+            }
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Rule 5: determinism-taint. The direct `determinism` rule bans source
+/// tokens *inside* the deterministic crates; this rule closes the helper
+/// loophole by propagating taint over the workspace call graph, so a
+/// deterministic-crate function calling (transitively, across crates) into
+/// `Instant::now` or a `HashMap` walk is flagged at the call site.
+fn check_determinism_taint(model: &WorkspaceModel<'_>, out: &mut Vec<Finding>) {
+    // Seed: direct sources anywhere in the workspace.
+    let mut taint: BTreeMap<FnId, Taint> = BTreeMap::new();
+    for (id, f) in model.fns() {
+        if let Some(src) = direct_source(&model.units[id.0], f) {
+            taint.insert(id, Taint::Direct(src));
+        }
+    }
+    // Propagate to callers until fixpoint.
+    loop {
+        let mut changed = false;
+        for (id, f) in model.fns() {
+            if taint.contains_key(&id) {
+                continue;
+            }
+            'calls: for call in &f.calls {
+                for &def in model.resolve(&call.callee) {
+                    if def != id && taint.contains_key(&def) {
+                        taint.insert(id, Taint::Via(def));
+                        changed = true;
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Report: call sites in deterministic crates whose callee is tainted.
+    let mut seen: BTreeSet<(usize, String, String)> = BTreeSet::new();
+    for (id, f) in model.fns() {
+        let unit = &model.units[id.0];
+        if !DETERMINISM_CRATES.contains(&unit.crate_name.as_str()) {
+            continue;
+        }
+        for call in &f.calls {
+            let Some(&def) = model
+                .resolve(&call.callee)
+                .iter()
+                .find(|d| taint.contains_key(d))
+            else {
+                continue;
+            };
+            if def == id {
+                continue; // self-recursion; the direct rule covers it
+            }
+            if !seen.insert((id.0, f.name.clone(), call.callee.clone())) {
+                continue;
+            }
+            let (path, source) = taint_path(model, &taint, def);
+            out.push(Finding {
+                rule: Rule::DeterminismTaint,
+                file: unit.rel_path.clone(),
+                line: call.line,
+                message: format!(
+                    "`{}` calls `{}`, which reaches nondeterminism source `{source}` \
+                     ({path}); {} must be deterministic under a seed — inject the value \
+                     or move the helper behind the harness seam",
+                    f.name, call.callee, unit.crate_name
+                ),
+            });
+        }
+    }
+}
+
+/// Follow the witness chain from a tainted definition to its direct
+/// source; returns (rendered path, source token name).
+fn taint_path(
+    model: &WorkspaceModel<'_>,
+    taint: &BTreeMap<FnId, Taint>,
+    start: FnId,
+) -> (String, String) {
+    let mut hops = Vec::new();
+    let mut cur = start;
+    for _ in 0..8 {
+        hops.push(format!(
+            "`{}` ({})",
+            model.get(cur).name,
+            model.units[cur.0].rel_path
+        ));
+        match taint.get(&cur) {
+            Some(Taint::Direct(src)) => return (hops.join(" → "), src.clone()),
+            Some(Taint::Via(next)) => cur = *next,
+            None => break,
+        }
+    }
+    (hops.join(" → "), "…".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// unit-mismatch
+// ---------------------------------------------------------------------------
+
+/// Canonical unit for a recognised identifier suffix. Spelling variants
+/// collapse (`secs` ≡ `s`); distinct scales stay distinct (`ms` ≠ `s`):
+/// mixing them without an explicit conversion is exactly the bug class.
+fn canonical_unit(suffix: &str) -> Option<&'static str> {
+    Some(match suffix {
+        "s" | "sec" | "secs" => "s",
+        "ms" | "millis" => "ms",
+        "us" | "micros" => "us",
+        "ns" | "nanos" => "ns",
+        "bps" => "bps",
+        "kbps" => "kbps",
+        "mbps" => "mbps",
+        "gbps" => "gbps",
+        "bytes" | "byte" => "bytes",
+        "kb" | "kib" => "kb",
+        "mb" | "mib" => "mb",
+        "gb" | "gib" => "gb",
+        "hz" => "hz",
+        "khz" => "khz",
+        _ => return None,
+    })
+}
+
+/// The canonical unit an identifier encodes via its `_suffix`, if any.
+/// Requires an underscore so a variable named plain `s` or `mb` does not
+/// count.
+fn unit_of(ident: &str) -> Option<&'static str> {
+    let (_, suffix) = ident.rsplit_once('_')?;
+    canonical_unit(&suffix.to_ascii_lowercase())
+}
+
+/// Operators whose operands must agree dimensionally. `*` and `/` are
+/// exempt: they are how units legitimately change.
+fn is_unit_checked_op(op: &str) -> bool {
+    matches!(
+        op,
+        "+" | "-" | "<" | ">" | "<=" | ">=" | "==" | "!=" | "=" | "+=" | "-="
+    )
+}
+
+/// Walk an identifier chain (`a.b_ms`, `m::T_S`) starting at `i`; returns
+/// (last ident index, token index just past the chain).
+fn chain_end(tokens: &[Token], mut i: usize) -> Option<(usize, usize)> {
+    if tokens.get(i).map(|t| t.kind) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let mut last = i;
+    loop {
+        match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(sep), Some(id))
+                if (sep.is_punct(".") || sep.is_punct("::")) && id.kind == TokenKind::Ident =>
+            {
+                last = i + 2;
+                i += 2;
+            }
+            _ => return Some((last, i + 1)),
+        }
+    }
+}
+
+/// Rule 6: unit-suffix dimensional analysis, expression side. Flags
+/// additive/comparison/assignment operators whose two operands carry
+/// different recognised unit suffixes — `at_s + backoff_ms` is a bug even
+/// though both are `f64`s to the compiler.
+fn check_unit_expressions(unit: &FileUnit, out: &mut Vec<Finding>) {
+    let toks = &unit.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if unit.test_mask[i] || t.kind != TokenKind::Punct || !is_unit_checked_op(&t.text) {
+            continue;
+        }
+        // LHS: the identifier directly before the operator (the end of its
+        // own chain).
+        let Some(lhs) = i.checked_sub(1).map(|p| &toks[p]) else {
+            continue;
+        };
+        if lhs.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(lhs_unit) = unit_of(&lhs.text) else {
+            continue;
+        };
+        // RHS: skip one unary minus, then an identifier chain. A chain
+        // followed by `*` or `/` — possibly through call parens or an
+        // `as` cast (`capacity_mbps() / 1000.0`, `n_bytes as f64 * 8.0`)
+        // — is a conversion expression: the scale is being changed
+        // deliberately, so stay quiet.
+        let mut r = i + 1;
+        if toks.get(r).is_some_and(|t| t.is_punct("-")) {
+            r += 1;
+        }
+        let Some((rhs_last, mut after)) = chain_end(toks, r) else {
+            continue;
+        };
+        loop {
+            if toks.get(after).is_some_and(|t| t.is_punct("(")) {
+                let Some(close) = crate::parse::matching_delim(toks, after, "(", ")") else {
+                    break;
+                };
+                after = close + 1;
+            } else if toks.get(after).is_some_and(|t| t.is_ident("as")) {
+                match chain_end(toks, after + 1) {
+                    Some((_, past_ty)) => after = past_ty,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        if toks
+            .get(after)
+            .is_some_and(|t| t.is_punct("*") || t.is_punct("/"))
+        {
+            continue;
+        }
+        let rhs = &toks[rhs_last];
+        let Some(rhs_unit) = unit_of(&rhs.text) else {
+            continue;
+        };
+        if lhs_unit != rhs_unit {
+            out.push(Finding {
+                rule: Rule::UnitMismatch,
+                file: unit.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` [{}] {} `{}` [{}] mixes incompatible unit suffixes; convert \
+                     explicitly (`* 1e3`, `/ 8.0`, ...) or rename one side",
+                    lhs.text, lhs_unit, t.text, rhs.text, rhs_unit
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 6, call-site side: an argument identifier whose unit suffix
+/// disagrees with the (uniquely resolved) callee's parameter name suffix.
+fn check_unit_call_args(model: &WorkspaceModel<'_>, out: &mut Vec<Finding>) {
+    for (id, f) in model.fns() {
+        let unit = &model.units[id.0];
+        for call in &f.calls {
+            let defs = model.resolve(&call.callee);
+            let [def] = defs else {
+                continue; // only unambiguous callees are checkable
+            };
+            let callee = model.get(*def);
+            if callee.params.len() != call.args.len() {
+                continue; // receiver/arity mismatch; pairing would be wrong
+            }
+            for (arg, param) in call.args.iter().zip(&callee.params) {
+                let Some(arg_name) = arg else { continue };
+                let (Some(au), Some(pu)) = (unit_of(arg_name), unit_of(param)) else {
+                    continue;
+                };
+                if au != pu {
+                    out.push(Finding {
+                        rule: Rule::UnitMismatch,
+                        file: unit.rel_path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "argument `{arg_name}` [{au}] is passed to parameter `{param}` \
+                             [{pu}] of `{}` ({}); convert at the call site or fix the \
+                             parameter's unit",
+                            callee.name, model.units[def.0].rel_path
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_unit_mismatch(model: &WorkspaceModel<'_>, out: &mut Vec<Finding>) {
+    for unit in model.units {
+        check_unit_expressions(unit, out);
+    }
+    check_unit_call_args(model, out);
+}
+
+// ---------------------------------------------------------------------------
+// float-time-accum
+// ---------------------------------------------------------------------------
+
+/// Idents treated as time variables even without a unit suffix.
+const TIME_NAMES: [&str; 5] = ["t", "time", "now", "clock", "elapsed"];
+
+/// Is this identifier a float-time variable for accumulation purposes?
+fn is_time_var(ident: &str) -> bool {
+    if TIME_NAMES.contains(&ident) {
+        return true;
+    }
+    matches!(unit_of(ident), Some("s" | "ms" | "us" | "ns"))
+}
+
+/// Rule 7: float-time-accumulation. `t += dt` in a loop compounds rounding
+/// error across iterations — the exact drift class the DES rewrite removed
+/// (a tick grid must be `start + i*dt`, an event time absolute). Flagged
+/// everywhere except the blessed integration modules.
+fn check_float_time_accum(units: &[FileUnit], out: &mut Vec<Finding>) {
+    for unit in units {
+        if BLESSED_TIME_ACCUM.contains(&unit.rel_path.as_str()) {
+            continue;
+        }
+        let toks = &unit.tokens;
+        let mut reported: BTreeSet<u32> = BTreeSet::new();
+        for &(start, end) in &unit.loops {
+            for i in start..end.min(toks.len()) {
+                if unit.test_mask[i] || toks[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = toks[i].text.as_str();
+                if !is_time_var(name) {
+                    continue;
+                }
+                // `t += ...` or `t = t + ...`.
+                let compound = next_is(toks, i, "+=");
+                let expanded = next_is(toks, i, "=")
+                    && toks.get(i + 2).is_some_and(|t| t.is_ident(name))
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct("+"));
+                if (compound || expanded) && reported.insert(toks[i].line) {
+                    out.push(Finding {
+                        rule: Rule::FloatTimeAccum,
+                        file: unit.rel_path.clone(),
+                        line: toks[i].line,
+                        message: format!(
+                            "`{name}` accumulates float time incrementally in a loop; \
+                             rounding drift compounds per iteration — derive the grid as \
+                             `start + i*dt` or schedule absolute event times (DESIGN.md §11)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+/// A lock-order edge witness: where lock `from` was seen held when `to`
+/// was acquired.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    file: usize,
+    line: u32,
+    via: Option<String>,
+}
+
+/// Rule 8: lock-order. Per-function acquisition sequences (including
+/// locks taken by callees while a guard is held) build a workspace graph
+/// `A → B` = "A held while B acquired"; any cycle is a potential deadlock.
+/// Lock identity is the receiver field/binding name before `.lock()` — a
+/// heuristic that matches this workspace's style of one descriptive mutex
+/// field per subsystem.
+fn check_lock_order(model: &WorkspaceModel<'_>, out: &mut Vec<Finding>) {
+    // Transitive lock sets per function (locks acquired by the function or
+    // anything it calls), to fixpoint.
+    let mut lock_sets: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    for (id, f) in model.fns() {
+        let direct: BTreeSet<String> = f.locks.iter().map(|l| l.lock_name.clone()).collect();
+        lock_sets.insert(id, direct);
+    }
+    loop {
+        let mut changed = false;
+        for (id, f) in model.fns() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for call in &f.calls {
+                for &def in model.resolve(&call.callee) {
+                    if def == id {
+                        continue;
+                    }
+                    if let Some(callee_locks) = lock_sets.get(&def) {
+                        for l in callee_locks {
+                            if !lock_sets[&id].contains(l) {
+                                add.insert(l.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                if let Some(s) = lock_sets.get_mut(&id) {
+                    s.extend(add);
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Edges. Same-function double-acquisition of the same name is reported
+    // immediately (std mutexes are not reentrant); cross-function
+    // same-name edges are skipped — the receiver-name heuristic cannot
+    // tell two instances apart, and a false deadlock report is worse than
+    // a missed one.
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    for (id, f) in model.fns() {
+        let unit = &model.units[id.0];
+        for (ai, a) in f.locks.iter().enumerate() {
+            for b in f.locks.iter().skip(ai + 1) {
+                if b.tok >= a.range_end {
+                    break;
+                }
+                if b.lock_name == a.lock_name {
+                    out.push(Finding {
+                        rule: Rule::LockOrder,
+                        file: unit.rel_path.clone(),
+                        line: b.line,
+                        message: format!(
+                            "lock `{}` re-acquired while already held (first locked on \
+                             line {}); std mutexes are not reentrant — this deadlocks",
+                            b.lock_name, a.line
+                        ),
+                    });
+                    continue;
+                }
+                edges
+                    .entry((a.lock_name.clone(), b.lock_name.clone()))
+                    .or_insert(EdgeWitness {
+                        file: id.0,
+                        line: b.line,
+                        via: None,
+                    });
+            }
+            for call in &f.calls {
+                if call.tok <= a.tok || call.tok >= a.range_end {
+                    continue;
+                }
+                for &def in model.resolve(&call.callee) {
+                    if def == id {
+                        continue;
+                    }
+                    for l in &lock_sets[&def] {
+                        if *l == a.lock_name {
+                            continue;
+                        }
+                        edges
+                            .entry((a.lock_name.clone(), l.clone()))
+                            .or_insert(EdgeWitness {
+                                file: id.0,
+                                line: call.line,
+                                via: Some(call.callee.clone()),
+                            });
+                    }
+                }
+            }
+        }
+    }
+    // Cycles: for each edge A → B, a path B ⇝ A closes a cycle. Dedupe by
+    // the cycle's canonical node rotation.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((a, b), w) in &edges {
+        let Some(path_back) = bfs_path(&adj, b, a) else {
+            continue;
+        };
+        // Cycle nodes: a → b (→ ... → a).
+        let mut cycle: Vec<String> = vec![a.clone()];
+        cycle.extend(path_back.iter().map(|s| s.to_string()));
+        // Canonical rotation for dedupe (drop the closing repeat of `a`).
+        cycle.pop();
+        let min_pos = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.as_str())
+            .map_or(0, |(i, _)| i);
+        let mut canon = cycle.clone();
+        canon.rotate_left(min_pos);
+        if !seen_cycles.insert(canon) {
+            continue;
+        }
+        let rendered: Vec<&str> = cycle
+            .iter()
+            .map(String::as_str)
+            .chain([a.as_str()])
+            .collect();
+        let via = w
+            .via
+            .as_deref()
+            .map(|c| format!(" via call to `{c}`"))
+            .unwrap_or_default();
+        out.push(Finding {
+            rule: Rule::LockOrder,
+            file: model.units[w.file].rel_path.clone(),
+            line: w.line,
+            message: format!(
+                "lock-order cycle {}: `{a}` is held while `{b}` is acquired here{via}, \
+                 but another path acquires them in the reverse order — pick one global \
+                 order (potential deadlock)",
+                rendered.join(" → ")
+            ),
+        });
+    }
+}
+
+/// BFS path over the lock graph, returned as the node list from `from` to
+/// `to` inclusive. `to` must be reached via at least one edge, so calling
+/// with `from == to` finds a genuine cycle, not the empty path.
+fn bfs_path<'a>(
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&'a str, &'a str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut visited: BTreeSet<&str> = BTreeSet::from([from]);
+    while let Some(node) = queue.pop_front() {
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+            if next == to {
+                let mut path = vec![next, node];
+                let mut cur = node;
+                while let Some(&p) = prev.get(cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if visited.insert(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}

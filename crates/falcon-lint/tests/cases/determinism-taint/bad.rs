@@ -1,0 +1,17 @@
+//! Fixture: helpers that look innocent at the call site but transitively
+//! reach a nondeterminism source. Linted as if it lived in `falcon-sim`.
+//! The taint rule must flag the *call sites* in `warm_start`/`step_sim`,
+//! not just the wall-clock token the direct rule already sees.
+
+pub fn jitter_seed() -> u64 {
+    let t0 = std::time::Instant::now();
+    u64::from(t0.elapsed().subsec_nanos())
+}
+
+pub fn warm_start() -> u64 {
+    jitter_seed().wrapping_mul(0x9e37_79b9)
+}
+
+pub fn step_sim(state: &mut u64) {
+    *state ^= warm_start();
+}

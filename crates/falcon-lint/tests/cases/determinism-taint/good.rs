@@ -1,0 +1,30 @@
+//! Fixture: the deterministic counterpart — time and entropy are injected
+//! as parameters, so no call chain reaches a nondeterminism source. Linted
+//! as if it lived in `falcon-sim`.
+
+pub fn advance(now_s: f64, dt_s: f64) -> f64 {
+    now_s + dt_s
+}
+
+pub fn mix(seed: u64) -> u64 {
+    let x = seed ^ (seed >> 33);
+    x.wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+pub fn step_sim(state: &mut u64, now_s: f64) -> f64 {
+    *state = mix(*state);
+    advance(now_s, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may reach wall clocks freely; test fns are outside the
+    // call-graph model.
+    use std::time::Instant;
+
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

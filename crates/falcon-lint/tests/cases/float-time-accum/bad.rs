@@ -1,0 +1,19 @@
+//! Fixture: float time accumulated incrementally inside loops — the
+//! rounding-drift class the DES rewrite removed. Both the compound
+//! (`t += dt`) and expanded (`t = t + dt`) spellings must trip.
+
+pub fn integrate(dt: f64, steps: u32) -> f64 {
+    let mut t = 0.0;
+    for _ in 0..steps {
+        t += dt;
+    }
+    t
+}
+
+pub fn drift(dt_s: f64, horizon_s: f64) -> f64 {
+    let mut sim_s = 0.0;
+    while sim_s < horizon_s {
+        sim_s = sim_s + dt_s;
+    }
+    sim_s
+}

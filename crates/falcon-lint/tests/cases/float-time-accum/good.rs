@@ -1,0 +1,28 @@
+//! Fixture: drift-free counterparts — time grids derived as
+//! `start + i*dt`, non-time accumulators left alone, and one justified
+//! suppression for a bounded accumulation.
+
+pub fn grid(start_s: f64, dt_s: f64, steps: u32) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..steps {
+        out.push(start_s + f64::from(i) * dt_s);
+    }
+    out
+}
+
+pub fn total(chunks: &[u64]) -> u64 {
+    let mut total_bytes = 0u64;
+    for &chunk_bytes in chunks {
+        total_bytes += chunk_bytes;
+    }
+    total_bytes
+}
+
+pub fn legacy_ramp(dt_s: f64) -> f64 {
+    let mut ramp_s = 0.0;
+    for _ in 0..4 {
+        // falcon-lint::allow(float-time-accum, reason = "4 iterations; drift bounded below 1 ulp")
+        ramp_s += dt_s;
+    }
+    ramp_s
+}

@@ -1,0 +1,29 @@
+//! Fixture: two functions acquiring the same pair of mutexes in opposite
+//! orders (a classic AB/BA deadlock), plus a same-function re-acquisition
+//! of a non-reentrant mutex.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn enqueue(sh: &Shared, item: u64) {
+    let mut q = sh.queue.lock().expect("poisoned");
+    let mut s = sh.stats.lock().expect("poisoned");
+    q.push(item);
+    *s += 1;
+}
+
+pub fn snapshot(sh: &Shared) -> (usize, u64) {
+    let s = sh.stats.lock().expect("poisoned");
+    let q = sh.queue.lock().expect("poisoned");
+    (q.len(), *s)
+}
+
+pub fn double_count(sh: &Shared) -> u64 {
+    let a = sh.stats.lock().expect("poisoned");
+    let b = sh.stats.lock().expect("poisoned");
+    *a + *b
+}

@@ -1,0 +1,24 @@
+//! Fixture: deadlock-free counterparts — every function acquires the
+//! locks in the same global order, or drops the first guard before taking
+//! the second.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn enqueue(sh: &Shared, item: u64) {
+    let mut q = sh.queue.lock().expect("poisoned");
+    q.push(item);
+    drop(q);
+    let mut s = sh.stats.lock().expect("poisoned");
+    *s += 1;
+}
+
+pub fn snapshot(sh: &Shared) -> (usize, u64) {
+    let len = sh.queue.lock().expect("poisoned").len();
+    let s = sh.stats.lock().expect("poisoned");
+    (len, *s)
+}

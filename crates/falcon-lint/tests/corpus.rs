@@ -29,7 +29,7 @@ fn lint_fixture(rule: &str, which: &str, crate_name: &str) -> Vec<Finding> {
 /// out of scope.
 fn fixture_crate(rule: Rule) -> &'static str {
     match rule {
-        Rule::Determinism => "falcon-sim",
+        Rule::Determinism | Rule::DeterminismTaint => "falcon-sim",
         _ => "falcon-net",
     }
 }

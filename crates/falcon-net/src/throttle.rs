@@ -26,9 +26,15 @@ pub struct TokenBucket {
 
 impl TokenBucket {
     /// Bucket with the given sustained rate; burst capacity is a quarter
-    /// second of tokens.
+    /// second of tokens. Non-positive or non-finite rates are clamped to
+    /// a 1 bit/s floor, so a misconfigured throttle degrades to a stall
+    /// rather than panicking the transfer thread.
     pub fn new(rate_mbps: f64) -> Self {
-        assert!(rate_mbps > 0.0);
+        let rate_mbps = if rate_mbps > 0.0 && rate_mbps.is_finite() {
+            rate_mbps
+        } else {
+            1e-6
+        };
         let rate_bytes_per_s = rate_mbps * 1e6 / 8.0;
         let capacity = rate_bytes_per_s * 0.25;
         TokenBucket {
@@ -106,8 +112,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_rate_rejected() {
-        TokenBucket::new(0.0);
+    fn zero_rate_clamps_to_floor() {
+        let mut b = TokenBucket::new(0.0);
+        let wait = b.acquire(1);
+        assert!(
+            wait > Duration::from_secs(1),
+            "floor rate stalls instead of panicking, got {wait:?}"
+        );
     }
 }

@@ -52,17 +52,22 @@ pub struct Resource {
 }
 
 impl Resource {
-    /// Convenience constructor.
+    /// Convenience constructor. Non-positive or non-finite capacities are
+    /// clamped to a vanishing floor and non-positive per-stream caps are
+    /// ignored (uncapped), so malformed scenario specs degrade instead of
+    /// panicking the simulator.
     pub fn new(
         name: &'static str,
         kind: ResourceKind,
         capacity_mbps: f64,
         per_stream_cap_mbps: Option<f64>,
     ) -> Self {
-        assert!(capacity_mbps > 0.0, "resource capacity must be positive");
-        if let Some(c) = per_stream_cap_mbps {
-            assert!(c > 0.0, "per-stream cap must be positive");
-        }
+        let capacity_mbps = if capacity_mbps > 0.0 && capacity_mbps.is_finite() {
+            capacity_mbps
+        } else {
+            1e-9
+        };
+        let per_stream_cap_mbps = per_stream_cap_mbps.filter(|&c| c > 0.0 && c.is_finite());
         Resource {
             name,
             kind,
@@ -107,15 +112,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        Resource::new("bad", ResourceKind::NetworkLink, 0.0, None);
+    fn zero_capacity_clamps_to_floor() {
+        let r = Resource::new("bad", ResourceKind::NetworkLink, 0.0, None);
+        assert!(r.capacity_mbps > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "per-stream cap must be positive")]
-    fn zero_stream_cap_rejected() {
-        Resource::new("bad", ResourceKind::DiskRead, 100.0, Some(0.0));
+    fn zero_stream_cap_is_ignored() {
+        let r = Resource::new("bad", ResourceKind::DiskRead, 100.0, Some(0.0));
+        assert!(r.per_stream_cap_mbps.is_none());
     }
 
     #[test]

@@ -943,6 +943,7 @@ impl Simulation {
             a.delivered_mb += delivered;
             a.total_delivered_mb += delivered;
             a.loss_integral += agent_loss * dt_s;
+            // falcon-lint::allow(float-time-accum, reason = "accrues exact DES segment lengths between samples and is reset at every sample read; bounded by one probe interval")
             a.sample_clock_s += dt_s;
         }
     }
@@ -978,6 +979,7 @@ impl Simulation {
             a.delivered_mb += delivered;
             a.total_delivered_mb += delivered;
             a.loss_integral += agent_loss * dt_s;
+            // falcon-lint::allow(float-time-accum, reason = "accrues exact DES segment lengths between samples and is reset at every sample read; bounded by one probe interval")
             a.sample_clock_s += dt_s;
         }
     }

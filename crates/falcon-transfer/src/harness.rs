@@ -129,10 +129,15 @@ impl SimHarness {
     }
 
     /// Assign per-connection fair-share weights to agents by join order
-    /// (builder style). Agents beyond the list get weight 1.0.
+    /// (builder style). Agents beyond the list get weight 1.0; invalid
+    /// (non-positive or non-finite) weights are replaced by that same
+    /// neutral 1.0 rather than panicking mid-campaign.
     pub fn with_agent_weights(mut self, weights: Vec<f64>) -> Self {
-        assert!(weights.iter().all(|&w| w > 0.0));
-        self.agent_weights = weights;
+        debug_assert!(weights.iter().all(|&w| w > 0.0));
+        self.agent_weights = weights
+            .into_iter()
+            .map(|w| if w > 0.0 && w.is_finite() { w } else { 1.0 })
+            .collect();
         self
     }
 

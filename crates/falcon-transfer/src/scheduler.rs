@@ -77,7 +77,13 @@ pub fn simulate(
     threads: u32,
     per_thread_mbps: f64,
 ) -> ScheduleOutcome {
-    assert!(threads >= 1 && per_thread_mbps > 0.0);
+    debug_assert!(threads >= 1 && per_thread_mbps > 0.0);
+    let threads = threads.max(1);
+    let per_thread_mbps = if per_thread_mbps > 0.0 && per_thread_mbps.is_finite() {
+        per_thread_mbps
+    } else {
+        1e-9
+    };
     let order = policy.order(dataset);
     let mut finish = vec![0.0f64; threads as usize];
     for size in &order {

@@ -53,10 +53,14 @@ impl Summary {
     }
 }
 
-/// Linear-interpolated percentile of an already-sorted slice.
+/// Linear-interpolated percentile of an already-sorted slice. An empty
+/// slice yields NaN; `pct` is clamped to `[0, 100]`.
 pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    assert!((0.0..=100.0).contains(&pct));
+    debug_assert!((0.0..=100.0).contains(&pct));
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pct = pct.clamp(0.0, 100.0);
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -71,12 +75,18 @@ pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
 /// last-observation-carried-forward; useful for aligning traces of agents
 /// that joined at different times.
 pub fn resample_locf(series: &[(f64, f64)], t0: f64, t1: f64, step: f64) -> Vec<(f64, f64)> {
-    assert!(step > 0.0 && t1 >= t0);
+    debug_assert!(step > 0.0 && t1 >= t0);
+    if step <= 0.0 || t1 < t0 {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     let mut idx = 0usize;
     let mut last: Option<f64> = None;
-    let mut t = t0;
-    while t <= t1 + 1e-9 {
+    for i in 0u64.. {
+        let t = t0 + i as f64 * step;
+        if t > t1 + 1e-9 {
+            break;
+        }
         while idx < series.len() && series[idx].0 <= t {
             last = Some(series[idx].1);
             idx += 1;
@@ -84,7 +94,6 @@ pub fn resample_locf(series: &[(f64, f64)], t0: f64, t1: f64, step: f64) -> Vec<
         if let Some(v) = last {
             out.push((t, v));
         }
-        t += step;
     }
     out
 }

@@ -8,7 +8,29 @@
 
 use std::path::Path;
 
-use falcon_lint::{Baseline, BASELINE_FILE};
+use falcon_lint::{Baseline, Rule, BASELINE_FILE};
+
+/// The checker enforces all eight rule families; a rule silently dropped
+/// from `FAMILIES` would make this gate weaker without failing anything.
+#[test]
+fn all_rule_families_are_enforced() {
+    let names: Vec<&str> = Rule::FAMILIES.iter().map(|r| r.name()).collect();
+    for expected in [
+        "determinism",
+        "panic-safety",
+        "lock-across-blocking",
+        "float-cmp",
+        "determinism-taint",
+        "unit-mismatch",
+        "float-time-accum",
+        "lock-order",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "rule family `{expected}` missing from Rule::FAMILIES ({names:?})"
+        );
+    }
+}
 
 #[test]
 fn workspace_is_lint_clean_modulo_baseline() {
