@@ -1,0 +1,81 @@
+//! Non-gating benchmark regression comparator.
+//!
+//! ```text
+//! compare <pinned.json> <fresh.json> [threshold-pct]
+//! ```
+//!
+//! Diffs a freshly measured `BENCH.json` against the checked-in pins and
+//! prints one line per benchmark. Entries more than `threshold-pct`
+//! (default 25%) slower than their pin additionally emit a GitHub Actions
+//! `::warning` annotation, so CI surfaces probable regressions on the run
+//! summary without failing the job — quick-bench medians on shared runners
+//! are too noisy to gate on, but not too noisy to flag.
+//!
+//! Exit status is 0 whenever both files parse (regressions do not fail the
+//! job); unreadable or unparseable input exits 1, since that means the
+//! bench harness itself broke.
+
+use falcon_bench::parse_bench_medians;
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("compare: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let entries = parse_bench_medians(&doc);
+    if entries.is_empty() {
+        eprintln!("compare: no benchmark entries found in {path}");
+        std::process::exit(1);
+    }
+    entries
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (pinned_path, fresh_path) = match (args.get(1), args.get(2)) {
+        (Some(p), Some(f)) => (p.as_str(), f.as_str()),
+        _ => {
+            eprintln!("usage: compare <pinned.json> <fresh.json> [threshold-pct]");
+            std::process::exit(1);
+        }
+    };
+    let threshold_pct: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25.0);
+
+    let pinned = load(pinned_path);
+    let fresh = load(fresh_path);
+
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for (key, fresh_ns) in &fresh {
+        let Some((_, pin_ns)) = pinned.iter().find(|(k, _)| k == key) else {
+            println!("{key:<52} {fresh_ns:>12.1} ns  (new, no pin)");
+            continue;
+        };
+        let delta_pct = (fresh_ns - pin_ns) / pin_ns * 100.0;
+        println!("{key:<52} {fresh_ns:>12.1} ns  vs pin {pin_ns:>12.1} ns  ({delta_pct:+6.1}%)");
+        if delta_pct > threshold_pct {
+            regressions += 1;
+            // GitHub Actions annotation: shows on the run summary, does
+            // not fail the job.
+            println!(
+                "::warning title=bench regression::{key} is {delta_pct:.0}% slower than the \
+                 BENCH.json pin ({fresh_ns:.0} ns vs {pin_ns:.0} ns)"
+            );
+        }
+    }
+    for (key, _) in &pinned {
+        if !fresh.iter().any(|(k, _)| k == key) {
+            missing += 1;
+            println!(
+                "::warning title=bench missing::{key} is pinned in BENCH.json but was not measured"
+            );
+        }
+    }
+    println!(
+        "compare: {} benches, {regressions} over +{threshold_pct:.0}% threshold, {missing} pinned-but-missing",
+        fresh.len()
+    );
+}

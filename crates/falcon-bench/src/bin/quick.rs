@@ -19,7 +19,10 @@ use falcon_core::{
     HillClimbingOptimizer, Observation, OnlineOptimizer, ProbeMetrics, SearchBounds,
     TransferSettings, UtilityFunction,
 };
-use falcon_gp::{Acquisition, AcquisitionKind, GpRegressor, Matern52};
+use falcon_gp::{
+    Acquisition, AcquisitionKind, AscentPlan, AscentScratch, GpRegressor, LineLattice, Matern52,
+    SweepCache,
+};
 use falcon_sim::alloc::{max_min_allocate, StreamDemand};
 use falcon_sim::{
     AgentSettings, Engine, Environment, EnvironmentEvent, EventAction, EventQueue, Simulation,
@@ -140,10 +143,50 @@ fn bench_gp(q: &mut QuickBench) {
     q.bench("gp", "predict_into_window20", || {
         black_box(full.predict_into(black_box(&[31.0]), &mut scratch))
     });
+    // Window slide primitives: rank-1 downdate of the oldest row, and the
+    // full per-probe slide (evict + append). Clone cost is included, so
+    // both are upper bounds on the in-place path the optimizers run.
+    q.bench("gp", "drop_oldest_n20_incl_clone", || {
+        let mut gp = full.clone();
+        if gp.drop_oldest().is_err() {
+            std::process::exit(1);
+        }
+        black_box(gp)
+    });
+    q.bench("gp", "slide_window20_incl_clone", || {
+        let mut gp = full.clone();
+        if gp.drop_oldest().is_err() || gp.extend(vec![20.0], 0.3).is_err() {
+            std::process::exit(1);
+        }
+        black_box(gp)
+    });
     let candidates: Vec<Vec<f64>> = (1..=100).map(|i| vec![f64::from(i)]).collect();
     let acq = Acquisition::with_defaults(AcquisitionKind::ExpectedImprovement);
     q.bench("gp", "acquisition_argmax_100_candidates", || {
         black_box(acq.argmax(&full, &candidates, 300.0))
+    });
+    // The same argmax via multi-start local ascent over the shared
+    // posterior cache — the production decision path's inner search.
+    let lattice = LineLattice::new(candidates.len());
+    let mut cache = SweepCache::new();
+    let mut ascent = AscentScratch::default();
+    let starts = [47usize, 31, 0];
+    let plan = AscentPlan {
+        starts: &starts,
+        scan_stride: None,
+    };
+    q.bench("gp", "acquisition_ascent_100_candidates", || {
+        cache.begin(candidates.len());
+        black_box(falcon_gp::sweep::nominate(
+            &acq,
+            &full,
+            &candidates,
+            &lattice,
+            &plan,
+            &mut cache,
+            &mut ascent,
+            300.0,
+        ))
     });
 }
 

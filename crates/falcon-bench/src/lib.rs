@@ -165,6 +165,54 @@ impl QuickBench {
     }
 }
 
+/// Extract `(group/name, median_ns)` pairs from a `BENCH.json` document
+/// produced by [`QuickBench::to_json`]. Line-oriented and deliberately
+/// minimal (the workspace vendors no JSON parser): it relies on the
+/// emitter's fixed indentation — four spaces for a group key, six for a
+/// benchmark entry — and tolerates reordered or missing entries, not
+/// arbitrary JSON.
+#[must_use]
+pub fn parse_bench_medians(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut group = String::new();
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("    ") else {
+            continue;
+        };
+        let entry = rest.strip_prefix("  ");
+        let body = entry.unwrap_or(rest);
+        let Some(name) = quoted_prefix(body) else {
+            continue;
+        };
+        if entry.is_none() {
+            group = name;
+        } else if let Some(pos) = body.find("\"median_ns\": ") {
+            let tail = &body[pos + "\"median_ns\": ".len()..];
+            let num: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if let Ok(v) = num.parse::<f64>() {
+                out.push((format!("{group}/{name}"), v));
+            }
+        }
+    }
+    out
+}
+
+/// The unescaped contents of a leading JSON string, if `s` starts with one.
+fn quoted_prefix(s: &str) -> Option<String> {
+    let mut chars = s.strip_prefix('"')?.chars();
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Minimal JSON string escaping (labels are ASCII identifiers, but stay
 /// correct if one ever grows a quote or backslash).
 fn json_string(s: &str) -> String {
@@ -241,5 +289,38 @@ mod tests {
         assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
         assert_eq!(json_f64(1.5), "1.50");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_to_json() {
+        let mut q = QuickBench {
+            sample_budget: Duration::from_micros(100),
+            samples: 2,
+            ..QuickBench::default()
+        };
+        q.bench("gp", "fit", || 1);
+        q.bench("gp", "predict", || 2);
+        q.bench("sim", "step", || 3);
+        let parsed = parse_bench_medians(&q.to_json());
+        assert_eq!(parsed.len(), 3);
+        let keys: Vec<&str> = parsed.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["gp/fit", "gp/predict", "sim/step"]);
+        for ((_, v), r) in parsed.iter().zip(q.results()) {
+            assert!((v - r.median_ns).abs() < 0.01, "{v} vs {}", r.median_ns);
+        }
+    }
+
+    #[test]
+    fn parse_handles_escaped_names_and_garbage() {
+        let mut q = QuickBench {
+            sample_budget: Duration::from_micros(100),
+            samples: 2,
+            ..QuickBench::default()
+        };
+        q.bench("g", "a\"quote", || 1);
+        let parsed = parse_bench_medians(&q.to_json());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "g/a\"quote");
+        assert!(parse_bench_medians("not json at all").is_empty());
     }
 }

@@ -16,12 +16,22 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use falcon_gp::{GpHedge, PredictScratch};
+use falcon_gp::{AscentPlan, AscentScratch, GpHedge, LineLattice, SweepCache};
 use falcon_trace::{Candidate, TraceEvent, Tracer};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
 use crate::surrogate::CachedSurrogate;
+
+/// Every this-many surrogate decisions, the local-ascent argmax is seeded
+/// with a strided scan of the whole candidate grid (stride
+/// `max(1, len/SCAN_POINTS)`), so basins far from every ascent start stay
+/// reachable. The decisions in between evaluate only the handful of
+/// posteriors the ascent paths touch.
+const SCAN_PERIOD: usize = 4;
+
+/// Number of points the periodic strided scan samples across the grid.
+const SCAN_POINTS: usize = 16;
 
 /// Bayesian Optimization parameters.
 #[derive(Debug, Clone, Copy)]
@@ -89,7 +99,16 @@ pub struct BayesianOptimizer {
     /// moves.
     candidates: Vec<Vec<f64>>,
     candidates_hi: u32,
-    predict_scratch: PredictScratch,
+    /// Shared posterior memo for the acquisition portfolio (one epoch per
+    /// decision).
+    sweep_cache: SweepCache,
+    ascent_scratch: AscentScratch,
+    /// Candidate index chosen by the previous surrogate decision — an
+    /// ascent start for the next one.
+    last_idx: Option<usize>,
+    /// Surrogate decisions made (drives the periodic scan and the rotating
+    /// ascent start).
+    decisions: usize,
     tracer: Tracer,
 }
 
@@ -112,7 +131,10 @@ impl BayesianOptimizer {
             surrogate: None,
             candidates: Vec::new(),
             candidates_hi: 0,
-            predict_scratch: PredictScratch::default(),
+            sweep_cache: SweepCache::new(),
+            ascent_scratch: AscentScratch::default(),
+            last_idx: None,
+            decisions: 0,
             tracer: Tracer::default(),
         }
     }
@@ -172,9 +194,10 @@ impl BayesianOptimizer {
         let (lo, _) = self.params.bounds.concurrency;
         let hi = self.current_hi;
 
-        // Keep the surrogate current: a full refit every `REFIT_EVERY`
-        // probes (re-windowing and re-normalizing), an O(n²) append of the
-        // newest observation in between.
+        // Keep the surrogate current: drift-keyed full refits
+        // (re-windowing, re-normalizing, re-selecting hyperparameters), a
+        // true O(n²) window slide — append newest, evict oldest — for the
+        // steady-state probes in between (see `crate::surrogate`).
         let due_for_refit = self
             .surrogate
             .as_ref()
@@ -182,7 +205,7 @@ impl BayesianOptimizer {
         if due_for_refit {
             self.refit_surrogate();
         } else if let (Some(s), Some(&(n, u))) = (self.surrogate.as_mut(), self.history.back()) {
-            if !s.extend(vec![f64::from(n)], u) {
+            if !s.slide(vec![f64::from(n)], u, self.params.window) {
                 self.refit_surrogate();
             }
         }
@@ -194,37 +217,70 @@ impl BayesianOptimizer {
             self.candidates = (lo..=hi).map(|n| vec![f64::from(n)]).collect();
             self.candidates_hi = hi;
         }
-        let idx = self
-            .hedge
-            .choose(&s.gp, &self.candidates, s.best_y, &mut self.rng);
+        let len = self.candidates.len();
+
+        // Ascent starts: the incumbent best observation, the previous
+        // decision, and a rotating probe so repeated decisions seed fresh
+        // basins. Every SCAN_PERIOD-th decision adds a strided global scan.
+        let to_idx = |cc: u32| (cc.clamp(lo, hi) - lo) as usize;
+        let incumbent = self
+            .history
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or(0, |&(n, _)| to_idx(n));
+        let starts = [
+            incumbent,
+            self.last_idx.unwrap_or(incumbent),
+            (self.decisions * 37) % len,
+        ];
+        let plan = AscentPlan {
+            starts: &starts,
+            scan_stride: self
+                .decisions
+                .is_multiple_of(SCAN_PERIOD)
+                .then_some((len / SCAN_POINTS).max(1)),
+        };
+        self.decisions += 1;
+        let lattice = LineLattice::new(len);
+        self.sweep_cache.begin(len);
+        let idx = self.hedge.choose_ascent(
+            &s.gp,
+            &self.candidates,
+            &lattice,
+            &plan,
+            &mut self.sweep_cache,
+            &mut self.ascent_scratch,
+            s.best_y,
+            &mut self.rng,
+        );
+        self.last_idx = Some(idx);
         // Reward each portfolio member with the posterior mean of the point
-        // it nominated (GP-Hedge update rule).
-        let scratch = &mut self.predict_scratch;
+        // it nominated (GP-Hedge update rule). Nominated posteriors are
+        // already memoized in the sweep cache from the ascent above.
+        let cache = &mut self.sweep_cache;
         let candidates = &self.candidates;
         self.hedge
-            .update(|i| s.gp.predict_into(&candidates[i], scratch).0);
+            .update(|i| cache.posterior(&s.gp, candidates, i).0);
         let chosen = lo + idx as u32;
-        if self.tracer.is_enabled() {
-            if let Some(point) = self.candidates.get(idx) {
-                let (mean, var) = s.gp.predict_into(point, &mut self.predict_scratch);
-                let best_y = s.best_y;
-                self.tracer.emit(|| TraceEvent::Decision {
-                    optimizer: "bayesian-optimization".to_string(),
+        if self.tracer.is_enabled() && idx < self.candidates.len() {
+            let (mean, sd) = self.sweep_cache.posterior(&s.gp, &self.candidates, idx);
+            let best_y = s.best_y;
+            self.tracer.emit(|| TraceEvent::Decision {
+                optimizer: "bayesian-optimization".to_string(),
+                concurrency: chosen,
+                parallelism: 1,
+                pipelining: 1,
+                terms: vec![
+                    ("best_y".to_string(), best_y),
+                    ("posterior_mean".to_string(), mean),
+                    ("posterior_sd".to_string(), sd.max(0.0)),
+                ],
+                candidates: vec![Candidate {
                     concurrency: chosen,
                     parallelism: 1,
-                    pipelining: 1,
-                    terms: vec![
-                        ("best_y".to_string(), best_y),
-                        ("posterior_mean".to_string(), mean),
-                        ("posterior_sd".to_string(), var.max(0.0).sqrt()),
-                    ],
-                    candidates: vec![Candidate {
-                        concurrency: chosen,
-                        parallelism: 1,
-                        utility: mean,
-                    }],
-                });
-            }
+                    utility: mean,
+                }],
+            });
         }
         self.maybe_grow_space(chosen);
         chosen
@@ -274,6 +330,8 @@ impl OnlineOptimizer for BayesianOptimizer {
         self.surrogate = None;
         self.candidates.clear();
         self.candidates_hi = 0;
+        self.last_idx = None;
+        self.decisions = 0;
         self.first_probe = self.random_probe();
     }
 

@@ -19,12 +19,100 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use falcon_gp::{GpHedge, PredictScratch};
+use falcon_gp::{AscentPlan, AscentScratch, GpHedge, Lattice, SweepCache};
 use falcon_trace::{Candidate, TraceEvent, Tracer};
 
 use crate::optimizer::{Observation, OnlineOptimizer};
 use crate::settings::{SearchBounds, TransferSettings};
 use crate::surrogate::CachedSurrogate;
+
+/// Periodic strided-scan cadence for the local-ascent argmax (see
+/// `crate::bayesian` — same role, 2-D lattice).
+const SCAN_PERIOD: usize = 4;
+
+/// Number of points the periodic strided scan samples across the grid.
+const SCAN_POINTS: usize = 16;
+
+/// 4-neighbour lattice over the (possibly connection-capped) candidate
+/// grid: candidate `i` neighbours the candidates one concurrency or one
+/// parallelism step away *that survived the cap filter*. Neighbour lists
+/// are precomputed once (the grid is fixed for the optimizer's lifetime)
+/// through a dense `(cc, p) → index` table — no hashing, deterministic.
+struct GridLattice {
+    nbrs: Vec<Vec<usize>>,
+    /// Dense `(cc - cc_lo) * p_span + (p - p_lo) → candidate index` table
+    /// (`usize::MAX` = filtered out), kept for incumbent lookups.
+    index: Vec<usize>,
+    cc_lo: u32,
+    p_lo: u32,
+    cc_span: usize,
+    p_span: usize,
+}
+
+impl GridLattice {
+    fn new(candidates: &[TransferSettings], bounds: &SearchBounds) -> Self {
+        let (cc_lo, cc_hi) = bounds.concurrency;
+        let (p_lo, p_hi) = bounds.parallelism;
+        let cc_span = (cc_hi - cc_lo + 1) as usize;
+        let p_span = (p_hi - p_lo + 1) as usize;
+        let mut index = vec![usize::MAX; cc_span * p_span];
+        for (i, s) in candidates.iter().enumerate() {
+            let cell = (s.concurrency - cc_lo) as usize * p_span + (s.parallelism - p_lo) as usize;
+            index[cell] = i;
+        }
+        let lookup = |cc: i64, p: i64| -> Option<usize> {
+            if cc < i64::from(cc_lo)
+                || cc > i64::from(cc_hi)
+                || p < i64::from(p_lo)
+                || p > i64::from(p_hi)
+            {
+                return None;
+            }
+            let cell = (cc - i64::from(cc_lo)) as usize * p_span + (p - i64::from(p_lo)) as usize;
+            (index[cell] != usize::MAX).then_some(index[cell])
+        };
+        let nbrs = candidates
+            .iter()
+            .map(|s| {
+                let (cc, p) = (i64::from(s.concurrency), i64::from(s.parallelism));
+                [(cc - 1, p), (cc + 1, p), (cc, p - 1), (cc, p + 1)]
+                    .into_iter()
+                    .filter_map(|(c, q)| lookup(c, q))
+                    .collect()
+            })
+            .collect();
+        GridLattice {
+            nbrs,
+            index,
+            cc_lo,
+            p_lo,
+            cc_span,
+            p_span,
+        }
+    }
+
+    /// Candidate index of a (possibly out-of-grid) setting, if it survived
+    /// the cap filter.
+    fn index_of(&self, s: TransferSettings) -> Option<usize> {
+        let cc = (s.concurrency.checked_sub(self.cc_lo)?) as usize;
+        let p = (s.parallelism.checked_sub(self.p_lo)?) as usize;
+        if cc >= self.cc_span || p >= self.p_span {
+            return None;
+        }
+        let i = self.index[cc * self.p_span + p];
+        (i != usize::MAX).then_some(i)
+    }
+}
+
+impl Lattice for GridLattice {
+    fn len(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    fn neighbors(&self, idx: usize, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.nbrs[idx]);
+    }
+}
 
 /// Parameters of the 2-D Bayesian search.
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +173,12 @@ pub struct BayesianMpOptimizer {
     probes_issued: usize,
     /// GP surrogate reused across probes.
     surrogate: Option<CachedSurrogate>,
-    predict_scratch: PredictScratch,
+    /// Neighbourhood structure + index table over the fixed grid.
+    lattice: GridLattice,
+    sweep_cache: SweepCache,
+    ascent_scratch: AscentScratch,
+    last_idx: Option<usize>,
+    decisions: usize,
     tracer: Tracer,
 }
 
@@ -104,6 +197,7 @@ impl BayesianMpOptimizer {
             .collect();
         let mut rng = StdRng::seed_from_u64(params.seed);
         let first_probe = candidates[rng.gen_range(0..candidates.len())];
+        let lattice = GridLattice::new(&candidates, &params.bounds);
         BayesianMpOptimizer {
             params,
             rng,
@@ -114,7 +208,11 @@ impl BayesianMpOptimizer {
             first_probe,
             probes_issued: 1,
             surrogate: None,
-            predict_scratch: PredictScratch::default(),
+            lattice,
+            sweep_cache: SweepCache::new(),
+            ascent_scratch: AscentScratch::default(),
+            last_idx: None,
+            decisions: 0,
             tracer: Tracer::default(),
         }
     }
@@ -173,8 +271,8 @@ impl BayesianMpOptimizer {
     }
 
     fn surrogate_probe(&mut self) -> TransferSettings {
-        // Full refit every `REFIT_EVERY` probes, O(n²) append in between
-        // (see `crate::surrogate`).
+        // Drift-keyed full refits; O(n²) window slide in between (see
+        // `crate::surrogate`).
         let due_for_refit = self
             .surrogate
             .as_ref()
@@ -182,42 +280,72 @@ impl BayesianMpOptimizer {
         if due_for_refit {
             self.refit_surrogate();
         } else if let (Some(su), Some(&(s, u))) = (self.surrogate.as_mut(), self.history.back()) {
-            if !su.extend(vec![f64::from(s.concurrency), f64::from(s.parallelism)], u) {
+            if !su.slide(
+                vec![f64::from(s.concurrency), f64::from(s.parallelism)],
+                u,
+                self.params.window,
+            ) {
                 self.refit_surrogate();
             }
         }
         let Some(su) = self.surrogate.as_ref() else {
             return self.random_probe();
         };
-        let idx = self
-            .hedge
-            .choose(&su.gp, &self.points, su.best_y, &mut self.rng);
-        let scratch = &mut self.predict_scratch;
+        let len = self.points.len();
+        let incumbent = self
+            .history
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .and_then(|&(s, _)| self.lattice.index_of(s))
+            .unwrap_or(0);
+        let starts = [
+            incumbent,
+            self.last_idx.unwrap_or(incumbent),
+            (self.decisions * 37) % len,
+        ];
+        let plan = AscentPlan {
+            starts: &starts,
+            scan_stride: self
+                .decisions
+                .is_multiple_of(SCAN_PERIOD)
+                .then_some((len / SCAN_POINTS).max(1)),
+        };
+        self.decisions += 1;
+        self.sweep_cache.begin(len);
+        let idx = self.hedge.choose_ascent(
+            &su.gp,
+            &self.points,
+            &self.lattice,
+            &plan,
+            &mut self.sweep_cache,
+            &mut self.ascent_scratch,
+            su.best_y,
+            &mut self.rng,
+        );
+        self.last_idx = Some(idx);
+        let cache = &mut self.sweep_cache;
         let points = &self.points;
-        self.hedge
-            .update(|i| su.gp.predict_into(&points[i], scratch).0);
+        self.hedge.update(|i| cache.posterior(&su.gp, points, i).0);
         let chosen = self.candidates[idx];
-        if self.tracer.is_enabled() {
-            if let Some(point) = self.points.get(idx) {
-                let (mean, var) = su.gp.predict_into(point, &mut self.predict_scratch);
-                let best_y = su.best_y;
-                self.tracer.emit(|| TraceEvent::Decision {
-                    optimizer: "bayesian-optimization-mp".to_string(),
+        if self.tracer.is_enabled() && idx < self.points.len() {
+            let (mean, sd) = self.sweep_cache.posterior(&su.gp, &self.points, idx);
+            let best_y = su.best_y;
+            self.tracer.emit(|| TraceEvent::Decision {
+                optimizer: "bayesian-optimization-mp".to_string(),
+                concurrency: chosen.concurrency,
+                parallelism: chosen.parallelism,
+                pipelining: chosen.pipelining,
+                terms: vec![
+                    ("best_y".to_string(), best_y),
+                    ("posterior_mean".to_string(), mean),
+                    ("posterior_sd".to_string(), sd.max(0.0)),
+                ],
+                candidates: vec![Candidate {
                     concurrency: chosen.concurrency,
                     parallelism: chosen.parallelism,
-                    pipelining: chosen.pipelining,
-                    terms: vec![
-                        ("best_y".to_string(), best_y),
-                        ("posterior_mean".to_string(), mean),
-                        ("posterior_sd".to_string(), var.max(0.0).sqrt()),
-                    ],
-                    candidates: vec![Candidate {
-                        concurrency: chosen.concurrency,
-                        parallelism: chosen.parallelism,
-                        utility: mean,
-                    }],
-                });
-            }
+                    utility: mean,
+                }],
+            });
         }
         chosen
     }
@@ -251,6 +379,8 @@ impl OnlineOptimizer for BayesianMpOptimizer {
         self.hedge = GpHedge::new();
         self.probes_issued = 1;
         self.surrogate = None;
+        self.last_idx = None;
+        self.decisions = 0;
         self.first_probe = self.random_probe();
     }
 

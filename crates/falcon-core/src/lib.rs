@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod optimizer;
 pub mod settings;
 pub mod stochastic;
-mod surrogate;
+pub mod surrogate;
 pub mod utility;
 
 pub use agent::FalconAgent;

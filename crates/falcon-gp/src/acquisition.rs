@@ -70,7 +70,14 @@ impl Acquisition {
         scratch: &mut PredictScratch,
     ) -> f64 {
         let (mu, var) = gp.predict_into(x, scratch);
-        let sigma = var.sqrt();
+        self.score_from(mu, var.sqrt(), best_y)
+    }
+
+    /// Score from an already-computed posterior `(μ, σ)`. This is the
+    /// member-specific arithmetic alone — portfolio sweeps compute each
+    /// posterior once (see [`crate::sweep::SweepCache`]) and fan it out to
+    /// every member through this entry point.
+    pub fn score_from(&self, mu: f64, sigma: f64, best_y: f64) -> f64 {
         match self.kind {
             AcquisitionKind::UpperConfidenceBound => mu + self.exploration * sigma,
             AcquisitionKind::ExpectedImprovement => {

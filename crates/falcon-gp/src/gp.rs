@@ -1,6 +1,6 @@
 //! Gaussian-process regression.
 
-use crate::kernel::{Kernel, Matern52};
+use crate::kernel::{Kernel, KernelRowScratch, Matern52};
 use crate::linalg::{dot, LinalgError, Matrix};
 
 /// Errors from GP fitting.
@@ -48,6 +48,11 @@ impl std::error::Error for GpError {}
 #[derive(Debug, Clone)]
 pub struct GpRegressor {
     x: Vec<Vec<f64>>,
+    /// The same training points as `x`, flattened row-major (`n×dim`):
+    /// the storage [`Kernel::eval_row`] streams over.
+    x_flat: Vec<f64>,
+    /// Input dimension (1 for concurrency-only, 2 for cc×p).
+    dim: usize,
     /// Raw (uncentred) targets: [`GpRegressor::extend`] recomputes the
     /// mean over these so an incrementally-grown model centres exactly
     /// like a from-scratch fit.
@@ -67,6 +72,7 @@ pub struct GpRegressor {
 pub struct PredictScratch {
     k_star: Vec<f64>,
     v: Vec<f64>,
+    kernel: KernelRowScratch,
 }
 
 impl GpRegressor {
@@ -120,8 +126,11 @@ impl GpRegressor {
         let alpha = chol
             .solve_lower_transpose(&tmp)
             .map_err(|_| GpError::DimensionMismatch)?;
+        let x_flat: Vec<f64> = x.iter().flat_map(|p| p.iter().copied()).collect();
         Ok(GpRegressor {
             x: x.to_vec(),
+            x_flat,
+            dim,
             y_raw: y.to_vec(),
             y_centered,
             y_mean,
@@ -165,8 +174,46 @@ impl GpRegressor {
                 }
             }
         }
+        self.x_flat.extend_from_slice(&x_new);
         self.x.push(x_new);
         self.y_raw.push(y_new);
+        self.recenter_and_resolve()
+    }
+
+    /// Remove the oldest training point in `O(n²)` by downdating the
+    /// Cholesky factor ([`Matrix::cholesky_drop_row`]) instead of
+    /// refitting in `O(n³)`. Together with [`GpRegressor::extend`] this
+    /// makes a true sliding window: `drop_oldest` + `extend` per probe
+    /// keeps the factor exact (to rank-1-update accumulation, ~1e-12)
+    /// without a from-scratch refactorization ever entering the per-probe
+    /// path.
+    ///
+    /// Errors leave the model unchanged; dropping the last remaining point
+    /// is rejected with [`GpError::Empty`] (a GP with no data has no
+    /// posterior).
+    pub fn drop_oldest(&mut self) -> Result<(), GpError> {
+        if self.x.len() <= 1 {
+            return Err(GpError::Empty);
+        }
+        self.chol.cholesky_drop_row(0).map_err(|e| match e {
+            LinalgError::DimensionMismatch => GpError::DimensionMismatch,
+            LinalgError::NotPositiveDefinite => GpError::NotPositiveDefinite,
+        })?;
+        self.x.remove(0);
+        // copy_within + truncate rather than `drain` — the std method
+        // collides by simple name with falcon-net's wall-clock drain and
+        // would false-positive the determinism-taint lint workspace-wide.
+        let keep = self.x_flat.len() - self.dim;
+        self.x_flat.copy_within(self.dim.., 0);
+        self.x_flat.truncate(keep);
+        self.y_raw.remove(0);
+        self.recenter_and_resolve()
+    }
+
+    /// Recompute the target mean, centred targets, and `alpha` from
+    /// `y_raw` against the current factor (shared by the incremental
+    /// extend/drop paths; `O(n²)` triangular solves).
+    fn recenter_and_resolve(&mut self) -> Result<(), GpError> {
         self.y_mean = self.y_raw.iter().sum::<f64>() / self.y_raw.len() as f64;
         self.y_centered.clear();
         let mean = self.y_mean;
@@ -180,6 +227,25 @@ impl GpRegressor {
             .solve_lower_transpose(&tmp)
             .map_err(|_| GpError::DimensionMismatch)?;
         Ok(())
+    }
+
+    /// The (uncentred) training targets currently in the model, oldest
+    /// first — callers maintaining an incumbent under a sliding window
+    /// re-scan these after a drop.
+    pub fn targets(&self) -> &[f64] {
+        &self.y_raw
+    }
+
+    /// The training inputs currently in the model, oldest first.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Kernel hyperparameters and noise variance currently in effect —
+    /// the reference oracle in the drift-refit proptests refits from
+    /// scratch at exactly these values.
+    pub fn hyperparameters(&self) -> (Matern52, f64) {
+        (self.kernel, self.noise_variance)
     }
 
     /// Fit with hyperparameters selected by maximizing the log marginal
@@ -238,11 +304,17 @@ impl GpRegressor {
     /// candidate grid performs no per-query allocation.
     pub fn predict_into(&self, xq: &[f64], scratch: &mut PredictScratch) -> (f64, f64) {
         let n = self.x.len();
-        scratch.k_star.clear();
-        scratch.k_star.resize(n, 0.0);
-        for (ks, xi) in scratch.k_star.iter_mut().zip(self.x.iter()) {
-            *ks = self.kernel.eval(xi, xq);
+        if scratch.k_star.len() != n {
+            scratch.k_star.clear();
+            scratch.k_star.resize(n, 0.0);
         }
+        self.kernel.eval_row(
+            xq,
+            &self.x_flat,
+            self.dim,
+            &mut scratch.kernel,
+            &mut scratch.k_star,
+        );
         let mean = self.y_mean + dot(&scratch.k_star, &self.alpha);
         // A solve failure cannot happen for a factor built by `fit`, but if
         // it ever did the GP degrades to the prior variance instead of
@@ -414,6 +486,52 @@ mod tests {
         );
         assert_eq!(gp.len(), 2);
         assert_eq!(gp.predict(&[0.5]), before);
+    }
+
+    #[test]
+    fn drop_oldest_matches_refit_on_window() {
+        let points: Vec<f64> = (0..8).map(f64::from).collect();
+        let x = xs(&points);
+        let y: Vec<f64> = points.iter().map(|p| (p * 0.7).sin() * 2.0).collect();
+        let kernel = Matern52::new(2.0, 3.0);
+        let mut slid = GpRegressor::fit(&x[..5], &y[..5], kernel, 1e-4).unwrap();
+        // Slide the window [0,5) → [3,8): drop + extend per step.
+        for i in 5..8 {
+            slid.drop_oldest().unwrap();
+            slid.extend(x[i].clone(), y[i]).unwrap();
+        }
+        let fresh = GpRegressor::fit(&x[3..], &y[3..], kernel, 1e-4).unwrap();
+        assert_eq!(slid.len(), 5);
+        for q in [0.5, 3.5, 5.1, 9.0] {
+            let (sm, sv) = slid.predict(&[q]);
+            let (fm, fv) = fresh.predict(&[q]);
+            assert!((sm - fm).abs() < 1e-9, "mean {sm} vs {fm} at {q}");
+            assert!((sv - fv).abs() < 1e-9, "var {sv} vs {fv} at {q}");
+        }
+    }
+
+    #[test]
+    fn drop_oldest_rejects_last_point_without_corrupting() {
+        let x = xs(&[0.0, 1.0]);
+        let y = [0.0, 1.0];
+        let mut gp = GpRegressor::fit(&x, &y, Matern52::new(1.0, 1.0), 1e-4).unwrap();
+        gp.drop_oldest().unwrap();
+        assert_eq!(gp.len(), 1);
+        let before = gp.predict(&[0.5]);
+        assert_eq!(gp.drop_oldest().unwrap_err(), GpError::Empty);
+        assert_eq!(gp.len(), 1);
+        assert_eq!(gp.predict(&[0.5]), before);
+    }
+
+    #[test]
+    fn targets_and_inputs_track_the_window() {
+        let x = xs(&[0.0, 1.0, 2.0]);
+        let y = [5.0, 6.0, 7.0];
+        let mut gp = GpRegressor::fit(&x, &y, Matern52::new(1.0, 1.0), 1e-4).unwrap();
+        gp.drop_oldest().unwrap();
+        gp.extend(vec![3.0], 8.0).unwrap();
+        assert_eq!(gp.targets(), &[6.0, 7.0, 8.0]);
+        assert_eq!(gp.inputs(), &[vec![1.0], vec![2.0], vec![3.0]]);
     }
 
     #[test]

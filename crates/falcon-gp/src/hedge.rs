@@ -12,6 +12,7 @@ use rand::Rng;
 
 use crate::acquisition::{Acquisition, AcquisitionKind};
 use crate::gp::GpRegressor;
+use crate::sweep::{self, AscentPlan, AscentScratch, Lattice, SweepCache};
 
 /// Hedge state over the standard three-member portfolio (EI, PI, UCB).
 #[derive(Debug, Clone)]
@@ -78,6 +79,46 @@ impl GpHedge {
             .iter()
             .map(|m| m.argmax(gp, candidates, best_y))
             .collect();
+        let probs = self.probabilities();
+        let mut u: f64 = rng.gen();
+        let mut chosen = probs.len() - 1;
+        for (i, p) in probs.iter().enumerate() {
+            if u < *p {
+                chosen = i;
+                break;
+            }
+            u -= p;
+        }
+        self.last_choice = Some(chosen);
+        self.last_nominations[chosen]
+    }
+
+    /// Local-ascent variant of [`GpHedge::choose`]: members nominate via
+    /// greedy lattice ascent from the plan's starts (plus an optional
+    /// strided scan), sharing one posterior cache across the whole
+    /// portfolio. Identical Hedge sampling; only the per-member argmax
+    /// search differs from the full-scan `choose`. The caller owns the
+    /// cache/scratch and must call `cache.begin(candidates.len())` once
+    /// per decision before this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn choose_ascent<L: Lattice, R: Rng>(
+        &mut self,
+        gp: &GpRegressor,
+        candidates: &[Vec<f64>],
+        lattice: &L,
+        plan: &AscentPlan<'_>,
+        cache: &mut SweepCache,
+        scratch: &mut AscentScratch,
+        best_y: f64,
+        rng: &mut R,
+    ) -> usize {
+        debug_assert!(!candidates.is_empty());
+        self.last_nominations.clear();
+        for m in &self.members {
+            self.last_nominations.push(sweep::nominate(
+                m, gp, candidates, lattice, plan, cache, scratch, best_y,
+            ));
+        }
         let probs = self.probabilities();
         let mut u: f64 = rng.gen();
         let mut chosen = probs.len() - 1;
@@ -201,6 +242,45 @@ mod tests {
         for _ in 0..30 {
             let i = h.choose(&gp, &candidates, 4.0, &mut rng);
             assert!(i < candidates.len());
+        }
+    }
+
+    #[test]
+    fn choose_ascent_matches_full_scan_choose_on_smooth_surface() {
+        use crate::sweep::{AscentPlan, AscentScratch, LineLattice, SweepCache};
+        let gp = toy_gp();
+        let candidates: Vec<Vec<f64>> = (0..=20).map(|i| vec![f64::from(i) * 0.5]).collect();
+        let lattice = LineLattice::new(candidates.len());
+        let mut cache = SweepCache::new();
+        let mut scratch = AscentScratch::default();
+        let starts = [0usize, 10, 20];
+        let plan = AscentPlan {
+            starts: &starts,
+            scan_stride: None,
+        };
+        // Same seed on both paths: when nominations agree, the Hedge draw
+        // (and therefore the decision) must agree too.
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut scan = GpHedge::new();
+        let mut ascent = GpHedge::new();
+        for _ in 0..6 {
+            let a = scan.choose(&gp, &candidates, 4.0, &mut rng_a);
+            cache.begin(candidates.len());
+            let b = ascent.choose_ascent(
+                &gp,
+                &candidates,
+                &lattice,
+                &plan,
+                &mut cache,
+                &mut scratch,
+                4.0,
+                &mut rng_b,
+            );
+            assert_eq!(a, b);
+            assert!(cache.evals() < candidates.len());
+            scan.update(|i| candidates[i][0]);
+            ascent.update(|i| candidates[i][0]);
         }
     }
 

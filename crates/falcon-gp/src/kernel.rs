@@ -1,5 +1,42 @@
 //! Covariance kernels.
 
+/// Reusable buffer for [`Kernel::eval_row`]: the squared-distance pass is
+/// staged here so the distance loop stays a tight, auto-vectorizable sweep
+/// over flattened point storage, separate from the transcendental pass.
+#[derive(Debug, Clone, Default)]
+pub struct KernelRowScratch {
+    d2: Vec<f64>,
+}
+
+/// Squared distances from `xq` to every point of `xs_flat` (row-major
+/// `n×dim`), written into `out`. Specialized per dimension so the 1-D and
+/// 2-D hot paths (concurrency-only and concurrency×parallelism searches)
+/// compile to branch-free streaming loops.
+fn squared_distances(xq: &[f64], xs_flat: &[f64], dim: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len() * dim, xs_flat.len());
+    match dim {
+        1 => {
+            let q = xq[0];
+            for (d, &x) in out.iter_mut().zip(xs_flat) {
+                let t = x - q;
+                *d = t * t;
+            }
+        }
+        2 => {
+            let (q0, q1) = (xq[0], xq[1]);
+            for (d, p) in out.iter_mut().zip(xs_flat.chunks_exact(2)) {
+                let (a, b) = (p[0] - q0, p[1] - q1);
+                *d = a * a + b * b;
+            }
+        }
+        _ => {
+            for (d, p) in out.iter_mut().zip(xs_flat.chunks_exact(dim)) {
+                *d = p.iter().zip(xq).map(|(u, v)| (u - v) * (u - v)).sum();
+            }
+        }
+    }
+}
+
 /// A stationary covariance kernel over `R^d`.
 pub trait Kernel {
     /// Covariance between two points.
@@ -7,6 +44,24 @@ pub trait Kernel {
 
     /// Prior variance at a point (`k(x, x)`).
     fn diag(&self) -> f64;
+
+    /// Fused kernel row `k(xq, X)` against flattened row-major point
+    /// storage (`n×dim`), written into `out` (`n` entries). The default
+    /// delegates to [`Kernel::eval`] per point; stationary kernels
+    /// override with a two-pass form (vectorized squared distances, then
+    /// the radial profile) that produces the same values per element.
+    fn eval_row(
+        &self,
+        xq: &[f64],
+        xs_flat: &[f64],
+        dim: usize,
+        _scratch: &mut KernelRowScratch,
+        out: &mut [f64],
+    ) {
+        for (o, p) in out.iter_mut().zip(xs_flat.chunks_exact(dim)) {
+            *o = self.eval(xq, p);
+        }
+    }
 }
 
 /// Squared-exponential (RBF) kernel:
@@ -39,6 +94,24 @@ impl Kernel for Rbf {
 
     fn diag(&self) -> f64 {
         self.variance
+    }
+
+    fn eval_row(
+        &self,
+        xq: &[f64],
+        xs_flat: &[f64],
+        dim: usize,
+        scratch: &mut KernelRowScratch,
+        out: &mut [f64],
+    ) {
+        if scratch.d2.len() != out.len() {
+            scratch.d2.clear();
+            scratch.d2.resize(out.len(), 0.0);
+        }
+        squared_distances(xq, xs_flat, dim, &mut scratch.d2);
+        for (o, &d2) in out.iter_mut().zip(&scratch.d2) {
+            *o = self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp();
+        }
     }
 }
 
@@ -75,6 +148,28 @@ impl Kernel for Matern52 {
 
     fn diag(&self) -> f64 {
         self.variance
+    }
+
+    fn eval_row(
+        &self,
+        xq: &[f64],
+        xs_flat: &[f64],
+        dim: usize,
+        scratch: &mut KernelRowScratch,
+        out: &mut [f64],
+    ) {
+        if scratch.d2.len() != out.len() {
+            scratch.d2.clear();
+            scratch.d2.resize(out.len(), 0.0);
+        }
+        squared_distances(xq, xs_flat, dim, &mut scratch.d2);
+        // Same per-element expression (and rounding) as `eval`, applied as
+        // one streaming pass over the staged distances.
+        for (o, &d2) in out.iter_mut().zip(&scratch.d2) {
+            let r = d2.sqrt();
+            let s = 5.0_f64.sqrt() * r / self.length_scale;
+            *o = self.variance * (1.0 + s + s * s / 3.0) * (-s).exp();
+        }
     }
 }
 
@@ -127,6 +222,27 @@ mod tests {
         let short = Rbf::new(1.0, 0.5);
         let long = Rbf::new(1.0, 5.0);
         assert!(long.eval(&[0.0], &[2.0]) > short.eval(&[0.0], &[2.0]));
+    }
+
+    #[test]
+    fn eval_row_bit_identical_to_per_point_eval() {
+        // The fused row must agree with `eval` per element *bitwise*, so
+        // swapping predict onto it cannot perturb decision sequences.
+        let mut scratch = KernelRowScratch::default();
+        for dim in [1usize, 2, 3] {
+            let n = 9;
+            let flat: Vec<f64> = (0..n * dim).map(|i| (i as f64) * 0.73 - 4.0).collect();
+            let xq: Vec<f64> = (0..dim).map(|i| i as f64 + 0.31).collect();
+            let rbf = Rbf::new(1.7, 2.3);
+            let mat = Matern52::new(0.9, 5.1);
+            for k in [&rbf as &dyn Kernel, &mat as &dyn Kernel] {
+                let mut out = vec![0.0; n];
+                k.eval_row(&xq, &flat, dim, &mut scratch, &mut out);
+                for (i, p) in flat.chunks_exact(dim).enumerate() {
+                    assert_eq!(out[i], k.eval(&xq, p), "dim {dim}, point {i}");
+                }
+            }
+        }
     }
 
     #[test]

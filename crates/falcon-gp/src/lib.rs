@@ -25,9 +25,11 @@ pub mod hedge;
 pub mod kernel;
 pub mod linalg;
 pub mod normal;
+pub mod sweep;
 
 pub use acquisition::{Acquisition, AcquisitionKind};
 pub use gp::{GpError, GpRegressor, PredictScratch};
 pub use hedge::GpHedge;
-pub use kernel::{Kernel, Matern52, Rbf};
+pub use kernel::{Kernel, KernelRowScratch, Matern52, Rbf};
 pub use linalg::{LinalgError, Matrix};
+pub use sweep::{AscentPlan, AscentScratch, Lattice, LineLattice, SweepCache};

@@ -151,6 +151,61 @@ proptest! {
         }
     }
 
+    /// Dropping any row/column from a Cholesky factor matches factoring
+    /// the reduced matrix from scratch, for random SPD matrices and every
+    /// drop position.
+    #[test]
+    fn cholesky_drop_matches_reduced_factorization(
+        vals in proptest::collection::vec(-2.0f64..2.0, 25),
+        idx in 0usize..5,
+    ) {
+        let a = spd(&vals, 5);
+        let mut dropped = a.cholesky().expect("SPD by construction");
+        dropped.cholesky_drop_row(idx).expect("reduced matrix stays SPD");
+        let mut reduced = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let (si, sj) = (i + usize::from(i >= idx), j + usize::from(j >= idx));
+                reduced[(i, j)] = a[(si, sj)];
+            }
+        }
+        let fresh = reduced.cholesky().expect("principal submatrix of SPD is SPD");
+        for i in 0..4 {
+            for j in 0..=i {
+                prop_assert!(
+                    (dropped[(i, j)] - fresh[(i, j)]).abs() < 1e-9,
+                    "L[({i},{j})] after dropping {idx}: {} vs {}",
+                    dropped[(i, j)], fresh[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// A GP slid along a random observation stream (`drop_oldest` +
+    /// `extend` per step) matches a from-scratch fit of the same window at
+    /// every slide: posterior mean/variance within 1e-9.
+    #[test]
+    fn sliding_window_matches_refit_at_every_slide(
+        ys in proptest::collection::vec(-100.0f64..100.0, 8..20),
+        window in 3usize..7,
+        q in -10.0f64..74.0,
+    ) {
+        let n = ys.len();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![(i * 7 % 64) as f64]).collect();
+        let kernel = Matern52::new(1.0, 10.0);
+        let mut slid = GpRegressor::fit(&xs[..window], &ys[..window], kernel, 1e-3).unwrap();
+        for i in window..n {
+            slid.drop_oldest().expect("window > 1");
+            slid.extend(xs[i].clone(), ys[i]).expect("extend must accept in-domain points");
+            let lo = i + 1 - window;
+            let fresh = GpRegressor::fit(&xs[lo..=i], &ys[lo..=i], kernel, 1e-3).unwrap();
+            let (sm, sv) = slid.predict(&[q]);
+            let (fm, fv) = fresh.predict(&[q]);
+            prop_assert!((sm - fm).abs() < 1e-9, "mean {sm} vs {fm} at slide {i}");
+            prop_assert!((sv - fv).abs() < 1e-9, "var {sv} vs {fv} at slide {i}");
+        }
+    }
+
     /// Appending a row to a Cholesky factor matches factoring the bordered
     /// matrix from scratch, for random SPD matrices.
     #[test]

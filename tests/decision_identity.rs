@@ -1,0 +1,105 @@
+//! Decision-sequence pins for the scan-free optimizers.
+//!
+//! The GP surrogate rework (sliding-window downdates, drift-keyed refits,
+//! local-ascent acquisition) must not perturb the optimizers that never
+//! touch the GP stack. These tests hard-code the exact decision sequences
+//! hill climbing, gradient descent, and conjugate gradient produced before
+//! the rework, on a deterministic synthetic landscape: any byte of drift
+//! here means shared plumbing (metrics, utility, settings) changed out
+//! from under them.
+
+use falcon_repro::core::{
+    CgdParams, ConjugateGradientOptimizer, GdParams, GradientDescentOptimizer, HcParams,
+    HillClimbingOptimizer, Observation, OnlineOptimizer, ProbeMetrics, SearchBounds,
+    TransferSettings, UtilityFunction,
+};
+
+/// Deterministic landscape: linear gain to 48 streams, flat beyond.
+fn observation(s: TransferSettings) -> Observation {
+    let m = ProbeMetrics::from_aggregate(s, f64::from(s.concurrency.min(48)) * 21.0, 0.001, 5.0);
+    Observation {
+        settings: m.settings,
+        utility: UtilityFunction::falcon_default().evaluate(&m),
+        metrics: m,
+    }
+}
+
+fn drive(opt: &mut dyn OnlineOptimizer, probes: usize) -> Vec<(u32, u32, u32)> {
+    let mut s = opt.initial();
+    let mut out = vec![(s.concurrency, s.parallelism, s.pipelining)];
+    for _ in 0..probes {
+        s = opt.next(&observation(s));
+        out.push((s.concurrency, s.parallelism, s.pipelining));
+    }
+    out
+}
+
+#[test]
+fn hill_climbing_decision_sequence_unchanged() {
+    let mut opt = HillClimbingOptimizer::new(HcParams::new(64));
+    let expected: Vec<(u32, u32, u32)> = (1..=41).map(|c| (c, 1, 1)).collect();
+    assert_eq!(drive(&mut opt, 40), expected);
+}
+
+#[test]
+fn gradient_descent_decision_sequence_unchanged() {
+    let mut opt = GradientDescentOptimizer::new(GdParams::new(64));
+    let expected: Vec<(u32, u32, u32)> = [
+        1, 3, 5, 7, 9, 11, 15, 13, 18, 20, 27, 25, 35, 33, 40, 38, 41, 43, 45, 43, 47, 45, 46, 48,
+        48, 46, 46, 48, 48, 46, 46, 48, 46, 48, 46, 48, 46, 48, 48, 46, 46,
+    ]
+    .into_iter()
+    .map(|c| (c, 1, 1))
+    .collect();
+    assert_eq!(drive(&mut opt, 40), expected);
+}
+
+#[test]
+fn conjugate_gradient_decision_sequence_unchanged() {
+    let mut opt =
+        ConjugateGradientOptimizer::new(CgdParams::new(SearchBounds::multi_parameter(64, 8, 32)));
+    let expected = vec![
+        (1, 1, 1),
+        (3, 1, 1),
+        (2, 1, 1),
+        (2, 2, 1),
+        (2, 1, 1),
+        (2, 1, 2),
+        (5, 1, 1),
+        (7, 1, 1),
+        (6, 1, 1),
+        (6, 2, 1),
+        (6, 1, 1),
+        (6, 1, 2),
+        (9, 1, 1),
+        (11, 1, 1),
+        (10, 1, 1),
+        (10, 2, 1),
+        (10, 1, 1),
+        (10, 1, 2),
+        (16, 1, 1),
+        (18, 1, 1),
+        (17, 1, 1),
+        (17, 2, 1),
+        (17, 1, 1),
+        (17, 1, 2),
+        (27, 1, 1),
+        (29, 1, 1),
+        (28, 1, 1),
+        (28, 2, 1),
+        (28, 1, 1),
+        (28, 1, 2),
+        (34, 1, 1),
+        (36, 1, 1),
+        (35, 1, 1),
+        (35, 2, 1),
+        (35, 1, 1),
+        (35, 1, 2),
+        (39, 1, 1),
+        (41, 1, 1),
+        (40, 1, 1),
+        (40, 2, 1),
+        (40, 1, 1),
+    ];
+    assert_eq!(drive(&mut opt, 40), expected);
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization build of the `experiments` binary.
+#
+#   tools/pgo_build.sh [workloads...]
+#
+# Three stages:
+#   1. Build with -Cprofile-generate and run a representative workload
+#      (default: table1 shootout bo_space bo_mp — the decision-loop-heavy
+#      experiments, so the GP/acquisition hot path dominates the profile).
+#   2. Merge the .profraw shards with llvm-profdata.
+#   3. Rebuild with -Cprofile-use and time the workload against the plain
+#      release build.
+#
+# Stage 2 needs an llvm-profdata whose LLVM major is >= rustc's (the
+# .profraw format is not backward-readable). The rustup `llvm-tools`
+# component always matches:
+#
+#   rustup component add llvm-tools
+#
+# A system llvm-profdata works too if it is new enough; override the
+# autodetection with LLVM_PROFDATA=/path/to/llvm-profdata.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKLOADS=("$@")
+if [ ${#WORKLOADS[@]} -eq 0 ]; then
+    WORKLOADS=(table1 shootout bo_space bo_mp)
+fi
+
+PGO_DIR="${PGO_DIR:-target/pgo-profiles}"
+BIN=target/release/experiments
+
+# --- locate a usable llvm-profdata -----------------------------------------
+find_profdata() {
+    if [ -n "${LLVM_PROFDATA:-}" ]; then
+        echo "$LLVM_PROFDATA"
+        return
+    fi
+    local sysroot triple
+    sysroot=$(rustc --print sysroot)
+    triple=$(rustc -vV | sed -n 's/^host: //p')
+    for cand in "$sysroot/lib/rustlib/$triple/bin/llvm-profdata" \
+                "$(command -v llvm-profdata || true)"; do
+        if [ -n "$cand" ] && [ -x "$cand" ]; then
+            echo "$cand"
+            return
+        fi
+    done
+    echo ""
+}
+
+PROFDATA=$(find_profdata)
+if [ -z "$PROFDATA" ]; then
+    echo "pgo_build: no llvm-profdata found." >&2
+    echo "pgo_build: install the matching one with: rustup component add llvm-tools" >&2
+    exit 1
+fi
+echo "using llvm-profdata: $PROFDATA"
+
+# --- baseline timing --------------------------------------------------------
+echo "== baseline release build =="
+cargo build --release -p falcon-experiments
+time_workload() {
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$BIN" "${WORKLOADS[@]}" > /dev/null
+    t1=$(date +%s.%N)
+    echo "$t0 $t1" | awk '{printf "%.2f", $2 - $1}'
+}
+BASE_S=$(time_workload)
+echo "baseline: ${BASE_S}s for: ${WORKLOADS[*]}"
+
+# --- stage 1: instrumented build + profile run ------------------------------
+echo "== instrumented build =="
+rm -rf "$PGO_DIR"
+mkdir -p "$PGO_DIR"
+RUSTFLAGS="-Cprofile-generate=$PGO_DIR" \
+    cargo build --release -p falcon-experiments
+"$BIN" "${WORKLOADS[@]}" > /dev/null
+echo "profiles: $(ls "$PGO_DIR"/*.profraw | wc -l) shard(s)"
+
+# --- stage 2: merge ---------------------------------------------------------
+if ! "$PROFDATA" merge -o "$PGO_DIR/merged.profdata" "$PGO_DIR"/*.profraw; then
+    echo "pgo_build: llvm-profdata could not read the generated profiles." >&2
+    echo "pgo_build: its LLVM major must be >= rustc's ($(rustc -vV | sed -n 's/^LLVM version: //p'))." >&2
+    echo "pgo_build: install the matching one with: rustup component add llvm-tools" >&2
+    exit 1
+fi
+
+# --- stage 3: optimized rebuild + timing ------------------------------------
+echo "== profile-use build =="
+RUSTFLAGS="-Cprofile-use=$(pwd)/$PGO_DIR/merged.profdata" \
+    cargo build --release -p falcon-experiments
+PGO_S=$(time_workload)
+
+echo
+echo "workload:  ${WORKLOADS[*]}"
+echo "baseline:  ${BASE_S}s"
+echo "pgo:       ${PGO_S}s"
+awk -v b="$BASE_S" -v p="$PGO_S" \
+    'BEGIN { if (p > 0) printf "speedup:   %.2fx\n", b / p }'
+echo
+echo "note: target/release now holds the PGO build; plain 'cargo build"
+echo "--release' will relink without the profile on the next invocation."
