@@ -272,6 +272,84 @@ fn bench_fleet(q: &mut QuickBench) {
     });
 }
 
+fn bench_fleet_scale(q: &mut QuickBench) {
+    use falcon_fleet::{run_scale_campaign, ScaleCampaignSpec, ScaleTopology};
+    use falcon_sim::alloc::IncrementalMaxMin;
+
+    // Allocator cost at 10^4 live streams on a 32-class dumbbell (96
+    // links, 10^4 routed streams). The dense baseline is what the old
+    // engine paid per arrival/departure: a from-scratch progressive fill
+    // over every live stream. The incremental path re-solves only the
+    // dirty component.
+    let rtts: Vec<f64> = (0..32).map(|c| 10.0 * 1.09f64.powi(c)).collect();
+    let topo = ScaleTopology::dumbbell_wan(4, &rtts, 10.0, 40.0);
+    let n_streams = 10_000usize;
+    let mut alloc = IncrementalMaxMin::with_links(
+        &topo
+            .links
+            .iter()
+            .map(|l| l.capacity_mbps)
+            .collect::<Vec<_>>(),
+    );
+    let mut ids = Vec::with_capacity(n_streams);
+    for i in 0..n_streams {
+        let r = &topo.routes[i % topo.routes.len()];
+        ids.push(alloc.add_stream(600.0, 1.0 + (i % 7) as f64 * 0.25, &r.links));
+    }
+    alloc.solve_all();
+
+    let dense = q.bench("fleet_scale", "dense_resolve_10k_streams", || {
+        black_box(alloc.solve_all().len())
+    });
+    // Steady-state churn: one departure + one arrival, each followed by a
+    // solve — the per-transfer event cost the campaign engine pays.
+    let mut cursor = 0usize;
+    let incremental = q.bench("fleet_scale", "incremental_arrive_depart_10k", || {
+        let slot = cursor % n_streams;
+        cursor += 1;
+        alloc.remove_stream(ids[slot]);
+        black_box(alloc.solve().len());
+        let r = &topo.routes[slot % topo.routes.len()];
+        ids[slot] = alloc.add_stream(600.0, 1.0 + (slot % 7) as f64 * 0.25, &r.links);
+        black_box(alloc.solve().len())
+    });
+    q.gauge(
+        "fleet_scale",
+        "dense_over_incremental_ratio",
+        if incremental > 0.0 {
+            dense / incremental
+        } else {
+            0.0
+        },
+    );
+    q.gauge(
+        "fleet_scale",
+        "allocator_bytes_per_stream_10k",
+        alloc.memory_bytes() as f64 / alloc.live_streams().max(1) as f64,
+    );
+
+    // End-to-end campaign: 5k transfers on a pod-local k=8 fat tree,
+    // reported as ns per transfer (arrival + allocation churn + lazy
+    // integration + departure, amortized) plus peak state per transfer.
+    let spec = ScaleCampaignSpec::fat_tree_local(8, 5_000, 0xbe7c4);
+    let mut last_bytes_per_transfer = 0.0;
+    let campaign_ns = q.bench("fleet_scale", "campaign_5k_fat_tree8", || {
+        let report = run_scale_campaign(black_box(&spec), 1);
+        last_bytes_per_transfer = report.bytes_per_transfer();
+        black_box(report.completions)
+    });
+    q.gauge(
+        "fleet_scale",
+        "campaign_ns_per_transfer",
+        campaign_ns / spec.workload.transfers as f64,
+    );
+    q.gauge(
+        "fleet_scale",
+        "campaign_state_bytes_per_transfer",
+        last_bytes_per_transfer,
+    );
+}
+
 fn bench_des(q: &mut QuickBench) {
     // Idle advance: a converged sim has no pending state changes, so the
     // DES engine crosses the whole span in one closed-form segment while
@@ -458,6 +536,7 @@ fn main() {
     bench_gp(&mut q);
     bench_simulator(&mut q);
     bench_fleet(&mut q);
+    bench_fleet_scale(&mut q);
     bench_des(&mut q);
     bench_trace(&mut q);
     bench_optimizers(&mut q);

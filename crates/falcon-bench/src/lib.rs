@@ -119,6 +119,24 @@ impl QuickBench {
         median
     }
 
+    /// Record a directly-measured value (bytes per transfer, counts)
+    /// under `group`/`name` without timing anything. Gauges share the
+    /// `BENCH.json` entry shape — the value lands in `median_ns` /
+    /// `mean_ns` / `min_ns` — and are marked by `batch == 0` /
+    /// `samples == 0` so compare tooling can tell them from timings.
+    pub fn gauge(&mut self, group: &str, name: &str, value: f64) {
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            throughput_per_s: 0.0,
+            batch: 0,
+            samples: 0,
+        });
+    }
+
     /// All results recorded so far, in bench order.
     #[must_use]
     pub fn results(&self) -> &[BenchResult] {

@@ -44,6 +44,12 @@
 //! comma-separated list of backbone capacities in Mbps, and `transfers`,
 //! `arrivals_per_min`, `mean_file_mb`, `anchor_gb`, `tuner` parameterize
 //! the workload. `duration` and `seed` still come from the top level.
+//! Adding `topology = fat-tree:<k>[:local] | dumbbell:<pairs>x<classes> |
+//! dtn:<hubs>x<spokes>` switches the section to the fleet-*scale* engine
+//! (10⁵+ transfers, sharded incremental max-min); the scale-only keys
+//! `diurnal` (arrival amplitude in `[0,1)`), `failures` (correlated
+//! link-failure waves), `tenants` (churn groups), and `shards` then
+//! shape the soak workload, while `links` and `anchor_gb` are ignored.
 //!
 //! `[event]` actions (see [`falcon_sim::EventAction`]):
 //!
@@ -112,6 +118,21 @@ pub struct FleetSpec {
     /// Tuner for every transfer (`falcon-gd`, `falcon-hc`, `falcon-bo`,
     /// `fixed:<cc>`).
     pub tuner: String,
+    /// Generated-fabric spec (`fat-tree:<k>[:local]`,
+    /// `dumbbell:<pairs>x<classes>`, `dtn:<hubs>x<spokes>`). When set the
+    /// scenario runs on the scale engine
+    /// ([`falcon_fleet::run_scale_campaign`]) instead of the classic
+    /// runner-driven campaign; `links` is then ignored.
+    pub topology: Option<String>,
+    /// Scale engine only: diurnal arrival-rate amplitude in `[0, 1)`.
+    pub diurnal: f64,
+    /// Scale engine only: correlated link-failure waves over the run.
+    pub failures: usize,
+    /// Scale engine only: tenant-churn groups (1 disables churn).
+    pub tenants: u32,
+    /// Scale engine only: campaign shard count (clamped to the number of
+    /// independent route components at run time).
+    pub shards: u32,
 }
 
 impl Default for FleetSpec {
@@ -123,6 +144,11 @@ impl Default for FleetSpec {
             mean_file_mb: 500.0,
             anchor_gb: 40.0,
             tuner: "falcon-gd".into(),
+            topology: None,
+            diurnal: 0.0,
+            failures: 0,
+            tenants: 1,
+            shards: 8,
         }
     }
 }
@@ -349,10 +375,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         let caps: Result<Vec<f64>, ParseError> =
                             value.split(',').map(|v| num(v.trim())).collect();
                         let caps = caps?;
-                        if caps.is_empty() || caps.len() > 16 || !caps.iter().all(|&c| c > 0.0) {
+                        if caps.is_empty() || caps.len() > 64 || !caps.iter().all(|&c| c > 0.0) {
                             return Err(err(
                                 line_no,
-                                format!("links: need 1..=16 positive capacities, got {value:?}"),
+                                format!("links: need 1..=64 positive capacities, got {value:?}"),
                             ));
                         }
                         f.links_mbps = caps;
@@ -362,6 +388,43 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     "mean_file_mb" => f.mean_file_mb = num(value)?,
                     "anchor_gb" => f.anchor_gb = num(value)?,
                     "tuner" => f.tuner = value.to_string(),
+                    "topology" => {
+                        if falcon_fleet::ScaleTopology::from_spec(value).is_none() {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                    "topology: {value:?} is not fat-tree:<k>[:local] | \
+                                     dumbbell:<pairs>x<classes> | dtn:<hubs>x<spokes>"
+                                ),
+                            ));
+                        }
+                        f.topology = Some(value.to_string());
+                    }
+                    "diurnal" => {
+                        let v = num(value)?;
+                        if !(0.0..1.0).contains(&v) {
+                            return Err(err(
+                                line_no,
+                                format!("diurnal: amplitude must be in [0, 1), got {value:?}"),
+                            ));
+                        }
+                        f.diurnal = v;
+                    }
+                    "failures" => f.failures = num(value)? as usize,
+                    "tenants" => {
+                        let v = num(value)? as u32;
+                        if v == 0 {
+                            return Err(err(line_no, "tenants: must be >= 1".into()));
+                        }
+                        f.tenants = v;
+                    }
+                    "shards" => {
+                        let v = num(value)? as u32;
+                        if v == 0 {
+                            return Err(err(line_no, "shards: must be >= 1".into()));
+                        }
+                        f.shards = v;
+                    }
                     other => return Err(err(line_no, format!("unknown fleet key {other:?}"))),
                 }
             }
@@ -456,6 +519,24 @@ pub fn serialize(sc: &Scenario) -> String {
         let _ = writeln!(w, "mean_file_mb = {}", f.mean_file_mb);
         let _ = writeln!(w, "anchor_gb = {}", f.anchor_gb);
         let _ = writeln!(w, "tuner = {}", f.tuner);
+        // Scale-engine keys, emitted only off their defaults so classic
+        // fleet scenarios keep their canonical form.
+        if let Some(t) = &f.topology {
+            let _ = writeln!(w, "topology = {t}");
+        }
+        let d = FleetSpec::default();
+        if f.diurnal != d.diurnal {
+            let _ = writeln!(w, "diurnal = {}", f.diurnal);
+        }
+        if f.failures != d.failures {
+            let _ = writeln!(w, "failures = {}", f.failures);
+        }
+        if f.tenants != d.tenants {
+            let _ = writeln!(w, "tenants = {}", f.tenants);
+        }
+        if f.shards != d.shards {
+            let _ = writeln!(w, "shards = {}", f.shards);
+        }
     }
     out
 }
@@ -564,10 +645,90 @@ pub fn run_fleet(sc: &Scenario, tracer: Tracer) -> Result<CampaignOutcome, Parse
     Ok(falcon_fleet::run_campaign_with_tracer(&spec, tracer))
 }
 
+/// Build the scale-engine campaign a `topology =` fleet scenario
+/// describes. The transfer concurrency comes from `tuner = fixed:<cc>`
+/// when given (the scale engine models tuners as a fixed connection
+/// count); any other tuner name keeps the default.
+fn fleet_scale_spec(
+    sc: &Scenario,
+    f: &FleetSpec,
+) -> Result<falcon_fleet::ScaleCampaignSpec, ParseError> {
+    let spec_str = f
+        .topology
+        .as_deref()
+        .ok_or_else(|| ParseError("fleet scenario has no topology key".into()))?;
+    let topology = falcon_fleet::ScaleTopology::from_spec(spec_str)
+        .ok_or_else(|| ParseError(format!("bad fleet topology {spec_str:?}")))?;
+    let mut workload = falcon_fleet::ScaleWorkload {
+        transfers: f.transfers,
+        arrivals_per_min: f.arrivals_per_min,
+        mean_file_mb: f.mean_file_mb,
+        diurnal: f.diurnal,
+        tenants: f.tenants,
+        ..falcon_fleet::ScaleWorkload::default()
+    };
+    if let Some(cc) = f.tuner.strip_prefix("fixed:") {
+        workload.concurrency = cc
+            .parse()
+            .map_err(|_| ParseError(format!("bad fixed tuner {:?}", f.tuner)))?;
+    }
+    let failures = falcon_fleet::correlated_failure_waves(&topology, f.failures, sc.duration_s);
+    Ok(falcon_fleet::ScaleCampaignSpec {
+        topology,
+        workload,
+        failures,
+        duration_s: sc.duration_s,
+        seed: sc.seed,
+        shards: f.shards,
+    })
+}
+
+/// Run a scale-engine fleet scenario (`topology =` present), adding
+/// `fleet.scale.*` counters to `tracer`. Worker threads follow the
+/// host's parallelism; the report is byte-identical regardless.
+pub fn run_fleet_scale(
+    sc: &Scenario,
+    tracer: &Tracer,
+) -> Result<falcon_fleet::ScaleReport, ParseError> {
+    let f = sc
+        .fleet
+        .as_ref()
+        .ok_or_else(|| ParseError("scenario has no [fleet] section".into()))?;
+    let spec = fleet_scale_spec(sc, f)?;
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    Ok(falcon_fleet::run_scale_campaign_traced(
+        &spec, threads, tracer,
+    ))
+}
+
+/// True when the scenario's `[fleet]` section routes to the scale engine.
+fn is_scale_fleet(sc: &Scenario) -> bool {
+    sc.fleet.as_ref().is_some_and(|f| f.topology.is_some())
+}
+
+/// Render a scale report with the scenario header the soak gate pins.
+fn render_scale(sc: &Scenario, report: &falcon_fleet::ScaleReport) -> String {
+    format!(
+        "# scenario fleet-scale duration={:.0}s seed={}\n{}",
+        sc.duration_s,
+        sc.seed,
+        report.summary()
+    )
+}
+
 fn run_with_tracer(
     sc: &Scenario,
     tracer: Tracer,
 ) -> Result<(falcon_transfer::runner::RunTrace, TraceLog), ParseError> {
+    if is_scale_fleet(sc) {
+        return Err(ParseError(
+            "scale fleet scenarios have no per-agent run trace; \
+             use run() or run_traced_rendered()"
+                .into(),
+        ));
+    }
     if sc.fleet.is_some() {
         let out = run_fleet(sc, tracer)?;
         return Ok((out.trace, out.log));
@@ -609,6 +770,11 @@ fn run_with_tracer(
 /// the structured trace log alongside. `[fleet]` scenarios render the fleet
 /// report; everything else renders the per-agent table.
 pub fn run_traced_rendered(sc: &Scenario) -> Result<(String, TraceLog), ParseError> {
+    if is_scale_fleet(sc) {
+        let tracer = Tracer::recording();
+        let report = run_fleet_scale(sc, &tracer)?;
+        return Ok((render_scale(sc, &report), tracer.take_log()));
+    }
     if sc.fleet.is_some() {
         let out = run_fleet(sc, Tracer::recording())?;
         let text = format!(
@@ -626,6 +792,10 @@ pub fn run_traced_rendered(sc: &Scenario) -> Result<(String, TraceLog), ParseErr
 /// Run a parsed scenario; returns the rendered report (and writes the trace
 /// CSV if requested).
 pub fn run(sc: &Scenario) -> Result<String, ParseError> {
+    if is_scale_fleet(sc) {
+        let report = run_fleet_scale(sc, &Tracer::disabled())?;
+        return Ok(render_scale(sc, &report));
+    }
     if sc.fleet.is_some() {
         // Record even without --trace: the report's convergence and settle
         // columns are derived from trace convergence markers.
@@ -889,13 +1059,142 @@ agent = 0
         // Empty / non-positive / too many links.
         assert!(parse("[fleet]\nlinks =\n").is_err());
         assert!(parse("[fleet]\nlinks = 100, -5\n").is_err());
-        let many = (0..17).map(|_| "100").collect::<Vec<_>>().join(",");
+        let many = (0..65).map(|_| "100").collect::<Vec<_>>().join(",");
         assert!(parse(&format!("[fleet]\nlinks = {many}\n")).is_err());
+        // 64 links is now in range (the classic engine's mask width).
+        let max = (0..64).map(|_| "100").collect::<Vec<_>>().join(",");
+        assert!(parse(&format!("[fleet]\nlinks = {max}\n")).is_ok());
         // Unknown key.
         assert!(parse("[fleet]\nwarp = 9\n").is_err());
         // Unknown fleet tuner is a run-time error, not a parse error.
         let sc = parse("[fleet]\ntuner = skynet\n").unwrap();
         assert!(run_fleet(&sc, Tracer::default()).is_err());
+    }
+
+    #[test]
+    fn parses_scale_fleet_keys() {
+        let sc = parse(
+            "duration = 300\nseed = 11\n\n[fleet]\ntopology = fat-tree:8:local\n\
+             transfers = 5000\narrivals_per_min = 9000\nmean_file_mb = 50\n\
+             diurnal = 0.4\nfailures = 3\ntenants = 4\nshards = 8\ntuner = fixed:2\n",
+        )
+        .unwrap();
+        let f = sc.fleet.unwrap();
+        assert_eq!(f.topology.as_deref(), Some("fat-tree:8:local"));
+        assert_eq!(f.diurnal, 0.4);
+        assert_eq!(f.failures, 3);
+        assert_eq!(f.tenants, 4);
+        assert_eq!(f.shards, 8);
+    }
+
+    #[test]
+    fn rejects_bad_scale_fleet_keys() {
+        // Malformed or out-of-range topology specs fail at parse time.
+        for bad in [
+            "torus:4",
+            "fat-tree:3", // odd k
+            "fat-tree:0",
+            "fat-tree:",
+            "dumbbell:4", // missing class count
+            "dumbbell:0x2",
+            "dtn:1x4", // < 2 hubs
+            "dtn:4x0",
+        ] {
+            assert!(
+                parse(&format!("[fleet]\ntopology = {bad}\n")).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert!(parse("[fleet]\ndiurnal = 1.5\n").is_err());
+        assert!(parse("[fleet]\ndiurnal = -0.1\n").is_err());
+        assert!(parse("[fleet]\ntenants = 0\n").is_err());
+        assert!(parse("[fleet]\nshards = 0\n").is_err());
+    }
+
+    #[test]
+    fn scale_fleet_keys_round_trip_and_fuzz() {
+        // Round-trip: parse(serialize(sc)) == sc for every generator
+        // family and key combination, including defaults left implicit.
+        for (topo, diurnal, failures, tenants, shards) in [
+            ("fat-tree:4", 0.0, 0usize, 1u32, 8u32),
+            ("fat-tree:8:local", 0.5, 2, 3, 4),
+            ("dumbbell:6x3", 0.25, 1, 1, 2),
+            ("dtn:3x5", 0.0, 4, 6, 8),
+        ] {
+            let mut sc = Scenario::default();
+            sc.agents.clear();
+            let mut f = FleetSpec {
+                topology: Some(topo.into()),
+                diurnal,
+                failures,
+                tenants,
+                shards,
+                ..FleetSpec::default()
+            };
+            f.tuner = "fixed:2".into();
+            sc.fleet = Some(f);
+            let text = serialize(&sc);
+            assert_eq!(parse(&text).unwrap(), sc, "round-trip for {topo}");
+        }
+        // INI fuzz over the new keys: random values either parse to a
+        // scenario that re-serializes canonically, or error cleanly —
+        // never panic. A small xorshift keeps the loop dependency-free.
+        let mut state = 0x5ca1e_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let families = ["fat-tree", "dumbbell", "dtn", "mesh"];
+        let mut parsed = 0usize;
+        for _ in 0..200 {
+            let family = families[(next() % families.len() as u64) as usize];
+            let a = next() % 40;
+            let b = next() % 10;
+            let topo = match next() % 4 {
+                0 => format!("{family}:{a}"),
+                1 => format!("{family}:{a}x{b}"),
+                2 => format!("{family}:{a}:local"),
+                _ => format!("{family}:"),
+            };
+            let text = format!(
+                "[fleet]\ntopology = {topo}\ndiurnal = {:.2}\nfailures = {}\n\
+                 tenants = {}\nshards = {}\n",
+                (next() % 200) as f64 / 100.0 - 0.5,
+                next() % 6,
+                next() % 4,
+                next() % 4,
+            );
+            if let Ok(sc) = parse(&text) {
+                parsed += 1;
+                let round = serialize(&sc);
+                assert_eq!(parse(&round).unwrap(), sc, "canonical form for {text:?}");
+            }
+        }
+        assert!(parsed > 0, "fuzz loop never produced a valid scenario");
+    }
+
+    #[test]
+    fn scale_fleet_scenario_runs_and_reports() {
+        let sc = parse(
+            "duration = 60\nseed = 5\n\n[fleet]\ntopology = dumbbell:2x2\n\
+             transfers = 150\narrivals_per_min = 600\nmean_file_mb = 40\n\
+             failures = 1\ntuner = fixed:2\n",
+        )
+        .unwrap();
+        let out = run(&sc).unwrap();
+        assert!(out.contains("# scenario fleet-scale"), "{out}");
+        assert!(out.contains("scale campaign dumbbell:2x2"), "{out}");
+        assert!(out.contains("transfers 150"), "{out}");
+        // The traced path renders the same report and carries the
+        // fleet.scale.* counters.
+        let (text, log) = run_traced_rendered(&sc).unwrap();
+        assert_eq!(text, out);
+        assert_eq!(log.counter("fleet.scale.transfers"), Some(150));
+        // The per-agent trace API refuses scale scenarios instead of
+        // returning an empty runner trace.
+        assert!(run_traced(&sc).is_err());
     }
 
     #[test]

@@ -132,6 +132,13 @@ proptest! {
                 mean_file_mb: 100.0 + anchor_gb,
                 anchor_gb,
                 tuner: TUNERS[transfers % 2].to_string(),
+                // Exercise the scale keys off their defaults half the time
+                // so round-trips cover both the implicit and explicit forms.
+                topology: (transfers % 2 == 0).then(|| "dumbbell:2x2".to_string()),
+                diurnal: if transfers % 2 == 0 { 0.25 } else { 0.0 },
+                failures: transfers % 3,
+                tenants: 1 + (transfers as u32 % 2),
+                shards: 8,
             }),
         };
 

@@ -20,11 +20,22 @@
 //!   convergence counts and the 99th-percentile settle time.
 //!
 //! Everything is deterministic under a seed: same spec, same bytes.
+//!
+//! Two engines share this crate. The *classic* engine above tops out
+//! around the runner's comfort zone (hundreds of transfers, ≤64 links).
+//! The *scale* engine ([`run_scale_campaign`]) targets 10⁵–10⁶
+//! transfers on generated fabrics ([`ScaleTopology::fat_tree`],
+//! [`ScaleTopology::dumbbell_wan`], [`ScaleTopology::dtn_mesh`]):
+//! structure-of-arrays transfer state over
+//! [`falcon_sim::alloc::IncrementalMaxMin`]'s stable stream ids, a
+//! fluid-model DES, and component-sharded execution whose merge is
+//! byte-identical at any thread count.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod campaign;
 mod report;
+mod scale;
 mod topology;
 mod workload;
 
@@ -32,5 +43,9 @@ pub use campaign::{
     run_campaign, run_campaign_with_tracer, CampaignOutcome, CampaignSpec, FleetTuner,
 };
 pub use report::{FleetReport, LinkReport};
-pub use topology::{FleetTopology, PathSpec};
+pub use scale::{
+    correlated_failure_waves, run_scale_campaign, run_scale_campaign_traced, LinkFailure,
+    ScaleCampaignSpec, ScaleReport, ScaleWorkload,
+};
+pub use topology::{FleetTopology, PathSpec, RouteSpec, ScaleLink, ScaleTopology};
 pub use workload::{generate, TransferSpec, Workload};

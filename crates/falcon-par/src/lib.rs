@@ -116,6 +116,21 @@ where
         .collect()
 }
 
+/// Fan tasks out over `threads` workers and fold the results **in task
+/// order** — the deterministic-merge primitive for sharded state: because
+/// the fold visits shard outputs in shard order regardless of which
+/// worker finished first, an N-thread run folds to exactly the bytes a
+/// 1-thread run does.
+pub fn fan_out_fold<T, R, A, F, G>(tasks: Vec<T>, threads: usize, f: F, init: A, fold: G) -> A
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    fan_out(tasks, threads, f).into_iter().fold(init, fold)
+}
+
 /// A poisoned mutex only means another worker panicked mid-task; the data
 /// under our locks is a plain `Option` move with no invariants to break,
 /// so recover the guard instead of unwrapping.
@@ -181,6 +196,27 @@ mod tests {
         let base = [10, 20, 30];
         let out = fan_out(vec![0usize, 1, 2], 2, |_, i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn fold_visits_results_in_task_order_for_any_thread_count() {
+        let merged = |threads| {
+            fan_out_fold(
+                (0..40u64).collect::<Vec<u64>>(),
+                threads,
+                |i, t| format!("{i}:{t}"),
+                String::new(),
+                |mut acc, r| {
+                    acc.push_str(&r);
+                    acc.push(';');
+                    acc
+                },
+            )
+        };
+        let serial = merged(1);
+        assert_eq!(serial, merged(4));
+        assert_eq!(serial, merged(9));
+        assert!(serial.starts_with("0:0;1:1;"));
     }
 
     #[test]

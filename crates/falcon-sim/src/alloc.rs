@@ -184,6 +184,376 @@ pub fn weighted_max_min_allocate_into(
     }
 }
 
+/// Incremental weighted max-min allocator over *indexed* per-link route
+/// sets — the fleet-scale replacement for the bitmask demands above.
+///
+/// Streams name the links they cross by index (`&[u32]`), so topologies
+/// are no longer capped at 64 resources, and stream state lives in an
+/// arena with stable `u32` ids and free-list reuse on departure (no
+/// per-transfer boxing). Mutations (`add_stream`, `remove_stream`,
+/// `set_capacity`, `update_stream`) mark the touched links dirty; a
+/// [`solve`](IncrementalMaxMin::solve) call expands the dirty worklist to
+/// the closure of links reachable through shared streams and re-runs
+/// progressive filling over that *affected component only*, leaving every
+/// other stream's cached rate untouched.
+///
+/// This is exact, not approximate: weighted max-min with caps has a
+/// unique fixed point, and the fixed point decomposes over connected
+/// components of the stream–link bipartite graph, so re-solving only the
+/// components containing dirty links reproduces the from-scratch
+/// allocation (the invariant `tests/fleet_scale.rs` property-checks
+/// against both an independent reference and the bitmask allocator).
+#[derive(Debug, Default)]
+pub struct IncrementalMaxMin {
+    // Links.
+    capacity: Vec<f64>,
+    /// Per-link member stream ids. Departed streams are deleted lazily:
+    /// entries whose stream is dead are skipped during traversal and
+    /// compacted away once they outnumber the live ones, so removal stays
+    /// O(route length) instead of O(link membership).
+    members: Vec<Vec<u32>>,
+    dead_members: Vec<u32>,
+    // Streams: SoA arena with free-list id reuse.
+    cap: Vec<f64>,
+    weight: Vec<f64>,
+    links_of: Vec<Vec<u32>>,
+    alive: Vec<bool>,
+    rate: Vec<f64>,
+    free: Vec<u32>,
+    live: usize,
+    // Dirty-link worklist.
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
+    // Solve scratch, persistent so steady-state solving is allocation-free.
+    aff_links: Vec<u32>,
+    aff_streams: Vec<u32>,
+    link_in: Vec<bool>,
+    stream_in: Vec<bool>,
+    link_slot: Vec<u32>,
+    remaining: Vec<f64>,
+    active_w: Vec<f64>,
+    frozen: Vec<bool>,
+    /// Number of [`solve`](IncrementalMaxMin::solve) calls that did work.
+    pub solves: u64,
+    /// Total streams re-solved across all solve calls (the incremental
+    /// cost metric: dense re-solves would count `live × solves`).
+    pub streams_resolved: u64,
+}
+
+impl IncrementalMaxMin {
+    /// An allocator over `capacities.len()` links with no streams.
+    #[must_use]
+    pub fn with_links(capacities: &[f64]) -> Self {
+        let mut a = IncrementalMaxMin::default();
+        for &c in capacities {
+            a.add_link(c);
+        }
+        a
+    }
+
+    /// Append a link; returns its index.
+    pub fn add_link(&mut self, capacity_mbps: f64) -> u32 {
+        let id = self.capacity.len() as u32;
+        self.capacity.push(capacity_mbps.max(0.0));
+        self.members.push(Vec::new());
+        self.dead_members.push(0);
+        self.dirty_flag.push(false);
+        self.link_in.push(false);
+        self.link_slot.push(0);
+        id
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Number of live streams.
+    #[must_use]
+    pub fn live_streams(&self) -> usize {
+        self.live
+    }
+
+    /// A link's current capacity.
+    #[must_use]
+    pub fn capacity(&self, link: u32) -> f64 {
+        self.capacity[link as usize]
+    }
+
+    /// Change a link's capacity (marks it dirty if the value moved).
+    pub fn set_capacity(&mut self, link: u32, capacity_mbps: f64) {
+        let c = capacity_mbps.max(0.0);
+        if self.capacity[link as usize] != c {
+            self.capacity[link as usize] = c;
+            self.mark_dirty(link);
+        }
+    }
+
+    /// Admit a stream crossing `route` (link indices): returns a stable
+    /// id, reused from the free list when available. A stream with an
+    /// empty route is only bounded by its own cap.
+    pub fn add_stream(&mut self, cap_mbps: f64, weight: f64, route: &[u32]) -> u32 {
+        debug_assert!(weight > 0.0, "weights must be positive");
+        debug_assert!(
+            route.iter().all(|&l| (l as usize) < self.capacity.len()),
+            "route names an unknown link"
+        );
+        let id = if let Some(id) = self.free.pop() {
+            let i = id as usize;
+            self.cap[i] = cap_mbps;
+            self.weight[i] = weight;
+            self.links_of[i].clear();
+            self.links_of[i].extend_from_slice(route);
+            self.alive[i] = true;
+            self.rate[i] = 0.0;
+            id
+        } else {
+            let id = self.cap.len() as u32;
+            self.cap.push(cap_mbps);
+            self.weight.push(weight);
+            self.links_of.push(route.to_vec());
+            self.alive.push(true);
+            self.rate.push(0.0);
+            self.stream_in.push(false);
+            self.frozen.push(false);
+            id
+        };
+        self.live += 1;
+        if route.is_empty() {
+            self.rate[id as usize] = if cap_mbps.is_finite() { cap_mbps } else { 0.0 };
+        }
+        for &l in route {
+            self.members[l as usize].push(id);
+            self.mark_dirty(l);
+        }
+        id
+    }
+
+    /// Change a live stream's cap/weight in place (marks its links dirty).
+    pub fn update_stream(&mut self, id: u32, cap_mbps: f64, weight: f64) {
+        debug_assert!(weight > 0.0, "weights must be positive");
+        let i = id as usize;
+        debug_assert!(self.alive[i], "update of a departed stream");
+        if self.cap[i] != cap_mbps || self.weight[i] != weight {
+            self.cap[i] = cap_mbps;
+            self.weight[i] = weight;
+            if self.links_of[i].is_empty() {
+                self.rate[i] = if cap_mbps.is_finite() { cap_mbps } else { 0.0 };
+            }
+            for k in 0..self.links_of[i].len() {
+                self.mark_dirty(self.links_of[i][k]);
+            }
+        }
+    }
+
+    /// Retire a stream: its id returns to the free list, its links go
+    /// dirty, its membership entries are deleted lazily.
+    pub fn remove_stream(&mut self, id: u32) {
+        let i = id as usize;
+        debug_assert!(self.alive[i], "double remove");
+        self.alive[i] = false;
+        self.rate[i] = 0.0;
+        self.live -= 1;
+        for k in 0..self.links_of[i].len() {
+            let l = self.links_of[i][k];
+            self.dead_members[l as usize] += 1;
+            self.mark_dirty(l);
+        }
+        self.free.push(id);
+    }
+
+    /// The cached allocation for a stream (0 for departed streams).
+    #[must_use]
+    pub fn rate(&self, id: u32) -> f64 {
+        self.rate[id as usize]
+    }
+
+    /// Links currently on the dirty worklist (mutations since last solve).
+    #[must_use]
+    pub fn dirty_links(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    fn mark_dirty(&mut self, link: u32) {
+        if !self.dirty_flag[link as usize] {
+            self.dirty_flag[link as usize] = true;
+            self.dirty.push(link);
+        }
+    }
+
+    /// Re-solve every link from scratch (the dense path; also the oracle
+    /// the property suite compares the incremental path against).
+    pub fn solve_all(&mut self) -> &[u32] {
+        for l in 0..self.capacity.len() as u32 {
+            self.mark_dirty(l);
+        }
+        self.solve()
+    }
+
+    /// Process the dirty worklist: expand it to the affected component(s)
+    /// and re-run progressive filling there. Returns the affected stream
+    /// ids — exactly the streams whose rate may have moved; everything
+    /// else kept its cached rate. No-op (empty slice) when nothing is
+    /// dirty.
+    pub fn solve(&mut self) -> &[u32] {
+        if self.dirty.is_empty() {
+            return &[];
+        }
+        // 1. Closure: affected links = dirty links plus every link
+        //    reachable through a shared live stream.
+        self.aff_links.clear();
+        self.aff_streams.clear();
+        for di in 0..self.dirty.len() {
+            let l = self.dirty[di];
+            if !self.link_in[l as usize] {
+                self.link_in[l as usize] = true;
+                self.aff_links.push(l);
+            }
+        }
+        let mut head = 0;
+        while head < self.aff_links.len() {
+            let l = self.aff_links[head] as usize;
+            head += 1;
+            // Compact the lazy deletions once they dominate the list.
+            if self.dead_members[l] * 2 > self.members[l].len() as u32 {
+                let alive = &self.alive;
+                self.members[l].retain(|&sid| alive[sid as usize]);
+                self.dead_members[l] = 0;
+            }
+            for mi in 0..self.members[l].len() {
+                let sid = self.members[l][mi] as usize;
+                if !self.alive[sid] || self.stream_in[sid] {
+                    continue;
+                }
+                self.stream_in[sid] = true;
+                self.aff_streams.push(sid as u32);
+                for li in 0..self.links_of[sid].len() {
+                    let l2 = self.links_of[sid][li];
+                    if !self.link_in[l2 as usize] {
+                        self.link_in[l2 as usize] = true;
+                        self.aff_links.push(l2);
+                    }
+                }
+            }
+        }
+        // 2. Progressive filling restricted to the affected component:
+        //    the same loop as `weighted_max_min_allocate_into`, with the
+        //    bitmask iteration replaced by the indexed route sets.
+        self.remaining.clear();
+        self.active_w.clear();
+        for (slot, &l) in self.aff_links.iter().enumerate() {
+            self.link_slot[l as usize] = slot as u32;
+            self.remaining.push(self.capacity[l as usize]);
+            self.active_w.push(0.0);
+        }
+        for &sid in &self.aff_streams {
+            self.rate[sid as usize] = 0.0;
+            self.frozen[sid as usize] = false;
+        }
+        loop {
+            for w in self.active_w.iter_mut() {
+                *w = 0.0;
+            }
+            let mut n_active = 0u32;
+            for &sid in &self.aff_streams {
+                let s = sid as usize;
+                if !self.frozen[s] {
+                    n_active += 1;
+                    for &l in &self.links_of[s] {
+                        self.active_w[self.link_slot[l as usize] as usize] += self.weight[s];
+                    }
+                }
+            }
+            if n_active == 0 {
+                break;
+            }
+            let mut inc = f64::INFINITY;
+            for (slot, &w) in self.active_w.iter().enumerate() {
+                if w > 0.0 {
+                    inc = inc.min(self.remaining[slot].max(0.0) / w);
+                }
+            }
+            for &sid in &self.aff_streams {
+                let s = sid as usize;
+                if !self.frozen[s] {
+                    inc = inc.min((self.cap[s] - self.rate[s]) / self.weight[s]);
+                }
+            }
+            if !inc.is_finite() {
+                break;
+            }
+            let inc = inc.max(0.0);
+            for &sid in &self.aff_streams {
+                let s = sid as usize;
+                if self.frozen[s] {
+                    continue;
+                }
+                self.rate[s] += inc * self.weight[s];
+                for &l in &self.links_of[s] {
+                    self.remaining[self.link_slot[l as usize] as usize] -= inc * self.weight[s];
+                }
+            }
+            let mut any_frozen = false;
+            for &sid in &self.aff_streams {
+                let s = sid as usize;
+                if self.frozen[s] {
+                    continue;
+                }
+                let cap_hit = self.rate[s] >= self.cap[s] - 1e-9;
+                let res_hit = self.links_of[s]
+                    .iter()
+                    .any(|&l| self.remaining[self.link_slot[l as usize] as usize] <= 1e-9);
+                if cap_hit || res_hit {
+                    self.frozen[s] = true;
+                    any_frozen = true;
+                }
+            }
+            if !any_frozen && inc <= 1e-12 {
+                break;
+            }
+        }
+        // 3. Reset the per-call flags (O(affected), not O(total)).
+        for &l in &self.aff_links {
+            self.link_in[l as usize] = false;
+        }
+        for &sid in &self.aff_streams {
+            self.stream_in[sid as usize] = false;
+        }
+        for &l in &self.dirty {
+            self.dirty_flag[l as usize] = false;
+        }
+        self.dirty.clear();
+        self.solves += 1;
+        self.streams_resolved += self.aff_streams.len() as u64;
+        &self.aff_streams
+    }
+
+    /// Approximate resident bytes of the arena and scratch — the
+    /// `fleet_scale` bench divides this by live streams for the
+    /// bytes/transfer gauge.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let member_entries: usize = self.members.iter().map(Vec::capacity).sum();
+        let route_entries: usize = self.links_of.iter().map(Vec::capacity).sum();
+        self.capacity.capacity() * size_of::<f64>()
+            + (member_entries + route_entries) * size_of::<u32>()
+            + self.dead_members.capacity() * size_of::<u32>()
+            + self.cap.capacity() * size_of::<f64>() * 3 // cap, weight, rate
+            + self.alive.capacity()
+            + self.free.capacity() * size_of::<u32>()
+            + (self.dirty.capacity() + self.aff_links.capacity() + self.aff_streams.capacity())
+                * size_of::<u32>()
+            + self.dirty_flag.capacity()
+            + self.link_in.capacity()
+            + self.stream_in.capacity()
+            + self.frozen.capacity()
+            + self.link_slot.capacity() * size_of::<u32>()
+            + (self.remaining.capacity() + self.active_w.capacity()) * size_of::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +786,98 @@ mod tests {
         let b: f64 = r[10..].iter().sum();
         assert!((a - 100.0).abs() < 1e-6, "agent A got {a}");
         assert!((b - 200.0).abs() < 1e-6, "agent B got {b}");
+    }
+
+    #[test]
+    fn incremental_matches_bitmask_on_shared_link() {
+        let mut inc = IncrementalMaxMin::with_links(&[100.0]);
+        let a = inc.add_stream(f64::INFINITY, 1.0, &[0]);
+        let b = inc.add_stream(f64::INFINITY, 3.0, &[0]);
+        inc.solve();
+        assert!((inc.rate(a) - 25.0).abs() < 1e-9);
+        assert!((inc.rate(b) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_departure_releases_share_to_component_only() {
+        // Two disjoint links; removing a stream on link 0 must not
+        // re-solve (or perturb) link 1's stream.
+        let mut inc = IncrementalMaxMin::with_links(&[100.0, 60.0]);
+        let a = inc.add_stream(f64::INFINITY, 1.0, &[0]);
+        let b = inc.add_stream(f64::INFINITY, 1.0, &[0]);
+        let c = inc.add_stream(f64::INFINITY, 1.0, &[1]);
+        inc.solve();
+        assert!((inc.rate(a) - 50.0).abs() < 1e-9);
+        inc.remove_stream(b);
+        let affected = inc.solve().to_vec();
+        assert_eq!(affected, vec![a], "only link 0's survivor re-solved");
+        assert!((inc.rate(a) - 100.0).abs() < 1e-9);
+        assert!((inc.rate(c) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_ids_are_reused_from_free_list() {
+        let mut inc = IncrementalMaxMin::with_links(&[100.0]);
+        let a = inc.add_stream(10.0, 1.0, &[0]);
+        inc.remove_stream(a);
+        let b = inc.add_stream(20.0, 1.0, &[0]);
+        assert_eq!(a, b, "departed id not reused");
+        inc.solve();
+        assert!((inc.rate(b) - 20.0).abs() < 1e-9);
+        assert_eq!(inc.live_streams(), 1);
+    }
+
+    #[test]
+    fn incremental_capacity_change_marks_dirty_and_resolves() {
+        let mut inc = IncrementalMaxMin::with_links(&[100.0]);
+        let a = inc.add_stream(f64::INFINITY, 1.0, &[0]);
+        inc.solve();
+        assert!(inc.dirty_links().is_empty());
+        inc.set_capacity(0, 40.0);
+        assert_eq!(inc.dirty_links(), &[0]);
+        inc.solve();
+        assert!((inc.rate(a) - 40.0).abs() < 1e-9);
+        // Setting the same capacity again is not a mutation.
+        inc.set_capacity(0, 40.0);
+        assert!(inc.dirty_links().is_empty());
+    }
+
+    #[test]
+    fn incremental_empty_route_and_empty_link_edge_cases() {
+        let mut inc = IncrementalMaxMin::with_links(&[100.0]);
+        let free = inc.add_stream(33.0, 1.0, &[]);
+        assert!((inc.rate(free) - 33.0).abs() < 1e-9);
+        // A dirty link with no members solves trivially.
+        inc.set_capacity(0, 50.0);
+        assert!(inc.solve().is_empty());
+        assert_eq!(inc.solves, 1);
+    }
+
+    #[test]
+    fn incremental_matches_dense_after_churn() {
+        // Interleave arrivals/departures over 3 links, then check the
+        // incremental fixed point equals a from-scratch dense solve.
+        let mut inc = IncrementalMaxMin::with_links(&[90.0, 120.0, 60.0]);
+        let routes: [&[u32]; 4] = [&[0], &[1], &[2], &[0, 1, 2]];
+        let mut ids = Vec::new();
+        for i in 0..12u32 {
+            let id = inc.add_stream(
+                10.0 + f64::from(i % 5) * 7.0,
+                1.0 + f64::from(i % 3),
+                routes[i as usize % 4],
+            );
+            ids.push(id);
+            inc.solve();
+        }
+        for &id in ids.iter().step_by(3) {
+            inc.remove_stream(id);
+            inc.solve();
+        }
+        let incremental: Vec<f64> = ids.iter().map(|&id| inc.rate(id)).collect();
+        inc.solve_all();
+        let dense: Vec<f64> = ids.iter().map(|&id| inc.rate(id)).collect();
+        for (i, (a, b)) in incremental.iter().zip(&dense).enumerate() {
+            assert!((a - b).abs() < 1e-9, "stream {i}: {a} vs {b}");
+        }
     }
 }

@@ -307,23 +307,31 @@ impl Environment {
     }
 
     /// A fleet backbone: `link_mbps.len()` independent bottleneck links
-    /// (up to 16), each with its own capacity and loss model. Transfers are
-    /// routed over subsets of the links via
-    /// [`crate::Simulation::add_agent_on_path`]; end hosts are not modeled
-    /// (no per-process disk caps), so the links are the only contended
-    /// resources and a transfer is constrained by the minimum-capacity
-    /// link on its route. `bottleneck_link` points at the tightest link.
-    /// Not one of the paper's testbeds — the substrate for `falcon-fleet`
-    /// campaigns.
+    /// (up to 64, the width of the routing bitmask), each with its own
+    /// capacity and loss model. Transfers are routed over subsets of the
+    /// links via [`crate::Simulation::add_agent_on_path`]; end hosts are
+    /// not modeled (no per-process disk caps), so the links are the only
+    /// contended resources and a transfer is constrained by the
+    /// minimum-capacity link on its route. `bottleneck_link` points at the
+    /// tightest link. Not one of the paper's testbeds — the substrate for
+    /// `falcon-fleet` campaigns. Topologies beyond 64 links run on the
+    /// indexed route sets of `falcon_fleet`'s scale engine instead of an
+    /// `Environment`.
     pub fn fleet(link_mbps: &[f64]) -> Self {
-        const LINK_NAMES: [&str; 16] = [
+        const LINK_NAMES: [&str; 64] = [
             "link0", "link1", "link2", "link3", "link4", "link5", "link6", "link7", "link8",
-            "link9", "link10", "link11", "link12", "link13", "link14", "link15",
+            "link9", "link10", "link11", "link12", "link13", "link14", "link15", "link16",
+            "link17", "link18", "link19", "link20", "link21", "link22", "link23", "link24",
+            "link25", "link26", "link27", "link28", "link29", "link30", "link31", "link32",
+            "link33", "link34", "link35", "link36", "link37", "link38", "link39", "link40",
+            "link41", "link42", "link43", "link44", "link45", "link46", "link47", "link48",
+            "link49", "link50", "link51", "link52", "link53", "link54", "link55", "link56",
+            "link57", "link58", "link59", "link60", "link61", "link62", "link63",
         ];
         // falcon-lint::allow(panic-safety, reason = "construction-time validation of a programmer-supplied topology")
         assert!(
             !link_mbps.is_empty() && link_mbps.len() <= LINK_NAMES.len(),
-            "fleet topologies support 1..=16 links, got {}",
+            "fleet environments support 1..=64 links (the routing-mask width), got {}",
             link_mbps.len()
         );
         let resources: Vec<Resource> = link_mbps
@@ -479,7 +487,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=16 links")]
+    #[should_panic(expected = "1..=64 links")]
     fn fleet_rejects_empty_topology() {
         let _ = Environment::fleet(&[]);
     }

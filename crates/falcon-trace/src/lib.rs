@@ -210,6 +210,18 @@ pub struct TraceLog {
     pub histograms: Vec<(String, Histogram)>,
 }
 
+impl TraceLog {
+    /// Look up a counter by name (linear scan — the counter set is
+    /// small and insertion-ordered).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
 /// Shared collection state behind an enabled [`Tracer`].
 #[derive(Debug, Default)]
 struct Sink {

@@ -1,0 +1,325 @@
+//! The fleet-scale test wall.
+//!
+//! Three gates for the scale engine:
+//!
+//! 1. **Property**: the incremental max-min allocator agrees with a
+//!    from-scratch solve (and, for ≤64 links, with the mask-based
+//!    `weighted_max_min_allocate`) to 1e-9 relative tolerance, across
+//!    random topologies, memberships, and dirty-set sequences —
+//!    including empty links and single-member components.
+//! 2. **Differential**: a sharded 10⁵-transfer fat-tree campaign
+//!    produces byte-identical summaries at 1, 4, and 8 threads.
+//! 3. **Conformance**: the topology generators produce valid fabrics
+//!    (fat-tree path validity and 1:1 subscription, dumbbell RTT
+//!    classes, DTN hub degree).
+
+use proptest::prelude::*;
+
+use falcon_repro::fleet::{run_scale_campaign, ScaleCampaignSpec, ScaleTopology};
+use falcon_repro::sim::alloc::{
+    weighted_max_min_allocate, IncrementalMaxMin, WeightedStreamDemand,
+};
+
+// ---------------------------------------------------------------------------
+// 1. Property: incremental ≡ from-scratch.
+// ---------------------------------------------------------------------------
+
+/// One mutation of the allocator state.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add a stream: (rate cap, weight, route selector bits).
+    Add { cap: f64, weight: f64, route: u64 },
+    /// Remove the i-th oldest live stream (modulo live count).
+    Remove { pick: usize },
+    /// Rescale one link's capacity.
+    SetCap { link: usize, cap: f64 },
+    /// Change one live stream's cap/weight.
+    Update { pick: usize, cap: f64, weight: f64 },
+}
+
+/// Raw tuple the vendored proptest can draw: `(kind, a, b, bits)`.
+type RawOp = (u32, f64, f64, u64);
+
+/// Map a raw draw onto an op. Kinds 0..4 add (so the state trends
+/// toward populated), 4..6 remove, 6 rescales a link, 7 updates.
+fn decode_op((kind, a, b, bits): RawOp) -> Op {
+    match kind {
+        0..=3 => Op::Add {
+            cap: 50.0 + 4950.0 * a,
+            weight: 0.1 + 7.9 * b,
+            route: bits,
+        },
+        4 | 5 => Op::Remove {
+            pick: bits as usize,
+        },
+        6 => Op::SetCap {
+            link: bits as usize,
+            cap: 10.0 + 2990.0 * a,
+        },
+        _ => Op::Update {
+            pick: bits as usize,
+            cap: 50.0 + 4950.0 * a,
+            weight: 0.1 + 7.9 * b,
+        },
+    }
+}
+
+fn raw_ops(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec((0u32..8, 0.0f64..1.0, 0.0f64..1.0, 0u64..u64::MAX), n)
+}
+
+/// Route from selector bits: each set bit (mod n_links) is a hop; an
+/// all-zero selection yields the empty route edge case.
+fn route_from_bits(bits: u64, n_links: usize) -> Vec<u32> {
+    let mut route: Vec<u32> = (0..n_links.min(64))
+        .filter(|&l| bits & (1u64 << l) != 0)
+        .map(|l| l as u32)
+        .collect();
+    route.truncate(6); // realistic hop counts
+    route
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every solve, each live stream's incremental rate matches
+    /// (a) a fresh allocator re-solving everything from scratch and
+    /// (b) the mask-based dense oracle.
+    #[test]
+    fn incremental_matches_from_scratch_under_churn(
+        caps in proptest::collection::vec(100.0f64..2000.0, 1..12),
+        raw in raw_ops(1..60),
+        solve_every in 1usize..5,
+    ) {
+        let ops: Vec<Op> = raw.into_iter().map(decode_op).collect();
+        let mut inc = IncrementalMaxMin::with_links(&caps);
+        // Shadow state: (id, cap, weight, route) of live streams.
+        let mut live: Vec<(u32, f64, f64, Vec<u32>)> = Vec::new();
+        let mut link_caps = caps.clone();
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Add { cap, weight, route } => {
+                    let route = route_from_bits(*route, link_caps.len());
+                    let id = inc.add_stream(*cap, *weight, &route);
+                    live.push((id, *cap, *weight, route));
+                }
+                Op::Remove { pick } => {
+                    if !live.is_empty() {
+                        let (id, ..) = live.remove(pick % live.len());
+                        inc.remove_stream(id);
+                    }
+                }
+                Op::SetCap { link, cap } => {
+                    let l = link % link_caps.len();
+                    link_caps[l] = *cap;
+                    inc.set_capacity(l as u32, *cap);
+                }
+                Op::Update { pick, cap, weight } => {
+                    if !live.is_empty() {
+                        let i = pick % live.len();
+                        live[i].1 = *cap;
+                        live[i].2 = *weight;
+                        inc.update_stream(live[i].0, *cap, *weight);
+                    }
+                }
+            }
+            // Solve on a drawn cadence so dirty sets batch up in
+            // different patterns (every op, every 2nd, ...).
+            if (step + 1) % solve_every != 0 && step + 1 != ops.len() {
+                continue;
+            }
+            inc.solve();
+
+            // Oracle (a): a fresh incremental allocator, from scratch.
+            let mut fresh = IncrementalMaxMin::with_links(&link_caps);
+            let mut fresh_ids = Vec::with_capacity(live.len());
+            for (_, cap, weight, route) in &live {
+                fresh_ids.push(fresh.add_stream(*cap, *weight, route));
+            }
+            fresh.solve_all();
+            // Oracle (b): the mask-based dense allocator.
+            let demands: Vec<WeightedStreamDemand> = live
+                .iter()
+                .map(|(_, cap, weight, route)| WeightedStreamDemand {
+                    cap_mbps: *cap,
+                    resource_mask: route.iter().fold(0u64, |m, &l| m | (1u64 << l)),
+                    weight: *weight,
+                })
+                .collect();
+            let dense = weighted_max_min_allocate(&demands, &link_caps);
+
+            for (k, (id, ..)) in live.iter().enumerate() {
+                let got = inc.rate(*id);
+                let scratch = fresh.rate(fresh_ids[k]);
+                prop_assert!(
+                    rel_close(got, scratch),
+                    "step {step}: stream {k} incremental {got} vs from-scratch {scratch}"
+                );
+                prop_assert!(
+                    rel_close(got, dense[k]),
+                    "step {step}: stream {k} incremental {got} vs dense {}", dense[k]
+                );
+            }
+        }
+    }
+
+    /// Per-link conservation: summed allocations never exceed capacity.
+    #[test]
+    fn incremental_never_oversubscribes_a_link(
+        caps in proptest::collection::vec(100.0f64..2000.0, 1..10),
+        streams in proptest::collection::vec(
+            (50.0f64..5000.0, 0.1f64..8.0, 0u64..u64::MAX), 1..40),
+    ) {
+        let mut inc = IncrementalMaxMin::with_links(&caps);
+        let mut routes = Vec::new();
+        for (cap, weight, bits) in &streams {
+            let route = route_from_bits(*bits, caps.len());
+            let id = inc.add_stream(*cap, *weight, &route);
+            routes.push((id, route));
+        }
+        inc.solve();
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = routes
+                .iter()
+                .filter(|(_, r)| r.contains(&(l as u32)))
+                .map(|&(id, _)| inc.rate(id))
+                .sum();
+            prop_assert!(
+                used <= cap * (1.0 + 1e-9) + 1e-6,
+                "link {l}: {used} > {cap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_edge_cases_empty_link_and_single_member() {
+    // A link no stream crosses stays solvable and harmless.
+    let mut inc = IncrementalMaxMin::with_links(&[100.0, 200.0]);
+    let a = inc.add_stream(1000.0, 1.0, &[0]);
+    assert!(inc.solve_all().contains(&a));
+    assert!((inc.rate(a) - 100.0).abs() < 1e-9);
+    // Dirtying the empty link re-solves nothing.
+    inc.set_capacity(1, 500.0);
+    assert!(inc.solve().is_empty());
+    // Single-member link: the lone stream takes min(link, cap).
+    let b = inc.add_stream(150.0, 2.5, &[1]);
+    inc.solve();
+    assert!((inc.rate(b) - 150.0).abs() < 1e-9);
+    // Empty route: capped streams run at their cap off-fabric.
+    let c = inc.add_stream(42.0, 1.0, &[]);
+    inc.solve();
+    assert!((inc.rate(c) - 42.0).abs() < 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Differential: thread count never changes the bytes.
+// ---------------------------------------------------------------------------
+
+/// The acceptance gate: a 10⁵-transfer pod-local fat-tree campaign,
+/// sharded one-per-pod, merges to byte-identical summaries at 1, 4, and
+/// 8 threads.
+#[test]
+fn hundred_thousand_transfer_fat_tree_is_thread_invariant() {
+    let spec = ScaleCampaignSpec::fat_tree_local(8, 100_000, 0xfa1c0);
+    let one = run_scale_campaign(&spec, 1);
+    assert_eq!(one.transfers, 100_000, "workload must admit all arrivals");
+    assert!(
+        one.completions + one.stranded == 100_000,
+        "every transfer ends either completed or stranded"
+    );
+    assert!(one.completions > 90_000, "the fabric should drain the load");
+    let summary = one.summary();
+    for threads in [4usize, 8] {
+        let other = run_scale_campaign(&spec, threads);
+        assert_eq!(
+            summary,
+            other.summary(),
+            "summary bytes diverged at {threads} threads"
+        );
+        assert_eq!(one, other, "full report diverged at {threads} threads");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Topology-generator conformance.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fat_tree_routes_are_valid_paths() {
+    for k in [4usize, 8] {
+        let t = ScaleTopology::fat_tree(k, 10.0);
+        let half = k / 2;
+        // Every ordered pair of distinct edge switches gets one route.
+        let edges = k * half;
+        assert_eq!(t.routes.len(), edges * (edges - 1), "k={k} route count");
+        for r in &t.routes {
+            // Path validity: hop indices exist, no repeats, and hop count
+            // matches the intra/inter-pod shape.
+            assert!(r.links.iter().all(|&l| (l as usize) < t.links.len()));
+            let mut dedup = r.links.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), r.links.len(), "repeated hop in {}", r.name);
+            if r.name.starts_with("pod") {
+                assert_eq!(r.links.len(), 2, "intra-pod {} must be 2 hops", r.name);
+            } else {
+                assert_eq!(r.links.len(), 4, "inter-pod {} must be 4 hops", r.name);
+                // Hops 2 and 3 are the core stage.
+                let core_base = (k * half * half) as u32;
+                assert!(r.links[1] >= core_base && r.links[2] >= core_base);
+            }
+        }
+        // 1:1 design: no pod is over-subscribed.
+        for p in 0..k {
+            let ratio = t.pod_oversubscription(p);
+            assert!(
+                (ratio - 1.0).abs() < 1e-9,
+                "k={k} pod {p} subscription {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dumbbell_rtt_classes_are_disjoint_and_honored() {
+    let rtts = [5.0f64, 40.0, 120.0];
+    let t = ScaleTopology::dumbbell_wan(6, &rtts, 10.0, 40.0);
+    assert_eq!(t.routes.len(), 6 * rtts.len());
+    // Every route's RTT matches its class, and classes share no links.
+    let comps = t.route_components();
+    for (ri, r) in t.routes.iter().enumerate() {
+        let class = r
+            .name
+            .strip_prefix("cl")
+            .and_then(|s| s.split('-').next())
+            .and_then(|s| s.parse::<usize>().ok())
+            .expect("route name encodes its class");
+        assert!((r.rtt_s - rtts[class] / 1000.0).abs() < 1e-12, "{}", r.name);
+        assert_eq!(
+            comps[ri], class as u32,
+            "classes must be link-disjoint components"
+        );
+    }
+}
+
+#[test]
+fn dtn_mesh_hub_degree_counts_spokes_and_trunks() {
+    let (hubs, spokes) = (5usize, 7usize);
+    let t = ScaleTopology::dtn_mesh(hubs, spokes, 1.0, 100.0);
+    for h in 0..hubs {
+        assert_eq!(
+            t.hub_degree(h),
+            spokes + hubs - 1,
+            "hub {h} degree must be its spokes plus one trunk per peer hub"
+        );
+    }
+    // Each spoke reaches every remote hub over exactly 2 links.
+    assert_eq!(t.routes.len(), hubs * spokes * (hubs - 1));
+    assert!(t.routes.iter().all(|r| r.links.len() == 2));
+}

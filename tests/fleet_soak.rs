@@ -1,0 +1,87 @@
+//! Golden-summary gate for the shipped fleet soak scenario.
+//!
+//! `scenarios/fleet_soak.ini` exercises the scale engine end to end —
+//! diurnal arrivals, correlated trunk failure waves, tenant churn, and
+//! sharded incremental allocation — and its rendered summary is part of
+//! the repo's contract. Any change that moves a byte of it (allocator
+//! ordering, arrival thinning, failure scheduling, report formatting)
+//! must be deliberate.
+//!
+//! To re-bless after an intentional behavior change:
+//!
+//! ```text
+//! FALCON_BLESS=1 cargo test --test fleet_soak
+//! git diff tests/golden/fleet_soak.summary.txt   # review, then commit
+//! ```
+
+use std::path::PathBuf;
+
+use falcon_cli::scenario;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn soak_summary() -> String {
+    let path = repo_path("scenarios/fleet_soak.ini");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let sc = scenario::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e:?}", path.display()));
+    scenario::run(&sc).unwrap_or_else(|e| panic!("running fleet_soak: {e:?}"))
+}
+
+#[test]
+fn fleet_soak_summary_matches_golden() {
+    let got = soak_summary();
+    let golden = repo_path("tests/golden/fleet_soak.summary.txt");
+    if std::env::var_os("FALCON_BLESS").is_some() {
+        std::fs::write(&golden, &got)
+            .unwrap_or_else(|e| panic!("blessing {}: {e}", golden.display()));
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}\n(run FALCON_BLESS=1 cargo test --test fleet_soak to generate)",
+            golden.display()
+        )
+    });
+    assert!(
+        got == want,
+        "fleet_soak summary diverged from tests/golden/fleet_soak.summary.txt\n\
+         first differing line {:?} vs {:?}\n\
+         If the change is intentional, re-bless with FALCON_BLESS=1.",
+        got.lines()
+            .zip(want.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, _)| a),
+        got.lines()
+            .zip(want.lines())
+            .find(|(a, b)| a != b)
+            .map(|(_, b)| b),
+    );
+}
+
+/// The soak must actually soak: diurnal swing plus failure waves may
+/// strand work, but the bulk of the campaign completes and the report's
+/// internal accounting stays consistent.
+#[test]
+fn fleet_soak_accounting_is_consistent() {
+    let out = soak_summary();
+    let grab = |key: &str| -> f64 {
+        let toks: Vec<&str> = out.split_whitespace().collect();
+        toks.windows(2)
+            .find(|w| w[0] == key)
+            .unwrap_or_else(|| panic!("{key:?} missing from:\n{out}"))[1]
+            .parse()
+            .unwrap_or_else(|e| panic!("{key:?} value unparseable: {e}"))
+    };
+    let transfers = grab("transfers");
+    let completed = grab("completed");
+    let stranded = grab("stranded");
+    assert_eq!(transfers, 6000.0);
+    assert_eq!(completed + stranded, transfers);
+    assert!(
+        completed >= 0.9 * transfers,
+        "soak lost too much work:\n{out}"
+    );
+}
