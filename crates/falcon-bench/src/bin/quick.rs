@@ -440,17 +440,17 @@ fn bench_trace(q: &mut QuickBench) {
     });
 }
 
-fn bench_optimizers(q: &mut QuickBench) {
+fn bench_optimizers(q: &mut QuickBench) -> (f64, f64) {
     let mut opt = HillClimbingOptimizer::new(HcParams::new(100));
     let mut cc = opt.initial().concurrency;
-    q.bench("optimizers", "decision_hill_climbing", || {
+    let hc_ns = q.bench("optimizers", "decision_hill_climbing", || {
         let s = opt.next(black_box(&observation(cc)));
         cc = s.concurrency;
         black_box(s)
     });
     let mut opt = GradientDescentOptimizer::new(GdParams::new(100));
     let mut cc = opt.initial().concurrency;
-    q.bench("optimizers", "decision_gradient_descent", || {
+    let gd_ns = q.bench("optimizers", "decision_gradient_descent", || {
         let s = opt.next(black_box(&observation(cc)));
         cc = s.concurrency;
         black_box(s)
@@ -483,6 +483,55 @@ fn bench_optimizers(q: &mut QuickBench) {
         s = next;
         black_box(next)
     });
+    (hc_ns, gd_ns)
+}
+
+fn bench_rl(q: &mut QuickBench, hc_ns: f64, gd_ns: f64) {
+    use falcon_baselines::HarpHistory;
+    use falcon_rl::{BanditOptimizer, BanditParams, QParams, TabularQOptimizer, WarmTable};
+
+    let mut opt = BanditOptimizer::new(BanditParams::new(100, 7));
+    let mut cc = opt.initial().concurrency;
+    let bandit_ns = q.bench("rl", "decision_bandit", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    let mut opt = TabularQOptimizer::new(QParams::new(100, 7));
+    let mut cc = opt.initial().concurrency;
+    let q_ns = q.bench("rl", "decision_tabular_q", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    // Warm start: the one-time table fit from a synthetic HARP corpus,
+    // then the per-probe decision cost of the warm-started bandit.
+    let history = HarpHistory::ten_gig_corpus();
+    let bounds = SearchBounds::concurrency_only(100);
+    q.bench("rl", "warm_table_fit_24_samples", || {
+        black_box(WarmTable::fit(&history, &bounds, 24, 7))
+    });
+    let table = WarmTable::fit(&history, &bounds, 24, 7);
+    let mut opt = BanditOptimizer::warm_started(BanditParams::new(100, 7), &table);
+    let mut cc = opt.initial().concurrency;
+    let warm_ns = q.bench("rl", "decision_warm_bandit", || {
+        let s = opt.next(black_box(&observation(cc)));
+        cc = s.concurrency;
+        black_box(s)
+    });
+    // The acceptance gate: the slowest RL decision must stay within 10x
+    // of the slower classical single-parameter decision.
+    let reference = hc_ns.max(gd_ns);
+    let worst = bandit_ns.max(q_ns).max(warm_ns);
+    q.gauge(
+        "rl",
+        "decision_over_classical_ratio",
+        if reference > 0.0 {
+            worst / reference
+        } else {
+            0.0
+        },
+    );
 }
 
 fn bench_convergence(q: &mut QuickBench) {
@@ -539,7 +588,8 @@ fn main() {
     bench_fleet_scale(&mut q);
     bench_des(&mut q);
     bench_trace(&mut q);
-    bench_optimizers(&mut q);
+    let (hc_ns, gd_ns) = bench_optimizers(&mut q);
+    bench_rl(&mut q, hc_ns, gd_ns);
     bench_convergence(&mut q);
     bench_figures(&mut q);
     bench_lint(&mut q);

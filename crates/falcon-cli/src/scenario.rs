@@ -44,6 +44,10 @@
 //! comma-separated list of backbone capacities in Mbps, and `transfers`,
 //! `arrivals_per_min`, `mean_file_mb`, `anchor_gb`, `tuner` parameterize
 //! the workload. `duration` and `seed` still come from the top level.
+//! Fleet tuners include the learning family (`rl:bandit`, `rl:q`,
+//! `rl:warm`); an optional `[optimizer]` section tunes their knobs
+//! (`epsilon`, `alpha`, `gamma`, `warm_gbps`), applying to `rl:*`
+//! `[agent]` tuners too.
 //! Adding `topology = fat-tree:<k>[:local] | dumbbell:<pairs>x<classes> |
 //! dtn:<hubs>x<spokes>` switches the section to the fleet-*scale* engine
 //! (10⁵+ transfers, sharded incremental max-min); the scale-only keys
@@ -63,8 +67,11 @@
 //! | `revive`        | `agent`                        | bring a killed agent back            |
 
 use falcon_baselines::{GlobusTuner, HarpHistory, HarpTuner};
-use falcon_core::{FalconAgent, SearchBounds, TransferSettings};
-use falcon_fleet::{CampaignOutcome, CampaignSpec, FleetTopology, FleetTuner, Workload};
+use falcon_core::{FalconAgent, SearchBounds, TransferSettings, UtilityFunction};
+use falcon_fleet::{
+    CampaignOutcome, CampaignSpec, FleetTopology, FleetTuner, RlKind, ScaleTuner, Workload,
+};
+use falcon_rl::{BanditOptimizer, BanditParams, QParams, TabularQOptimizer, WarmTable};
 use falcon_sim::{BackgroundFlow, EnvironmentEvent, EventAction, Simulation};
 use falcon_trace::{TraceLog, Tracer};
 use falcon_transfer::dataset::Dataset;
@@ -78,7 +85,8 @@ use crate::run::resolve_env;
 #[derive(Debug, Clone, PartialEq)]
 pub struct AgentSpec {
     /// Tuner name (`falcon-gd`, `falcon-bo`, `falcon-hc`, `falcon-mp`,
-    /// `globus`, `harp`, `harp-rt`, or `fixed:<cc>`).
+    /// `rl:bandit`, `rl:q`, `rl:warm`, `globus`, `harp`, `harp-rt`, or
+    /// `fixed:<cc>`).
     pub tuner: String,
     /// Join time (seconds).
     pub start_s: f64,
@@ -153,6 +161,36 @@ impl Default for FleetSpec {
     }
 }
 
+/// The `[optimizer]` section: knobs for the `rl:*` learning tuners.
+/// Defaults match the `falcon-rl` crate's parameters, so a scenario
+/// without the section behaves exactly like the library constructors;
+/// serialization emits only off-default keys (the canonical form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerSpec {
+    /// Bandit exploration-jump probability (`BanditParams::epsilon`).
+    pub epsilon: f64,
+    /// Bandit recency-blend floor (`BanditParams::alpha_floor`).
+    pub alpha: f64,
+    /// Q-learner discount factor (`QParams::gamma`).
+    pub gamma: f64,
+    /// Warm-start corpus capacity in Gbps
+    /// (`HarpHistory::for_capacity_gbps`).
+    pub warm_gbps: f64,
+}
+
+impl Default for OptimizerSpec {
+    fn default() -> Self {
+        let b = BanditParams::new(2, 0);
+        let q = QParams::new(2, 0);
+        OptimizerSpec {
+            epsilon: b.epsilon,
+            alpha: b.alpha_floor,
+            gamma: q.gamma,
+            warm_gbps: 10.0,
+        }
+    }
+}
+
 /// A parsed scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -173,6 +211,9 @@ pub struct Scenario {
     /// Fleet campaign configuration, when the scenario has a `[fleet]`
     /// section.
     pub fleet: Option<FleetSpec>,
+    /// Learning-tuner knobs, when the scenario has an `[optimizer]`
+    /// section.
+    pub optimizer: Option<OptimizerSpec>,
 }
 
 impl Default for Scenario {
@@ -186,6 +227,7 @@ impl Default for Scenario {
             background: Vec::new(),
             events: Vec::new(),
             fleet: None,
+            optimizer: None,
         }
     }
 }
@@ -197,6 +239,7 @@ enum Section {
     Background,
     Event,
     Fleet,
+    Optimizer,
 }
 
 /// Accumulates the keys of one `[event]` section until it can be built.
@@ -317,6 +360,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     sc.fleet = Some(FleetSpec::default());
                     Section::Fleet
                 }
+                "optimizer" => {
+                    sc.optimizer = Some(OptimizerSpec::default());
+                    Section::Optimizer
+                }
                 other => return Err(err(line_no, format!("unknown section [{other}]"))),
             };
             continue;
@@ -426,6 +473,45 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         f.shards = v;
                     }
                     other => return Err(err(line_no, format!("unknown fleet key {other:?}"))),
+                }
+            }
+            Section::Optimizer => {
+                let Some(o) = sc.optimizer.as_mut() else {
+                    return Err(err(
+                        line_no,
+                        "optimizer key outside an [optimizer] section".into(),
+                    ));
+                };
+                let unit = |v: f64, key: &str| -> Result<f64, ParseError> {
+                    if (0.0..=1.0).contains(&v) {
+                        Ok(v)
+                    } else {
+                        Err(err(line_no, format!("{key}: must be in [0, 1], got {v}")))
+                    }
+                };
+                match key {
+                    "epsilon" => o.epsilon = unit(num(value)?, key)?,
+                    "alpha" => o.alpha = unit(num(value)?, key)?,
+                    "gamma" => {
+                        let v = num(value)?;
+                        if !(0.0..1.0).contains(&v) {
+                            return Err(err(
+                                line_no,
+                                format!(
+                                    "gamma: must be in [0, 1) for the contraction bound, got {v}"
+                                ),
+                            ));
+                        }
+                        o.gamma = v;
+                    }
+                    "warm_gbps" => {
+                        let v = num(value)?;
+                        if v <= 0.0 || v.is_nan() {
+                            return Err(err(line_no, format!("warm_gbps: must be > 0, got {v}")));
+                        }
+                        o.warm_gbps = v;
+                    }
+                    other => return Err(err(line_no, format!("unknown optimizer key {other:?}"))),
                 }
             }
         }
@@ -538,6 +624,22 @@ pub fn serialize(sc: &Scenario) -> String {
             let _ = writeln!(w, "shards = {}", f.shards);
         }
     }
+    if let Some(o) = &sc.optimizer {
+        let _ = writeln!(w, "\n[optimizer]");
+        let d = OptimizerSpec::default();
+        if o.epsilon != d.epsilon {
+            let _ = writeln!(w, "epsilon = {}", o.epsilon);
+        }
+        if o.alpha != d.alpha {
+            let _ = writeln!(w, "alpha = {}", o.alpha);
+        }
+        if o.gamma != d.gamma {
+            let _ = writeln!(w, "gamma = {}", o.gamma);
+        }
+        if o.warm_gbps != d.warm_gbps {
+            let _ = writeln!(w, "warm_gbps = {}", o.warm_gbps);
+        }
+    }
     out
 }
 
@@ -558,7 +660,42 @@ fn make_dataset(spec: &str) -> Result<Dataset, ParseError> {
     }
 }
 
-fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, ParseError> {
+/// Build an `rl:*` agent with the `[optimizer]` section's knobs applied
+/// over the `falcon-rl` defaults.
+fn make_rl_agent(kind: RlKind, opt: &OptimizerSpec, max_cc: u32, seed: u64) -> FalconAgent {
+    let mut params = BanditParams::new(max_cc, seed);
+    params.epsilon = opt.epsilon;
+    params.alpha_floor = opt.alpha;
+    match kind {
+        RlKind::Bandit => FalconAgent::new(
+            UtilityFunction::falcon_default(),
+            Box::new(BanditOptimizer::new(params)),
+        ),
+        RlKind::Q => {
+            let mut q = QParams::new(max_cc, seed);
+            q.gamma = opt.gamma;
+            FalconAgent::new(
+                UtilityFunction::falcon_default(),
+                Box::new(TabularQOptimizer::new(q)),
+            )
+        }
+        RlKind::Warm => {
+            let history = HarpHistory::for_capacity_gbps(opt.warm_gbps);
+            let table = WarmTable::fit(&history, &params.bounds, 24, seed);
+            FalconAgent::new(
+                UtilityFunction::falcon_default(),
+                Box::new(BanditOptimizer::warm_started(params, &table)),
+            )
+        }
+    }
+}
+
+fn make_tuner(
+    spec: &str,
+    opt: &OptimizerSpec,
+    max_cc: u32,
+    seed: u64,
+) -> Result<Box<dyn Tuner>, ParseError> {
     if let Some(cc) = spec.strip_prefix("fixed:") {
         let cc: u32 = cc
             .parse()
@@ -581,6 +718,9 @@ fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, Pars
         "falcon-mp" => Box::new(FalconAgent::multi_parameter(SearchBounds::multi_parameter(
             max_cc, 8, 32,
         ))),
+        "rl:bandit" => Box::new(make_rl_agent(RlKind::Bandit, opt, max_cc, seed)),
+        "rl:q" => Box::new(make_rl_agent(RlKind::Q, opt, max_cc, seed)),
+        "rl:warm" => Box::new(make_rl_agent(RlKind::Warm, opt, max_cc, seed)),
         "globus" => Box::new(GlobusTuner::for_dataset(&Dataset::uniform_1gb(1000))),
         "harp" => Box::new(HarpTuner::new(HarpHistory::ten_gig_corpus())),
         "harp-rt" => {
@@ -588,7 +728,7 @@ fn make_tuner(spec: &str, max_cc: u32, seed: u64) -> Result<Box<dyn Tuner>, Pars
         }
         other => {
             return Err(ParseError(format!(
-                "unknown tuner {other:?} (expected falcon-gd|falcon-bo|falcon-hc|falcon-mp|globus|harp|harp:<gbps>|harp-rt|fixed:<cc>)"
+                "unknown tuner {other:?} (expected falcon-gd|falcon-bo|falcon-hc|falcon-mp|rl:bandit|rl:q|rl:warm|globus|harp|harp:<gbps>|harp-rt|fixed:<cc>)"
             )))
         }
     })
@@ -617,7 +757,7 @@ pub fn run_traced(
 fn fleet_campaign_spec(sc: &Scenario, f: &FleetSpec) -> Result<CampaignSpec, ParseError> {
     let tuner = FleetTuner::from_name(&f.tuner).ok_or_else(|| {
         ParseError(format!(
-            "unknown fleet tuner {:?} (expected falcon-gd|falcon-hc|falcon-bo|fixed:<cc>)",
+            "unknown fleet tuner {:?} (expected falcon-gd|falcon-hc|falcon-bo|rl:bandit|rl:q|rl:warm|fixed:<cc>)",
             f.tuner
         ))
     })?;
@@ -646,9 +786,12 @@ pub fn run_fleet(sc: &Scenario, tracer: Tracer) -> Result<CampaignOutcome, Parse
 }
 
 /// Build the scale-engine campaign a `topology =` fleet scenario
-/// describes. The transfer concurrency comes from `tuner = fixed:<cc>`
-/// when given (the scale engine models tuners as a fixed connection
-/// count); any other tuner name keeps the default.
+/// describes. `tuner = fixed:<cc>` pins the per-transfer connection
+/// count; `tuner = rl:bandit|rl:q|rl:warm` gives every transfer its own
+/// learning tuner (probing every
+/// [`falcon_fleet::PROBE_INTERVAL_S`] seconds, with the workload's
+/// default concurrency as the search ceiling); any other tuner name
+/// keeps the fixed default.
 fn fleet_scale_spec(
     sc: &Scenario,
     f: &FleetSpec,
@@ -671,6 +814,8 @@ fn fleet_scale_spec(
         workload.concurrency = cc
             .parse()
             .map_err(|_| ParseError(format!("bad fixed tuner {:?}", f.tuner)))?;
+    } else if let Some(FleetTuner::Rl(kind)) = FleetTuner::from_name(&f.tuner) {
+        workload.tuner = ScaleTuner::Rl(kind);
     }
     let failures = falcon_fleet::correlated_failure_waves(&topology, f.failures, sc.duration_s);
     Ok(falcon_fleet::ScaleCampaignSpec {
@@ -749,8 +894,9 @@ fn run_with_tracer(
         .try_add_events(sc.events.iter().copied())
         .map_err(|e| ParseError(format!("[event] rejected: {e}")))?;
     let mut plans = Vec::new();
+    let opt = sc.optimizer.clone().unwrap_or_default();
     for (i, a) in sc.agents.iter().enumerate() {
-        let tuner = make_tuner(&a.tuner, max_cc, sc.seed.wrapping_add(i as u64))?;
+        let tuner = make_tuner(&a.tuner, &opt, max_cc, sc.seed.wrapping_add(i as u64))?;
         let dataset = make_dataset(&a.dataset)?;
         let mut plan = AgentPlan::joining_at(tuner, dataset, a.start_s);
         if let Some(leave) = a.leave_s {
@@ -1003,20 +1149,69 @@ agent = 0
 
     #[test]
     fn every_tuner_name_constructs() {
+        let opt = OptimizerSpec::default();
         for t in [
             "falcon-gd",
             "falcon-bo",
             "falcon-hc",
             "falcon-mp",
+            "rl:bandit",
+            "rl:q",
+            "rl:warm",
             "globus",
             "harp",
             "harp:20",
             "harp-rt",
             "fixed:8",
         ] {
-            assert!(make_tuner(t, 32, 1).is_ok(), "{t}");
+            assert!(make_tuner(t, &opt, 32, 1).is_ok(), "{t}");
         }
-        assert!(make_tuner("skynet", 32, 1).is_err());
+        assert!(make_tuner("skynet", &opt, 32, 1).is_err());
+        assert!(make_tuner("rl:sarsa", &opt, 32, 1).is_err());
+    }
+
+    #[test]
+    fn parses_optimizer_section_and_round_trips() {
+        let sc = parse(
+            "[agent]\ntuner = rl:bandit\n\n[optimizer]\nepsilon = 0.1\n\
+             gamma = 0.8\nwarm_gbps = 40\n",
+        )
+        .unwrap();
+        let o = sc.optimizer.clone().expect("optimizer section");
+        assert_eq!(o.epsilon, 0.1);
+        assert_eq!(o.gamma, 0.8);
+        assert_eq!(o.warm_gbps, 40.0);
+        // alpha keeps the falcon-rl default.
+        assert_eq!(o.alpha, BanditParams::new(2, 0).alpha_floor);
+        // Canonical serialize: off-default keys only, and the round trip
+        // is exact — including an all-defaults section.
+        let text = serialize(&sc);
+        assert!(text.contains("[optimizer]"), "{text}");
+        assert!(!text.contains("alpha ="), "{text}");
+        assert_eq!(parse(&text).unwrap(), sc);
+        let mut plain = sc.clone();
+        plain.optimizer = Some(OptimizerSpec::default());
+        assert_eq!(parse(&serialize(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn rejects_bad_optimizer_keys() {
+        assert!(parse("[agent]\ntuner = rl:q\n[optimizer]\nepsilon = 1.5\n").is_err());
+        assert!(parse("[agent]\ntuner = rl:q\n[optimizer]\ngamma = 1.0\n").is_err());
+        assert!(parse("[agent]\ntuner = rl:q\n[optimizer]\nwarm_gbps = 0\n").is_err());
+        assert!(parse("[agent]\ntuner = rl:q\n[optimizer]\nwarp = 9\n").is_err());
+    }
+
+    #[test]
+    fn rl_agents_run_with_optimizer_overrides() {
+        let sc = parse(
+            "env = emulab10\nduration = 120\nseed = 4\n\n[agent]\ntuner = rl:bandit\n\
+             \n[agent]\ntuner = rl:warm\n\n[optimizer]\nepsilon = 0.02\nwarm_gbps = 1\n",
+        )
+        .unwrap();
+        let out = run(&sc).unwrap();
+        assert!(out.contains("rl:bandit"), "{out}");
+        assert!(out.contains("rl:warm"), "{out}");
     }
 
     #[test]
@@ -1195,6 +1390,21 @@ agent = 0
         // The per-agent trace API refuses scale scenarios instead of
         // returning an empty runner trace.
         assert!(run_traced(&sc).is_err());
+    }
+
+    #[test]
+    fn scale_fleet_scenario_runs_rl_tuners() {
+        let sc = parse(
+            "duration = 120\nseed = 5\n\n[fleet]\ntopology = dumbbell:2x2\n\
+             transfers = 80\narrivals_per_min = 240\nmean_file_mb = 300\ntuner = rl:bandit\n",
+        )
+        .unwrap();
+        let tracer = Tracer::recording();
+        let report = run_fleet_scale(&sc, &tracer).unwrap();
+        assert_eq!(report.completions + report.stranded, report.transfers);
+        assert!(report.probes > 0, "rl scale run must take probe decisions");
+        let log = tracer.take_log();
+        assert_eq!(log.counter("fleet.scale.probes"), Some(report.probes));
     }
 
     #[test]

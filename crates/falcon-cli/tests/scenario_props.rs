@@ -1,17 +1,20 @@
 //! Property tests for the scenario INI parser: arbitrary input never
 //! panics, and `parse(serialize(sc))` reproduces `sc` exactly.
 
-use falcon_cli::scenario::{parse, serialize, AgentSpec, FleetSpec, Scenario};
+use falcon_cli::scenario::{parse, serialize, AgentSpec, FleetSpec, OptimizerSpec, Scenario};
 use falcon_sim::{BackgroundFlow, EnvironmentEvent, EventAction};
 use proptest::prelude::*;
 
 /// Line fragments the soup generator splices together: valid headers and
 /// keys, truncated syntax, unicode, and plain garbage.
-const FRAGMENTS: [&str; 24] = [
+const FRAGMENTS: [&str; 27] = [
     "[agent]",
     "[background]",
     "[event]",
     "[fleet]",
+    "[optimizer]",
+    "epsilon = 0.04",
+    "gamma = 1.0",
     "[bogus]",
     "[",
     "]",
@@ -62,7 +65,7 @@ proptest! {
     fn serialize_round_trips(
         (duration_s, seed, env_pick, trace_pick) in (1.0f64..2000.0, 0u64..1_000_000, 0usize..3, 0usize..2),
         agents in proptest::collection::vec(
-            (0usize..4, 0.0f64..500.0, 0.0f64..2.0, 0usize..4),
+            (0usize..5, 0.0f64..500.0, 0.0f64..2.0, 0usize..4),
             0..4,
         ),
         backgrounds in proptest::collection::vec(
@@ -74,8 +77,9 @@ proptest! {
             0..4,
         ),
         fleet in (0usize..2, proptest::collection::vec(1.0f64..5000.0, 1..5), 0usize..400, 0.0f64..80.0),
+        opt_pick in 0usize..3,
     ) {
-        const TUNERS: [&str; 4] = ["falcon-gd", "falcon-bo", "harp", "fixed:4"];
+        const TUNERS: [&str; 5] = ["falcon-gd", "falcon-bo", "harp", "fixed:4", "rl:bandit"];
         const DATASETS: [&str; 4] = ["1gb:100", "small", "large", "mixed"];
         const ENVS: [&str; 3] = ["xsede", "emulab10", "hpclab"];
 
@@ -140,6 +144,17 @@ proptest! {
                 tenants: 1 + (transfers as u32 % 2),
                 shards: 8,
             }),
+            // Cover all three forms: absent, all-defaults, off-default.
+            optimizer: match opt_pick {
+                0 => None,
+                1 => Some(OptimizerSpec::default()),
+                _ => Some(OptimizerSpec {
+                    epsilon: 0.1,
+                    alpha: 0.5,
+                    gamma: 0.9,
+                    warm_gbps: 40.0,
+                }),
+            },
         };
 
         let text = serialize(&sc);

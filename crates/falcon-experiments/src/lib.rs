@@ -19,6 +19,7 @@ pub mod figs6_8;
 pub mod figs9_13;
 pub mod fleet;
 pub mod observability;
+pub mod rl;
 pub mod table;
 
 pub use table::Table;
@@ -73,6 +74,7 @@ pub fn registry() -> Vec<Experiment> {
         ("rtt_unfairness", extensions::rtt_unfairness),
         ("observability", observability::observability),
         ("fleet", fleet::fleet),
+        ("rl", rl::rl_head_to_head),
     ]
 }
 

@@ -40,12 +40,12 @@ mod topology;
 mod workload;
 
 pub use campaign::{
-    run_campaign, run_campaign_with_tracer, CampaignOutcome, CampaignSpec, FleetTuner,
+    run_campaign, run_campaign_with_tracer, CampaignOutcome, CampaignSpec, FleetTuner, RlKind,
 };
 pub use report::{FleetReport, LinkReport};
 pub use scale::{
     correlated_failure_waves, run_scale_campaign, run_scale_campaign_traced, LinkFailure,
-    ScaleCampaignSpec, ScaleReport, ScaleWorkload,
+    ScaleCampaignSpec, ScaleReport, ScaleTuner, ScaleWorkload, PROBE_INTERVAL_S,
 };
 pub use topology::{FleetTopology, PathSpec, RouteSpec, ScaleLink, ScaleTopology};
 pub use workload::{generate, TransferSpec, Workload};

@@ -20,13 +20,47 @@
 //! `tests/fleet_scale.rs` checks at 1 vs 4 vs 8 threads on a
 //! 10⁵-transfer fat-tree campaign.
 
+use falcon_baselines::HarpHistory;
+use falcon_core::{FalconAgent, ProbeMetrics, TransferSettings};
 use falcon_sim::alloc::IncrementalMaxMin;
 use falcon_sim::EventQueue;
 use falcon_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::campaign::RlKind;
 use crate::topology::ScaleTopology;
+
+/// Probe cadence for [`ScaleTuner::Rl`] transfers — matches the
+/// testbed's 5 s sample interval ([`falcon_sim::Environment`]'s
+/// `sample_interval_s`), so a scale-engine tuner sees the same decision
+/// rhythm as a classic-engine agent.
+pub const PROBE_INTERVAL_S: f64 = 5.0;
+
+/// Per-transfer tuning policy for the scale engine.
+///
+/// `Fixed` is the classic path: every transfer runs
+/// [`ScaleWorkload::concurrency`] connections for its whole life and the
+/// engine schedules no probe events at all — bit-for-bit the same
+/// numbers as before the tuner hook existed.
+///
+/// The `Rl` kinds give every transfer its *own* learning tuner from
+/// `falcon-rl`, seeded by `falcon_par::task_seed(spec.seed, global
+/// arrival index)` — a function of the spec alone, so shard assignment
+/// and thread count cannot change any decision. The tuner observes
+/// delivered throughput every [`PROBE_INTERVAL_S`] seconds (the fluid
+/// model is lossless, so the Eq 4 loss term is zero) and re-rates the
+/// stream through `IncrementalMaxMin::update_stream`. In `Rl` mode
+/// [`ScaleWorkload::concurrency`] becomes the lattice *ceiling* instead
+/// of the pinned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleTuner {
+    /// Pinned concurrency, no probes (the pre-tuner engine).
+    #[default]
+    Fixed,
+    /// A per-transfer `falcon-rl` tuner.
+    Rl(RlKind),
+}
 
 /// Workload shape for a scale campaign. All randomness is drawn from one
 /// seeded `StdRng` in a fixed order: a `(topology, workload, seed)`
@@ -40,9 +74,13 @@ pub struct ScaleWorkload {
     /// Mean transfer size (MB); sizes spread uniformly over
     /// `[0.25, 1.75] × mean`.
     pub mean_file_mb: f64,
-    /// Fixed connection count per transfer; sets both the max-min weight
-    /// and the rate cap (`concurrency × per_conn_cap_mbps`).
+    /// Connection count per transfer; sets both the max-min weight and
+    /// the rate cap (`concurrency × per_conn_cap_mbps`). Under
+    /// [`ScaleTuner::Rl`] this is the tuner's search ceiling instead of
+    /// a pinned value.
     pub concurrency: u32,
+    /// Per-transfer tuning policy (defaults to [`ScaleTuner::Fixed`]).
+    pub tuner: ScaleTuner,
     /// Per-connection rate cap (Mbps) — the TCP response-function stand-in.
     pub per_conn_cap_mbps: f64,
     /// Diurnal amplitude in `[0, 1)`: the arrival rate follows
@@ -65,6 +103,7 @@ impl Default for ScaleWorkload {
             arrivals_per_min: 6_000.0,
             mean_file_mb: 100.0,
             concurrency: 4,
+            tuner: ScaleTuner::Fixed,
             per_conn_cap_mbps: 300.0,
             diurnal: 0.0,
             diurnal_period_s: 86_400.0,
@@ -239,15 +278,25 @@ struct ShardInput {
     caps: Vec<f64>,
     /// Global index per local link (for the merged per-link report).
     global_link: Vec<u32>,
-    /// Local routes: local link indices + max-min weight.
+    /// Local routes: local link indices + *per-connection* max-min
+    /// weight (multiplied by the transfer's live connection count at the
+    /// allocator seam).
     route_links: Vec<Vec<u32>>,
     route_weight: Vec<f64>,
-    /// This shard's arrivals `(t, local route, size_mbits)`, time-sorted.
-    arrivals: Vec<(f64, u32, f64)>,
+    /// This shard's arrivals `(t, local route, size_mbits, global
+    /// arrival index)`, time-sorted. The global index seeds the
+    /// transfer's tuner, so the seed stream is shard-invariant.
+    arrivals: Vec<(f64, u32, f64, u64)>,
     /// Capacity events: `(t, local link, new capacity)`.
     cap_events: Vec<(f64, u32, f64)>,
-    /// Per-transfer rate cap.
-    stream_cap: f64,
+    /// Per-connection rate cap (the stream cap is `cc × per_conn_cap`).
+    per_conn_cap: f64,
+    /// Fixed connection count, or the tuner's search ceiling.
+    concurrency: u32,
+    /// Per-transfer tuning policy.
+    tuner: ScaleTuner,
+    /// Master seed (tuner seeds derive from it per global arrival).
+    seed: u64,
 }
 
 /// What one shard's DES produced.
@@ -261,6 +310,7 @@ struct ShardOutcome {
     makespan_s: f64,
     solves: u64,
     streams_resolved: u64,
+    probes: u64,
     arena_bytes: usize,
     /// `(global link, ∫load dt in Mbit)` per local link.
     link_busy: Vec<(u32, f64)>,
@@ -296,6 +346,9 @@ pub struct ScaleReport {
     /// Streams re-solved across all solves (a dense allocator would pay
     /// `active × solves`).
     pub streams_resolved: u64,
+    /// Tuner probe decisions taken across shards (0 under
+    /// [`ScaleTuner::Fixed`]).
+    pub probes: u64,
     /// Peak engine-state bytes (allocator arena + transfer SoA) summed
     /// over shards.
     pub arena_bytes: usize,
@@ -387,7 +440,6 @@ pub fn run_scale_campaign_traced(
     // Partition links and routes into shards by route component; a link
     // is only materialized in the shard that routes over it.
     let n_links = spec.topology.links.len();
-    let stream_cap = f64::from(spec.workload.concurrency) * spec.workload.per_conn_cap_mbps;
     let mut shard_inputs: Vec<ShardInput> = (0..shards)
         .map(|_| ShardInput {
             caps: Vec::new(),
@@ -396,7 +448,10 @@ pub fn run_scale_campaign_traced(
             route_weight: Vec::new(),
             arrivals: Vec::new(),
             cap_events: Vec::new(),
-            stream_cap,
+            per_conn_cap: spec.workload.per_conn_cap_mbps,
+            concurrency: spec.workload.concurrency.max(1),
+            tuner: spec.workload.tuner,
+            seed: spec.seed,
         })
         .collect();
     let mut local_link = vec![u32::MAX; n_links];
@@ -425,16 +480,20 @@ pub fn run_scale_campaign_traced(
         // TCP's RTT bias: weight ∝ connections / RTT, normalized to a
         // 20 ms reference so classic fleet weights carry over, clamped
         // so sub-ms datacenter routes don't drown WAN routes entirely.
+        // Stored per connection; the shard multiplies by the transfer's
+        // live connection count (the same product as before for the
+        // fixed path, bit for bit).
         input
             .route_weight
-            .push(f64::from(spec.workload.concurrency) * (0.020 / route.rtt_s.max(1e-4)).min(50.0));
+            .push((0.020 / route.rtt_s.max(1e-4)).min(50.0));
     }
-    for a in &arrivals {
+    for (gi, a) in arrivals.iter().enumerate() {
         let sh = comps[a.route as usize] % shards;
         shard_inputs[sh as usize].arrivals.push((
             a.t_s,
             local_route[a.route as usize],
             a.size_mbits,
+            gi as u64,
         ));
     }
     for f in &spec.failures {
@@ -468,6 +527,7 @@ pub fn run_scale_campaign_traced(
         peak_active: 0,
         solves: 0,
         streams_resolved: 0,
+        probes: 0,
         arena_bytes: 0,
         links: Vec::new(),
     };
@@ -488,6 +548,7 @@ pub fn run_scale_campaign_traced(
             acc.peak_active += out.peak_active;
             acc.solves += out.solves;
             acc.streams_resolved += out.streams_resolved;
+            acc.probes += out.probes;
             acc.arena_bytes += out.arena_bytes;
             busy.extend(out.link_busy);
             acc
@@ -516,24 +577,57 @@ pub fn run_scale_campaign_traced(
     tracer.add("fleet.scale.stranded", report.stranded);
     tracer.add("fleet.scale.solves", report.solves);
     tracer.add("fleet.scale.streams_resolved", report.streams_resolved);
+    tracer.add("fleet.scale.probes", report.probes);
     report
 }
 
 /// Event classes: at equal times, capacity changes fire before arrivals,
-/// arrivals before departures.
+/// arrivals before departures, departures before probes (a probe landing
+/// on a departed transfer sees it dead and is dropped).
 const EV_CAP: u8 = 0;
 const EV_ARRIVE: u8 = 1;
 const EV_DEPART: u8 = 2;
+const EV_PROBE: u8 = 3;
 
 enum ShardEvent {
-    Cap { link: u32, cap: f64 },
-    Arrive { idx: u32 },
-    Depart { id: u32, epoch: u32 },
+    Cap {
+        link: u32,
+        cap: f64,
+    },
+    Arrive {
+        idx: u32,
+    },
+    Depart {
+        id: u32,
+        epoch: u32,
+    },
+    /// A tuner decision point. `gen` is the transfer's probe generation:
+    /// free-list id reuse and probe re-arming bump it, so probes queued
+    /// for an earlier occupant of the same id are skipped.
+    Probe {
+        id: u32,
+        gen: u32,
+    },
+}
+
+/// Build one transfer's tuner agent for the scale engine.
+fn make_rl_agent(kind: RlKind, max_cc: u32, seed: u64) -> FalconAgent {
+    match kind {
+        RlKind::Bandit => falcon_rl::bandit_agent(max_cc, seed),
+        RlKind::Q => falcon_rl::q_agent(max_cc, seed),
+        RlKind::Warm => falcon_rl::warm_agent(max_cc, seed, &HarpHistory::ten_gig_corpus()),
+    }
 }
 
 /// Per-transfer state, structure-of-arrays indexed by the allocator's
 /// stream id. The free-list keeps these arrays sized at the peak-active
 /// watermark rather than total arrivals.
+///
+/// The `probe_*`/`cc`/`agent` columns are the tuner state. They live in
+/// the same arena (indexed by the same stream ids, grown by the same
+/// `ensure`), but are only materialized under [`ScaleTuner::Rl`] — a
+/// fixed-mode run allocates none of them, so its `arena_bytes`
+/// accounting is unchanged.
 #[derive(Default)]
 struct TransferSoa {
     remaining: Vec<f64>,
@@ -544,10 +638,23 @@ struct TransferSoa {
     route: Vec<u32>,
     epoch: Vec<u32>,
     live: Vec<bool>,
+    /// Remaining mbits at the last probe (delivered = delta since).
+    probe_rem: Vec<f64>,
+    /// Time of the last probe.
+    probe_t: Vec<f64>,
+    /// Probe generation (guards id reuse; see [`ShardEvent::Probe`]).
+    probe_gen: Vec<u32>,
+    /// Current connection count chosen by the tuner.
+    cc: Vec<u32>,
+    /// Whether a probe event is queued. Disarmed when an outage pins the
+    /// rate at zero; the post-solve loop re-arms on recovery.
+    probe_armed: Vec<bool>,
+    /// The per-transfer tuner itself.
+    agent: Vec<Option<FalconAgent>>,
 }
 
 impl TransferSoa {
-    fn ensure(&mut self, id: usize) {
+    fn ensure(&mut self, id: usize, rl: bool) {
         if id == self.remaining.len() {
             self.remaining.push(0.0);
             self.last_t.push(0.0);
@@ -557,6 +664,14 @@ impl TransferSoa {
             self.route.push(0);
             self.epoch.push(0);
             self.live.push(false);
+            if rl {
+                self.probe_rem.push(0.0);
+                self.probe_t.push(0.0);
+                self.probe_gen.push(0);
+                self.cc.push(0);
+                self.probe_armed.push(false);
+                self.agent.push(None);
+            }
         }
     }
 
@@ -564,6 +679,10 @@ impl TransferSoa {
         self.remaining.capacity() * std::mem::size_of::<f64>() * 5
             + self.route.capacity() * std::mem::size_of::<u32>() * 2
             + self.live.capacity()
+            + self.probe_rem.capacity() * std::mem::size_of::<f64>() * 2
+            + self.probe_gen.capacity() * std::mem::size_of::<u32>() * 2
+            + self.probe_armed.capacity()
+            + self.agent.capacity() * std::mem::size_of::<Option<FalconAgent>>()
     }
 }
 
@@ -574,7 +693,7 @@ impl TransferSoa {
 fn run_shard(input: &ShardInput) -> ShardOutcome {
     let mut alloc = IncrementalMaxMin::with_links(&input.caps);
     let mut queue: EventQueue<ShardEvent> = EventQueue::new();
-    for (i, &(t, _, _)) in input.arrivals.iter().enumerate() {
+    for (i, &(t, ..)) in input.arrivals.iter().enumerate() {
         queue.push(t, EV_ARRIVE, ShardEvent::Arrive { idx: i as u32 });
     }
     for &(t, link, cap) in &input.cap_events {
@@ -595,11 +714,13 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
         makespan_s: 0.0,
         solves: 0,
         streams_resolved: 0,
+        probes: 0,
         arena_bytes: 0,
         link_busy: Vec::new(),
     };
     let mut active = 0u32;
     let mut affected: Vec<u32> = Vec::new();
+    let rl = input.tuner != ScaleTuner::Fixed;
 
     while let Some((t, _, ev)) = queue.pop() {
         out.makespan_s = out.makespan_s.max(t);
@@ -608,15 +729,26 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
                 alloc.set_capacity(link, cap);
             }
             ShardEvent::Arrive { idx } => {
-                let (_, route, size_mbits) = input.arrivals[idx as usize];
+                let (_, route, size_mbits, gidx) = input.arrivals[idx as usize];
                 let r = route as usize;
+                let mut cc = input.concurrency;
+                let mut agent = None;
+                if let ScaleTuner::Rl(kind) = input.tuner {
+                    let a = make_rl_agent(
+                        kind,
+                        input.concurrency,
+                        falcon_par::task_seed(input.seed, gidx as usize),
+                    );
+                    cc = a.initial_settings().concurrency.clamp(1, input.concurrency);
+                    agent = Some(a);
+                }
                 let id = alloc.add_stream(
-                    input.stream_cap,
-                    input.route_weight[r],
+                    f64::from(cc) * input.per_conn_cap,
+                    f64::from(cc) * input.route_weight[r],
                     &input.route_links[r],
                 );
                 let i = id as usize;
-                soa.ensure(i);
+                soa.ensure(i, rl);
                 soa.remaining[i] = size_mbits;
                 soa.last_t[i] = t;
                 soa.started[i] = t;
@@ -625,6 +757,22 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
                 soa.route[i] = route;
                 soa.epoch[i] = soa.epoch[i].wrapping_add(1);
                 soa.live[i] = true;
+                if let Some(a) = agent {
+                    soa.agent[i] = Some(a);
+                    soa.cc[i] = cc;
+                    soa.probe_rem[i] = size_mbits;
+                    soa.probe_t[i] = t;
+                    soa.probe_gen[i] = soa.probe_gen[i].wrapping_add(1);
+                    soa.probe_armed[i] = true;
+                    queue.push(
+                        t + PROBE_INTERVAL_S,
+                        EV_PROBE,
+                        ShardEvent::Probe {
+                            id,
+                            gen: soa.probe_gen[i],
+                        },
+                    );
+                }
                 active += 1;
                 if active > out.peak_active {
                     out.peak_active = active;
@@ -668,6 +816,10 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
                 out.duration_sum_s += t - soa.started[i];
                 out.bytes_mbits += soa.size_mbits[i];
                 soa.live[i] = false;
+                if rl {
+                    soa.agent[i] = None; // free the tuner before id reuse
+                    soa.probe_armed[i] = false;
+                }
                 active -= 1;
                 integrate_links(
                     &mut busy,
@@ -679,6 +831,57 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
                 );
                 soa.rate[i] = 0.0;
                 alloc.remove_stream(id);
+            }
+            ShardEvent::Probe { id, gen } => {
+                let i = id as usize;
+                if !soa.live[i] || soa.probe_gen[i] != gen {
+                    continue; // departed transfer, reused id, or re-armed probe
+                }
+                // Fold the lazy integral to now so the probe measures the
+                // exact mbits delivered since the last decision.
+                let dt = t - soa.last_t[i];
+                soa.remaining[i] = (soa.remaining[i] - soa.rate[i] * dt).max(0.0);
+                soa.last_t[i] = t;
+                let interval = t - soa.probe_t[i];
+                let delivered = (soa.probe_rem[i] - soa.remaining[i]).max(0.0);
+                if soa.rate[i] <= 0.0 && delivered <= 0.0 {
+                    // Stranded by an outage: stop probing rather than spin
+                    // on zero-throughput observations. The post-solve loop
+                    // re-arms when the allocator hands back a rate.
+                    soa.probe_armed[i] = false;
+                    continue;
+                }
+                out.probes += 1;
+                let thr = if interval > 0.0 {
+                    delivered / interval
+                } else {
+                    0.0
+                };
+                let settings = TransferSettings::with_concurrency(soa.cc[i]);
+                // The fluid model is lossless: the Eq 4 penalty term is 0
+                // and the tuner optimizes n·t/Kⁿ alone.
+                let metrics = ProbeMetrics::from_aggregate(settings, thr, 0.0, interval.max(1e-9));
+                let next = soa.agent[i]
+                    .as_mut()
+                    .map(|a| a.observe(metrics))
+                    .unwrap_or(settings);
+                let new_cc = next.concurrency.clamp(1, input.concurrency);
+                if new_cc != soa.cc[i] {
+                    soa.cc[i] = new_cc;
+                    let r = soa.route[i] as usize;
+                    alloc.update_stream(
+                        id,
+                        f64::from(new_cc) * input.per_conn_cap,
+                        f64::from(new_cc) * input.route_weight[r],
+                    );
+                }
+                soa.probe_rem[i] = soa.remaining[i];
+                soa.probe_t[i] = t;
+                queue.push(
+                    t + PROBE_INTERVAL_S,
+                    EV_PROBE,
+                    ShardEvent::Probe { id, gen },
+                );
             }
         }
         // Re-solve only the dirty component; apply the rate deltas.
@@ -715,6 +918,23 @@ fn run_shard(input: &ShardInput) -> ShardOutcome {
                         epoch: soa.epoch[i],
                     },
                 );
+                if rl && !soa.probe_armed[i] {
+                    // Outage recovery: restart the probe clock from here
+                    // (a fresh generation invalidates nothing — the old
+                    // probe chain ended when it disarmed).
+                    soa.probe_armed[i] = true;
+                    soa.probe_rem[i] = soa.remaining[i];
+                    soa.probe_t[i] = t;
+                    soa.probe_gen[i] = soa.probe_gen[i].wrapping_add(1);
+                    queue.push(
+                        t + PROBE_INTERVAL_S,
+                        EV_PROBE,
+                        ShardEvent::Probe {
+                            id: sid,
+                            gen: soa.probe_gen[i],
+                        },
+                    );
+                }
             }
         }
     }
@@ -866,6 +1086,80 @@ mod tests {
         assert!((a.len() as f64) < expected_max);
         // Arrival times are sorted by construction.
         assert!(a.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    }
+
+    /// A variant of [`small_spec`] where transfers live long enough to
+    /// hit several 5 s probe points.
+    fn rl_spec(kind: RlKind) -> ScaleCampaignSpec {
+        let mut spec = small_spec();
+        spec.workload.tuner = ScaleTuner::Rl(kind);
+        spec.workload.concurrency = 8; // the lattice ceiling in rl mode
+                                       // Slow connections + big files: a transfer lives tens of seconds,
+                                       // so the tuner's 5 s probe cadence actually steers it.
+        spec.workload.per_conn_cap_mbps = 100.0;
+        spec.workload.mean_file_mb = 500.0;
+        spec.workload.transfers = 120;
+        spec.workload.arrivals_per_min = 240.0;
+        spec.duration_s = 400.0;
+        spec
+    }
+
+    #[test]
+    fn fixed_mode_schedules_no_probes() {
+        let r = run_scale_campaign(&small_spec(), 1);
+        assert_eq!(r.probes, 0);
+    }
+
+    #[test]
+    fn rl_tuners_probe_and_drain_the_campaign() {
+        for kind in [RlKind::Bandit, RlKind::Q, RlKind::Warm] {
+            let r = run_scale_campaign(&rl_spec(kind), 1);
+            assert_eq!(r.completions, r.transfers, "{kind:?} left transfers");
+            assert_eq!(r.stranded, 0);
+            // Warm-start opens near the knee, so its transfers drain in
+            // few probe intervals; cold learners probe far more.
+            assert!(
+                r.probes >= r.transfers / 4,
+                "{kind:?} probed only {} for {} transfers",
+                r.probes,
+                r.transfers
+            );
+        }
+    }
+
+    #[test]
+    fn rl_mode_is_thread_invariant() {
+        let spec = rl_spec(RlKind::Bandit);
+        let one = run_scale_campaign(&spec, 1);
+        for threads in [2usize, 4] {
+            let other = run_scale_campaign(&spec, threads);
+            assert_eq!(one, other, "rl report diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn rl_probes_rearm_after_an_outage() {
+        let mut spec = rl_spec(RlKind::Bandit);
+        // A full blackout of every trunk mid-campaign: probes must pause
+        // (no spinning on zero throughput) and resume on recovery.
+        let trunks: Vec<u32> = spec
+            .topology
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.name.starts_with("wan"))
+            .map(|(i, _)| i as u32)
+            .collect();
+        spec.failures = vec![LinkFailure {
+            at_s: 30.0,
+            duration_s: 60.0,
+            factor: 0.0,
+            links: trunks,
+        }];
+        let r = run_scale_campaign(&spec, 2);
+        assert_eq!(r.stranded, 0, "recovered outage must not strand");
+        assert_eq!(r.completions, r.transfers);
+        assert!(r.probes > 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! | rule | what it catches |
 //! |------|-----------------|
-//! | `determinism` | `Instant`/`SystemTime`, `thread_rng`/`from_entropy`, `HashMap`/`HashSet` in `falcon-sim`/`falcon-core`/`falcon-gp`/`falcon-tcp`/`falcon-trace`/`falcon-fleet` |
+//! | `determinism` | `Instant`/`SystemTime`, `thread_rng`/`from_entropy`, `HashMap`/`HashSet` in `falcon-sim`/`falcon-core`/`falcon-gp`/`falcon-tcp`/`falcon-trace`/`falcon-fleet`/`falcon-rl` |
 //! | `panic-safety` | `unwrap`/`expect`/`panic!`/`unreachable!`/`assert!`-family in non-test library code |
 //! | `lock-across-blocking` | a `Mutex` guard held across `sleep`/`join`/channel ops/blocking I/O |
 //! | `float-cmp` | exact `==`/`!=` against a float literal |

@@ -114,13 +114,14 @@ impl std::fmt::Display for Finding {
 /// paper's figures are rerun-comparable only if these never read ambient
 /// entropy or wall-clock time). Wall-clock time is legal only in
 /// `falcon-net`/`falcon-transfer`/`falcon-cli`, behind the harness seam.
-pub const DETERMINISM_CRATES: [&str; 6] = [
+pub const DETERMINISM_CRATES: [&str; 7] = [
     "falcon-sim",
     "falcon-core",
     "falcon-gp",
     "falcon-tcp",
     "falcon-trace",
     "falcon-fleet",
+    "falcon-rl",
 ];
 
 /// Identifiers that read wall-clock time.

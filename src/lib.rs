@@ -10,6 +10,7 @@ pub use falcon_core as core;
 pub use falcon_fleet as fleet;
 pub use falcon_gp as gp;
 pub use falcon_net as net;
+pub use falcon_rl as rl;
 pub use falcon_sim as sim;
 pub use falcon_tcp as tcp;
 pub use falcon_trace as trace;

@@ -8,11 +8,13 @@
 //! here means shared plumbing (metrics, utility, settings) changed out
 //! from under them.
 
+use falcon_repro::baselines::HarpHistory;
 use falcon_repro::core::{
     CgdParams, ConjugateGradientOptimizer, GdParams, GradientDescentOptimizer, HcParams,
     HillClimbingOptimizer, Observation, OnlineOptimizer, ProbeMetrics, SearchBounds,
     TransferSettings, UtilityFunction,
 };
+use falcon_repro::rl::{BanditOptimizer, BanditParams, QParams, TabularQOptimizer, WarmTable};
 
 /// Deterministic landscape: linear gain to 48 streams, flat beyond.
 fn observation(s: TransferSettings) -> Observation {
@@ -47,6 +49,54 @@ fn gradient_descent_decision_sequence_unchanged() {
     let expected: Vec<(u32, u32, u32)> = [
         1, 3, 5, 7, 9, 11, 15, 13, 18, 20, 27, 25, 35, 33, 40, 38, 41, 43, 45, 43, 47, 45, 46, 48,
         48, 46, 46, 48, 48, 46, 46, 48, 46, 48, 46, 48, 46, 48, 48, 46, 46,
+    ]
+    .into_iter()
+    .map(|c| (c, 1, 1))
+    .collect();
+    assert_eq!(drive(&mut opt, 40), expected);
+}
+
+/// The RL tuners are seeded, so their exploration is as pinnable as the
+/// deterministic scan optimizers above: the same seed must replay the
+/// same decision bytes forever. Any drift means the SplitMix64 draw
+/// order, the arm lattice, or the reward plumbing changed.
+#[test]
+fn bandit_decision_sequence_unchanged() {
+    let mut opt = BanditOptimizer::new(BanditParams::new(64, 7));
+    let expected: Vec<(u32, u32, u32)> = [
+        1, 2, 3, 4, 5, 6, 8, 10, 13, 17, 22, 28, 36, 46, 59, 64, 46, 47, 3, 46, 45, 46, 47, 46, 45,
+        46, 47, 46, 45, 46, 47, 46, 45, 46, 47, 46, 45, 46, 47, 46, 45,
+    ]
+    .into_iter()
+    .map(|c| (c, 1, 1))
+    .collect();
+    assert_eq!(drive(&mut opt, 40), expected);
+}
+
+#[test]
+fn tabular_q_decision_sequence_unchanged() {
+    let mut opt = TabularQOptimizer::new(QParams::new(64, 7));
+    let expected: Vec<(u32, u32, u32)> = [
+        1, 1, 2, 3, 4, 6, 8, 11, 15, 20, 26, 34, 35, 36, 37, 38, 39, 40, 41, 41, 42, 43, 44, 45,
+        46, 47, 48, 49, 50, 51, 52, 53, 54, 55, 64, 64, 64, 64, 64, 49, 37,
+    ]
+    .into_iter()
+    .map(|c| (c, 1, 1))
+    .collect();
+    assert_eq!(drive(&mut opt, 40), expected);
+}
+
+#[test]
+fn warm_started_bandit_decision_sequence_unchanged() {
+    let history = HarpHistory::ten_gig_corpus();
+    let bounds = SearchBounds::concurrency_only(64);
+    let table = WarmTable::fit(&history, &bounds, 24, 7);
+    let mut opt = BanditOptimizer::warm_started(BanditParams::new(64, 7), &table);
+    // Opens at the warm table's argmax (10) instead of the cold sweep's 1,
+    // then interleaves the remaining sweep with exploitation of the prior.
+    let expected: Vec<(u32, u32, u32)> = [
+        10, 8, 13, 6, 17, 5, 10, 4, 3, 22, 2, 1, 28, 36, 46, 59, 64, 46, 47, 3, 46, 45, 46, 47, 46,
+        45, 46, 47, 46, 45, 46, 47, 46, 45, 46, 47, 46, 45, 46, 47, 46,
     ]
     .into_iter()
     .map(|c| (c, 1, 1))

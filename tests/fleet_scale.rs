@@ -15,7 +15,9 @@
 
 use proptest::prelude::*;
 
-use falcon_repro::fleet::{run_scale_campaign, ScaleCampaignSpec, ScaleTopology};
+use falcon_repro::fleet::{
+    run_scale_campaign, RlKind, ScaleCampaignSpec, ScaleTopology, ScaleTuner,
+};
 use falcon_repro::sim::alloc::{
     weighted_max_min_allocate, IncrementalMaxMin, WeightedStreamDemand,
 };
@@ -234,6 +236,48 @@ fn hundred_thousand_transfer_fat_tree_is_thread_invariant() {
         "every transfer ends either completed or stranded"
     );
     assert!(one.completions > 90_000, "the fabric should drain the load");
+    let summary = one.summary();
+    for threads in [4usize, 8] {
+        let other = run_scale_campaign(&spec, threads);
+        assert_eq!(
+            summary,
+            other.summary(),
+            "summary bytes diverged at {threads} threads"
+        );
+        assert_eq!(one, other, "full report diverged at {threads} threads");
+    }
+}
+
+/// The same differential gate with per-transfer learning tuners in the
+/// loop: a 10⁴-transfer pod-local fat-tree campaign under `rl:bandit`,
+/// with files large and connections slow enough that every transfer
+/// lives through probe intervals. Tuner decisions are seeded off each
+/// arrival's global index, so shard assignment — and therefore thread
+/// count — must not change a single byte of the report.
+#[test]
+fn ten_thousand_transfer_rl_campaign_is_thread_invariant() {
+    let mut spec = ScaleCampaignSpec::fat_tree_local(8, 10_000, 0x51eed);
+    spec.workload.tuner = ScaleTuner::Rl(RlKind::Bandit);
+    spec.workload.concurrency = 8;
+    spec.workload.per_conn_cap_mbps = 100.0;
+    spec.workload.mean_file_mb = 400.0;
+    // Thin the fat-tree default's 1000/s arrival burst: learning transfers
+    // live tens of seconds (the bandit sweeps up from one connection), so
+    // the default rate would pool tens of thousands of concurrent streams.
+    spec.workload.arrivals_per_min = 6_000.0;
+    let one = run_scale_campaign(&spec, 1);
+    assert_eq!(one.transfers, 10_000, "workload must admit all arrivals");
+    assert_eq!(
+        one.completions + one.stranded,
+        10_000,
+        "every transfer ends either completed or stranded"
+    );
+    assert!(one.completions > 9_000, "the fabric should drain the load");
+    assert!(
+        one.probes > 10_000,
+        "long-lived transfers must take multiple tuner decisions, got {}",
+        one.probes
+    );
     let summary = one.summary();
     for threads in [4usize, 8] {
         let other = run_scale_campaign(&spec, threads);

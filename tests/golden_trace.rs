@@ -20,7 +20,7 @@ use std::path::PathBuf;
 use falcon_cli::scenario::{self, Scenario};
 
 /// The scenarios with committed golden traces.
-const GOLDEN: [&str; 3] = ["link_flap", "fair_sharing", "fleet_churn"];
+const GOLDEN: [&str; 4] = ["link_flap", "fair_sharing", "fleet_churn", "rl_flap"];
 
 fn repo_path(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)

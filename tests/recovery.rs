@@ -78,6 +78,74 @@ fn every_optimizer_reconverges_after_link_flap() {
     }
 }
 
+/// The learning tuners must track the same flap the classical optimizers
+/// do: each re-converges to ≥80% of the achievable rate within 20 probe
+/// intervals of both edges, with trace-recorded decisions and convergence
+/// markers. The window is wider than the classical optimizers' 15 probes
+/// because a cold learner spends its early probes sweeping the arm
+/// lattice rather than line-searching.
+#[test]
+fn every_rl_tuner_reconverges_after_link_flap() {
+    use falcon_repro::baselines::HarpHistory;
+    let flap = LinkFlap::standard();
+    type MakeAgent = fn(u32, u64) -> FalconAgent;
+    let tuners: [(&str, MakeAgent); 3] = [
+        ("rl-bandit", falcon_repro::rl::bandit_agent),
+        ("rl-q", falcon_repro::rl::q_agent),
+        ("rl-warm", |cc, seed| {
+            falcon_repro::rl::warm_agent(cc, seed, &HarpHistory::ten_gig_corpus())
+        }),
+    ];
+    for (name, make) in tuners {
+        let env = Environment::emulab(100.0);
+        let full = achievable_mbps(&env, 1.0);
+        let degraded = achievable_mbps(&env, flap.drop_factor);
+        let (trace, log, interval) = flap_run(env, Box::new(make(64, 7)), 7, flap);
+        let window = 20.0 * interval;
+        let q = TraceQuery::new(&log).agent(0);
+
+        // The tuner is actually deciding: the trace records its decisions.
+        assert!(
+            q.decision_count() > 20,
+            "{name}: {} decisions",
+            q.decision_count()
+        );
+
+        // Converged before the fault, and the trace marked it.
+        let first = q.convergence_time();
+        assert!(
+            first.is_some_and(|t| t < flap.drop_s),
+            "{name}: first convergence marker at {first:?}"
+        );
+        let before = trace.avg_mbps(0, flap.drop_s - window, flap.drop_s);
+        assert!(before > 0.8 * full, "{name}: pre-drop {before:.0} Mbps");
+
+        // Tracks the degraded link within the widened window, and the
+        // detector re-armed and re-latched at the new operating point.
+        let during = trace.avg_mbps(0, flap.drop_s + window / 2.0, flap.drop_s + window);
+        assert!(
+            during > 0.8 * degraded,
+            "{name}: during-drop {during:.0} Mbps (achievable {degraded:.0})"
+        );
+        let reconv = q.convergence_after(flap.drop_s);
+        assert!(
+            reconv.is_some_and(|t| t < flap.restore_s),
+            "{name}: no re-convergence marker inside the outage ({reconv:?})"
+        );
+
+        // Climbs back after the restore.
+        let after = trace.avg_mbps(0, flap.restore_s + window / 2.0, flap.restore_s + window);
+        assert!(
+            after > 0.8 * full,
+            "{name}: post-restore {after:.0} Mbps (achievable {full:.0})"
+        );
+        assert!(
+            q.convergence_after(flap.restore_s).is_some(),
+            "{name}: no re-convergence marker after the restore"
+        );
+    }
+}
+
 /// A killed agent is detected, restarted by the watchdog, and finishes its
 /// re-convergence with its optimizer state intact — with the detach and
 /// restart visible in the structured trace.
